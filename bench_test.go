@@ -1,0 +1,188 @@
+// Benchmarks regenerating the paper's tables and figures. Each benchmark
+// corresponds to one experiment of the evaluation section (see DESIGN.md's
+// per-experiment index); run them all with
+//
+//	go test -bench=. -benchmem
+//
+// Reported custom metrics: normalized latencies (×NoBF), planner times and
+// Bloom filter counts, matching what the paper's tables print.
+package bfcbo
+
+import (
+	"fmt"
+	"testing"
+
+	"bfcbo/internal/bench"
+	"bfcbo/internal/optimizer"
+	"bfcbo/internal/tpch"
+)
+
+const (
+	benchSF  = 0.02
+	benchDOP = 8
+)
+
+func newHarness(b *testing.B, h7 bool) *bench.Harness {
+	b.Helper()
+	h, err := bench.NewHarness(bench.Config{
+		ScaleFactor: benchSF, Seed: 2025, DOP: benchDOP, Reps: 1, Heuristic7: h7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+// BenchmarkFigure1_Q12JoinOrder regenerates Figure 1: Q12 executed under
+// BF-Post and BF-CBO; the flip shows as the bfcbo/bfpost latency ratio.
+func BenchmarkFigure1_Q12JoinOrder(b *testing.B) {
+	h := newHarness(b, false)
+	for _, mode := range []optimizer.Mode{optimizer.BFPost, optimizer.BFCBO} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var blooms int
+			for i := 0; i < b.N; i++ {
+				qr, err := h.RunQuery(12, mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				blooms = qr.Blooms
+			}
+			b.ReportMetric(float64(blooms), "blooms")
+		})
+	}
+}
+
+// BenchmarkFigure4_RunningExample regenerates the §3 running example's
+// shape: a two-join chain with a selective middle relation (Q12 is the
+// TPC-H instance of it). Reported metric: estimate of the filtered scan.
+func BenchmarkFigure4_RunningExample(b *testing.B) {
+	h := newHarness(b, false)
+	for i := 0; i < b.N; i++ {
+		cbo, err := h.RunQuery(12, optimizer.BFCBO)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cbo.Blooms == 0 {
+			b.Fatal("running example lost its Bloom filter")
+		}
+	}
+}
+
+// BenchmarkTable2_TPCH regenerates Table 2 / Figure 5: every analyzed query
+// under the three modes. The normalized latencies are reported as metrics.
+func BenchmarkTable2_TPCH(b *testing.B) {
+	h := newHarness(b, false)
+	for i := 0; i < b.N; i++ {
+		t, err := h.RunTable2(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.TotalNormPost, "norm-bfpost")
+		b.ReportMetric(t.TotalNormCBO, "norm-bfcbo")
+		b.ReportMetric(t.TotalPct, "pct-improvement")
+		b.ReportMetric(t.MAEImprovementPct, "mae-improvement-pct")
+	}
+}
+
+// BenchmarkTable3_Heuristic7 regenerates Table 3: the same suite with the
+// sub-plan cap enabled; planner time should drop versus Table 2.
+func BenchmarkTable3_Heuristic7(b *testing.B) {
+	h := newHarness(b, true)
+	for i := 0; i < b.N; i++ {
+		t, err := h.RunTable2(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.TotalNormCBO, "norm-bfcbo-h7")
+		b.ReportMetric(t.TotalPlannerCBOMS, "planner-ms")
+	}
+}
+
+// BenchmarkFigure6_Q7 regenerates Figure 6: Q7's predicate-transfer plan.
+func BenchmarkFigure6_Q7(b *testing.B) {
+	h := newHarness(b, false)
+	for _, mode := range []optimizer.Mode{optimizer.BFPost, optimizer.BFCBO} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var blooms int
+			for i := 0; i < b.N; i++ {
+				qr, err := h.RunQuery(7, mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				blooms = qr.Blooms
+			}
+			b.ReportMetric(float64(blooms), "blooms")
+		})
+	}
+}
+
+// BenchmarkNaiveBlowup regenerates §3.1's planning-time explosion: naive
+// versus two-phase planner latency on chain joins of 3..6 tables.
+func BenchmarkNaiveBlowup(b *testing.B) {
+	h := newHarness(b, false)
+	for n := 3; n <= 6; n++ {
+		b.Run(fmt.Sprintf("tables=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := h.RunNaiveBlowup(n, n, 2_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := rows[0]
+				if r.NaiveDNF {
+					b.ReportMetric(-1, "naive-ms")
+				} else {
+					b.ReportMetric(r.NaiveMS, "naive-ms")
+				}
+				b.ReportMetric(r.TwoPhaseMS, "twophase-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkPlannerOnly measures pure optimization latency per mode over the
+// analyzed suite (the paper's "planner latency (ms)" columns).
+func BenchmarkPlannerOnly(b *testing.B) {
+	h := newHarness(b, false)
+	ds := h.Dataset()
+	for _, mode := range []optimizer.Mode{optimizer.NoBF, optimizer.BFPost, optimizer.BFCBO} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, num := range tpch.Analyzed() {
+					q, _ := tpch.Get(num)
+					opts := optimizer.DefaultOptions(benchSF)
+					opts.Mode = mode
+					if _, err := optimizer.Optimize(q.Build(ds.Schema), opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamingStrategies exercises the §3.9 Bloom filter build
+// strategies through queries whose plans use them (BC -> single filter,
+// RD -> partitioned filters, BC-probe -> merged filters).
+func BenchmarkStreamingStrategies(b *testing.B) {
+	h := newHarness(b, false)
+	for i := 0; i < b.N; i++ {
+		qr, err := h.RunQuery(12, optimizer.BFCBO)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(qr.Actuals.BloomStats) == 0 {
+			b.Fatal("no bloom stats")
+		}
+	}
+}
+
+// BenchmarkHeuristicAblation measures the ablation suite (one pass per
+// heuristic variant) on a query subset to keep runtime bounded.
+func BenchmarkHeuristicAblation(b *testing.B) {
+	h := newHarness(b, false)
+	for i := 0; i < b.N; i++ {
+		if _, err := h.RunAblation([]int{3, 7, 12}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package bfcbo is the public API of the BF-CBO reproduction: a cost-based
+// query engine whose bottom-up optimizer can include Bloom filters directly
+// in join enumeration (the method of Zeyl et al., "Including Bloom Filters
+// in Bottom-up Optimization", SIGMOD-Companion 2025), together with an
+// in-memory TPC-H data generator, an SMP executor, and the BF-Post / No-BF
+// baselines the paper compares against.
+//
+// Quickstart:
+//
+//	eng, err := bfcbo.Open(bfcbo.Config{ScaleFactor: 0.01})
+//	q, err := eng.ParseSQL(`SELECT * FROM orders o, lineitem l
+//	                        WHERE o.o_orderkey = l.l_orderkey
+//	                          AND l.l_shipmode IN ('MAIL','SHIP')`)
+//	out, err := eng.Run(q, bfcbo.BFCBO)
+//	fmt.Println(out.Explain, out.Rows)
+package bfcbo
+
+import (
+	"fmt"
+	"time"
+
+	"bfcbo/internal/datagen"
+	"bfcbo/internal/exec"
+	"bfcbo/internal/optimizer"
+	"bfcbo/internal/query"
+	"bfcbo/internal/sqlparser"
+	"bfcbo/internal/tpch"
+)
+
+// Mode selects the optimizer strategy; see the package doc of
+// internal/optimizer for semantics.
+type Mode = optimizer.Mode
+
+// The four optimizer modes.
+const (
+	NoBF   = optimizer.NoBF
+	BFPost = optimizer.BFPost
+	BFCBO  = optimizer.BFCBO
+	Naive  = optimizer.Naive
+)
+
+// Config configures an engine instance.
+type Config struct {
+	// ScaleFactor sizes the generated TPC-H dataset (1.0 ≈ 1 GB of the
+	// official benchmark; 0.01–0.1 is laptop-friendly). Required.
+	ScaleFactor float64
+	// Seed fixes data generation; 0 uses a built-in default.
+	Seed uint64
+	// DOP is the degree of parallelism for planning and execution;
+	// 0 defaults to 8.
+	DOP int
+}
+
+// Engine bundles a generated database with planner and executor.
+type Engine struct {
+	cfg Config
+	ds  *datagen.Dataset
+}
+
+// Open generates the TPC-H dataset and returns a ready engine.
+func Open(cfg Config) (*Engine, error) {
+	if cfg.ScaleFactor <= 0 {
+		return nil, fmt.Errorf("bfcbo: Config.ScaleFactor must be positive")
+	}
+	if cfg.DOP <= 0 {
+		cfg.DOP = 8
+	}
+	ds, err := datagen.Generate(datagen.Config{ScaleFactor: cfg.ScaleFactor, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, ds: ds}, nil
+}
+
+// Dataset gives access to the underlying schema and storage for advanced
+// use (building custom query blocks).
+func (e *Engine) Dataset() *datagen.Dataset { return e.ds }
+
+// ParseSQL parses a select-project-join statement against the TPC-H schema.
+func (e *Engine) ParseSQL(sql string) (*query.Block, error) {
+	return sqlparser.Parse(e.ds.Schema, sql)
+}
+
+// TPCH returns the built-in join block for a TPC-H query number (1–22).
+func (e *Engine) TPCH(num int) (*query.Block, error) {
+	q, ok := tpch.Get(num)
+	if !ok {
+		return nil, fmt.Errorf("bfcbo: no TPC-H query %d", num)
+	}
+	return q.Build(e.ds.Schema), nil
+}
+
+// Output is the result of planning and executing one query block.
+type Output struct {
+	// Rows is the number of result rows of the join block.
+	Rows int
+	// Explain is the physical plan rendered as text.
+	Explain string
+	// Blooms is the number of Bloom filters in the plan.
+	Blooms int
+	// PlanningTime and ExecTime are the measured phase latencies.
+	PlanningTime time.Duration
+	ExecTime     time.Duration
+	// JoinOrder is a parenthesised signature of the join tree.
+	JoinOrder string
+	// BloomStats reports what each filter did at runtime.
+	BloomStats []exec.BloomRuntime
+}
+
+// Plan optimizes a block without executing it.
+func (e *Engine) Plan(b *query.Block, mode Mode) (*optimizer.Result, error) {
+	opts := optimizer.DefaultOptions(e.cfg.ScaleFactor)
+	opts.Mode = mode
+	return optimizer.Optimize(b, opts)
+}
+
+// Run optimizes and executes a block under the given mode.
+func (e *Engine) Run(b *query.Block, mode Mode) (*Output, error) {
+	res, err := e.Plan(b, mode)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	r, err := exec.Run(e.ds.DB, b, res.Plan, exec.Options{DOP: e.cfg.DOP})
+	if err != nil {
+		return nil, err
+	}
+	return &Output{
+		Rows:         r.Out.Len(),
+		Explain:      res.Plan.Explain(),
+		Blooms:       res.Plan.CountBlooms(),
+		PlanningTime: res.PlanningTime,
+		ExecTime:     time.Since(start),
+		JoinOrder:    res.Plan.JoinOrderSignature(),
+		BloomStats:   r.BloomStats,
+	}, nil
+}
+
+// RunSQL is the one-call convenience: parse, plan, execute.
+func (e *Engine) RunSQL(sql string, mode Mode) (*Output, error) {
+	b, err := e.ParseSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(b, mode)
+}

@@ -1,0 +1,96 @@
+package bfcbo
+
+import (
+	"strings"
+	"testing"
+)
+
+func engine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := Open(Config{ScaleFactor: 0.003, Seed: 9, DOP: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Config{}); err == nil {
+		t.Fatal("zero scale factor should fail")
+	}
+	if _, err := Open(Config{ScaleFactor: -1}); err == nil {
+		t.Fatal("negative scale factor should fail")
+	}
+}
+
+func TestRunSQLAllModes(t *testing.T) {
+	e := engine(t)
+	sql := `SELECT * FROM orders o, lineitem l
+	        WHERE o.o_orderkey = l.l_orderkey
+	          AND l.l_shipmode IN ('MAIL','SHIP')
+	          AND l.l_receiptdate BETWEEN DATE '1994-01-01' AND DATE '1994-12-31'`
+	var rows int
+	for i, mode := range []Mode{NoBF, BFPost, BFCBO} {
+		out, err := e.RunSQL(sql, mode)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if i == 0 {
+			rows = out.Rows
+		} else if out.Rows != rows {
+			t.Fatalf("%s changed results: %d vs %d", mode, out.Rows, rows)
+		}
+		if out.Explain == "" || out.JoinOrder == "" {
+			t.Fatalf("%s: empty explain output", mode)
+		}
+	}
+}
+
+func TestTPCHAccess(t *testing.T) {
+	e := engine(t)
+	b, err := e.TPCH(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(b, BFCBO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Blooms == 0 {
+		t.Fatalf("Q12 under BF-CBO should use Bloom filters:\n%s", out.Explain)
+	}
+	if len(out.BloomStats) == 0 {
+		t.Fatal("missing bloom runtime stats")
+	}
+	if !strings.Contains(out.Explain, "BF#") {
+		t.Fatalf("explain lacks Bloom annotations:\n%s", out.Explain)
+	}
+	if _, err := e.TPCH(23); err == nil {
+		t.Fatal("TPCH(23) should fail")
+	}
+}
+
+func TestParseErrorsSurface(t *testing.T) {
+	e := engine(t)
+	if _, err := e.RunSQL("SELECT nothing", NoBF); err == nil {
+		t.Fatal("bad SQL should error")
+	}
+	if _, err := e.ParseSQL("SELECT * FROM ghost"); err == nil {
+		t.Fatal("unknown table should error")
+	}
+}
+
+func TestPlanOnly(t *testing.T) {
+	e := engine(t)
+	b, err := e.TPCH(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Plan(b, BFCBO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlanningTime <= 0 || res.Plan == nil {
+		t.Fatalf("degenerate plan result: %+v", res)
+	}
+}

@@ -1,0 +1,152 @@
+// Command bench regenerates the paper's tables and figures on the
+// in-memory TPC-H substrate.
+//
+//	bench -experiment table2   # Table 2 + Fig. 5: No-BF vs BF-Post vs BF-CBO
+//	bench -experiment table3   # Table 3: same with Heuristic 7 enabled
+//	bench -experiment fig1     # Figure 1: Q12 plan analysis
+//	bench -experiment fig6     # Figure 6: Q7 plan analysis
+//	bench -experiment fig4     # Figure 4: §3 running example on TPC-H Q12-like shape
+//	bench -experiment naive    # §3.1 naive planning-time blow-up
+//	bench -experiment mae      # Table 2's cardinality-MAE comparison
+//	bench -experiment ablation # per-heuristic ablation
+//	bench -experiment all      # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bfcbo/internal/bench"
+)
+
+func main() {
+	var (
+		sf   = flag.Float64("sf", 0.02, "TPC-H scale factor")
+		seed = flag.Uint64("seed", 2025, "data generation seed")
+		dop  = flag.Int("dop", 8, "degree of parallelism")
+		reps = flag.Int("reps", 3, "repetitions per query (first is warm-up)")
+		exp  = flag.String("experiment", "all", "table2|table3|fig1|fig6|naive|mae|ablation|all")
+	)
+	flag.Parse()
+	if err := run(*sf, *seed, *dop, *reps, *exp); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sf float64, seed uint64, dop, reps int, exp string) error {
+	mk := func(h7 bool) (*bench.Harness, error) {
+		return bench.NewHarness(bench.Config{
+			ScaleFactor: sf, Seed: seed, DOP: dop, Reps: reps, Heuristic7: h7,
+		})
+	}
+	w := os.Stdout
+
+	runTable2 := func() error {
+		h, err := mk(false)
+		if err != nil {
+			return err
+		}
+		t, err := h.RunTable2(nil)
+		if err != nil {
+			return err
+		}
+		t.Print(w, fmt.Sprintf("Table 2 / Figure 5 — normalized TPC-H latencies (SF %g, DOP %d)", sf, dop))
+		return nil
+	}
+	runTable3 := func() error {
+		h, err := mk(true)
+		if err != nil {
+			return err
+		}
+		t, err := h.RunTable2(nil)
+		if err != nil {
+			return err
+		}
+		t.Print(w, fmt.Sprintf("Table 3 — Heuristic 7 enabled (SF %g, DOP %d)", sf, dop))
+		return nil
+	}
+	runFig := func(q int, label string) error {
+		h, err := mk(false)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\n", label)
+		return h.FigureReport(w, q)
+	}
+	runNaive := func() error {
+		h, err := mk(false)
+		if err != nil {
+			return err
+		}
+		rows, err := h.RunNaiveBlowup(3, 6, 2_000_000)
+		if err != nil {
+			return err
+		}
+		bench.PrintNaive(w, rows)
+		return nil
+	}
+	runMAE := func() error {
+		h, err := mk(false)
+		if err != nil {
+			return err
+		}
+		t, err := h.RunTable2(nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "cardinality estimation MAE (intermediate plan nodes)\n")
+		fmt.Fprintf(w, "%-4s %14s %14s\n", "Q#", "BF-Post", "BF-CBO")
+		for _, r := range t.Rows {
+			fmt.Fprintf(w, "%-4d %14.1f %14.1f\n", r.Query, r.MAEPost, r.MAECBO)
+		}
+		fmt.Fprintf(w, "mean: BF-Post %.4g  BF-CBO %.4g  improvement %.1f%%\n",
+			t.MeanMAEPost, t.MeanMAECBO, t.MAEImprovementPct)
+		return nil
+	}
+	runAblation := func() error {
+		h, err := mk(false)
+		if err != nil {
+			return err
+		}
+		rows, err := h.RunAblation(nil)
+		if err != nil {
+			return err
+		}
+		bench.PrintAblation(w, rows)
+		return nil
+	}
+
+	switch exp {
+	case "table2":
+		return runTable2()
+	case "table3":
+		return runTable3()
+	case "fig1":
+		return runFig(12, "Figure 1 — TPC-H Q12 join order with/without BF-CBO")
+	case "fig6":
+		return runFig(7, "Figure 6 — TPC-H Q7 join order and predicate transfer")
+	case "fig4":
+		return runFig(12, "Figure 4 — running-example shape (Q12 as the 2-join instance)")
+	case "naive":
+		return runNaive()
+	case "mae":
+		return runMAE()
+	case "ablation":
+		return runAblation()
+	case "all":
+		for _, f := range []func() error{runTable2, runTable3,
+			func() error { return runFig(12, "Figure 1 — Q12") },
+			func() error { return runFig(7, "Figure 6 — Q7") },
+			runNaive, runMAE, runAblation} {
+			if err := f(); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}

@@ -1,0 +1,57 @@
+// sql demonstrates the SQL front end: ad-hoc select-project-join statements
+// are parsed, bound against the TPC-H catalog, optimized with Bloom-filter-
+// aware costing, and executed — the engine as a downstream user would
+// embed it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bfcbo"
+)
+
+func main() {
+	eng, err := bfcbo.Open(bfcbo.Config{ScaleFactor: 0.01, DOP: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []struct {
+		name string
+		sql  string
+	}{
+		{"german suppliers' stock", `
+			SELECT * FROM partsupp ps, supplier s, nation n
+			WHERE ps.ps_suppkey = s.s_suppkey
+			  AND s.s_nationkey = n.n_nationkey
+			  AND n.n_name = 'GERMANY'`},
+		{"brass parts from europe", `
+			SELECT * FROM part p, partsupp ps, supplier s, nation n, region r
+			WHERE p.p_partkey = ps.ps_partkey
+			  AND s.s_suppkey = ps.ps_suppkey
+			  AND s.s_nationkey = n.n_nationkey
+			  AND n.n_regionkey = r.r_regionkey
+			  AND r.r_name = 'EUROPE'
+			  AND p.p_size = 15
+			  AND p.p_type LIKE '%BRASS%'`},
+		{"urgent mail shipments", `
+			SELECT * FROM orders o, lineitem l
+			WHERE o.o_orderkey = l.l_orderkey
+			  AND o.o_orderpriority = '1-URGENT'
+			  AND l.l_shipmode = 'MAIL'
+			  AND l.l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1995-06-30'`},
+	}
+
+	for _, q := range queries {
+		fmt.Printf("== %s\n", q.name)
+		for _, mode := range []bfcbo.Mode{bfcbo.BFPost, bfcbo.BFCBO} {
+			out, err := eng.RunSQL(q.sql, mode)
+			if err != nil {
+				log.Fatalf("%s (%s): %v", q.name, mode, err)
+			}
+			fmt.Printf("  %-8s rows=%-8d blooms=%d  order=%s  plan=%s exec=%s\n",
+				mode, out.Rows, out.Blooms, out.JoinOrder, out.PlanningTime, out.ExecTime)
+		}
+	}
+}

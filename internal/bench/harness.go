@@ -1,0 +1,403 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation section on the in-memory TPC-H substrate
+// — normalized query latencies for No-BF / BF-Post / BF-CBO (Fig. 5,
+// Table 2), the Heuristic-7 variant (Table 3), the Q12 and Q7 plan analyses
+// (Figs. 1 and 6), the naive-approach planning-time blow-up (§3.1), and the
+// cardinality-estimation MAE comparison.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"bfcbo/internal/catalog"
+	"bfcbo/internal/datagen"
+	"bfcbo/internal/exec"
+	"bfcbo/internal/optimizer"
+	"bfcbo/internal/plan"
+	"bfcbo/internal/query"
+	"bfcbo/internal/tpch"
+)
+
+// Config parameterises a harness run.
+type Config struct {
+	ScaleFactor float64
+	Seed        uint64
+	// DOP for both the cost model and the executor.
+	DOP int
+	// Repetitions per query; the first is discarded as warm-up when > 1
+	// (the paper averages the last four of five runs).
+	Reps int
+	// Heuristic7 enables the sub-plan cap of Table 3.
+	Heuristic7 bool
+}
+
+// DefaultConfig is sized to finish in seconds on a laptop.
+func DefaultConfig() Config {
+	return Config{ScaleFactor: 0.02, Seed: 20_25, DOP: 8, Reps: 3}
+}
+
+// Harness owns a generated dataset and runs experiments against it.
+type Harness struct {
+	cfg Config
+	ds  *datagen.Dataset
+}
+
+// NewHarness generates the dataset.
+func NewHarness(cfg Config) (*Harness, error) {
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	ds, err := datagen.Generate(datagen.Config{ScaleFactor: cfg.ScaleFactor, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Harness{cfg: cfg, ds: ds}, nil
+}
+
+// Dataset exposes the generated data (for examples and tests).
+func (h *Harness) Dataset() *datagen.Dataset { return h.ds }
+
+func (h *Harness) options(mode optimizer.Mode) optimizer.Options {
+	opts := optimizer.DefaultOptions(h.cfg.ScaleFactor)
+	opts.Mode = mode
+	if h.cfg.Heuristic7 {
+		opts.Heuristics.H7MaxSubPlans = 4
+	}
+	return opts
+}
+
+// QueryRun is the measured outcome of one (query, mode) cell.
+type QueryRun struct {
+	Query        int
+	Mode         optimizer.Mode
+	Latency      time.Duration
+	PlannerTime  time.Duration
+	Blooms       int
+	OutputRows   int
+	JoinOrderSig string
+	// MAE is the mean absolute error of intermediate-node cardinality
+	// estimates versus observed rows.
+	MAE float64
+	// Plan retains the physical plan for figure-style reporting.
+	Plan *plan.Plan
+	// Actuals maps plan nodes to observed cardinalities.
+	Actuals *exec.Result
+}
+
+// RunQuery plans and executes one TPC-H query in one mode, averaging
+// latencies over the configured repetitions.
+func (h *Harness) RunQuery(num int, mode optimizer.Mode) (*QueryRun, error) {
+	q, ok := tpch.Get(num)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown TPC-H query %d", num)
+	}
+	opts := h.options(mode)
+	block := q.Build(h.ds.Schema)
+	res, err := optimizer.Optimize(block, opts)
+	if err != nil {
+		return nil, fmt.Errorf("bench: Q%d %s: %w", num, mode, err)
+	}
+
+	var r *exec.Result
+	var samples []time.Duration
+	for rep := 0; rep < h.cfg.Reps; rep++ {
+		runtime.GC() // keep allocator noise out of the measurement
+		start := time.Now()
+		r, err = exec.Run(h.ds.DB, block, res.Plan, exec.Options{DOP: h.cfg.DOP})
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("bench: Q%d %s exec: %w", num, mode, err)
+		}
+		if h.cfg.Reps > 1 && rep == 0 {
+			continue // warm-up
+		}
+		samples = append(samples, elapsed)
+	}
+	// The median is robust to scheduler hiccups at millisecond scales
+	// (the paper, at second scales, could afford plain averaging).
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	med := samples[len(samples)/2]
+	qr := &QueryRun{
+		Query: num, Mode: mode,
+		Latency:      med + res.PlanningTime,
+		PlannerTime:  res.PlanningTime,
+		Blooms:       res.Plan.CountBlooms(),
+		OutputRows:   r.Out.Len(),
+		JoinOrderSig: res.Plan.JoinOrderSignature(),
+		Plan:         res.Plan,
+		Actuals:      r,
+	}
+	qr.MAE = meanAbsError(res.Plan, r)
+	return qr, nil
+}
+
+// meanAbsError computes the MAE of estimated vs actual rows over all plan
+// nodes (the paper reports it for intermediate plan nodes; scans with Bloom
+// filters are where BF-Post's estimates go wrong, so they are included).
+func meanAbsError(p *plan.Plan, r *exec.Result) float64 {
+	var sum float64
+	var n int
+	var walk func(plan.Node)
+	walk = func(node plan.Node) {
+		actual := r.ActualFor(node)
+		if actual >= 0 {
+			diff := node.EstRows() - actual
+			if diff < 0 {
+				diff = -diff
+			}
+			sum += diff
+			n++
+		}
+		if j, ok := node.(*plan.Join); ok {
+			walk(j.Outer)
+			walk(j.Inner)
+		}
+	}
+	walk(p.Root)
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Row is one line of the Table 2 / Table 3 report.
+type Row struct {
+	Query          int
+	NormPost       float64 // BF-Post latency / No-BF latency
+	NormCBO        float64 // BF-CBO latency / No-BF latency
+	PctImprovement float64 // % reduction of BF-CBO vs BF-Post
+	PlannerPostMS  float64
+	PlannerCBOMS   float64
+	PlanChanged    bool // BF-CBO picked a different join order than BF-Post
+	BloomsPost     int
+	BloomsCBO      int
+	MAEPost        float64
+	MAECBO         float64
+}
+
+// Table2 reproduces the paper's Table 2 (and Fig. 5): normalized latencies
+// and planner times across the analyzed queries.
+type Table2 struct {
+	Rows []Row
+	// Totals mirror the paper's "total" line.
+	TotalNormPost, TotalNormCBO, TotalPct      float64
+	TotalPlannerPostMS, TotalPlannerCBOMS      float64
+	MeanMAEPost, MeanMAECBO, MAEImprovementPct float64
+}
+
+// RunTable2 runs the full three-mode comparison over the analyzed queries
+// (or a custom subset).
+func (h *Harness) RunTable2(queries []int) (*Table2, error) {
+	if len(queries) == 0 {
+		queries = tpch.Analyzed()
+	}
+	t := &Table2{}
+	var sumNoBF, sumPost, sumCBO time.Duration
+	var maePostSum, maeCBOSum float64
+	for _, num := range queries {
+		noBF, err := h.RunQuery(num, optimizer.NoBF)
+		if err != nil {
+			return nil, err
+		}
+		post, err := h.RunQuery(num, optimizer.BFPost)
+		if err != nil {
+			return nil, err
+		}
+		cbo, err := h.RunQuery(num, optimizer.BFCBO)
+		if err != nil {
+			return nil, err
+		}
+		if post.OutputRows != noBF.OutputRows || cbo.OutputRows != noBF.OutputRows {
+			return nil, fmt.Errorf("bench: Q%d result mismatch across modes: %d/%d/%d rows",
+				num, noBF.OutputRows, post.OutputRows, cbo.OutputRows)
+		}
+		base := noBF.Latency.Seconds()
+		if base <= 0 {
+			base = 1e-9
+		}
+		row := Row{
+			Query:         num,
+			NormPost:      post.Latency.Seconds() / base,
+			NormCBO:       cbo.Latency.Seconds() / base,
+			PlannerPostMS: post.PlannerTime.Seconds() * 1000,
+			PlannerCBOMS:  cbo.PlannerTime.Seconds() * 1000,
+			PlanChanged:   post.JoinOrderSig != cbo.JoinOrderSig,
+			BloomsPost:    post.Blooms,
+			BloomsCBO:     cbo.Blooms,
+			MAEPost:       post.MAE,
+			MAECBO:        cbo.MAE,
+		}
+		row.PctImprovement = 100 * (1 - row.NormCBO/row.NormPost)
+		t.Rows = append(t.Rows, row)
+		sumNoBF += noBF.Latency
+		sumPost += post.Latency
+		sumCBO += cbo.Latency
+		t.TotalPlannerPostMS += row.PlannerPostMS
+		t.TotalPlannerCBOMS += row.PlannerCBOMS
+		maePostSum += post.MAE
+		maeCBOSum += cbo.MAE
+	}
+	t.TotalNormPost = sumPost.Seconds() / sumNoBF.Seconds()
+	t.TotalNormCBO = sumCBO.Seconds() / sumNoBF.Seconds()
+	t.TotalPct = 100 * (1 - t.TotalNormCBO/t.TotalNormPost)
+	t.MeanMAEPost = maePostSum / float64(len(queries))
+	t.MeanMAECBO = maeCBOSum / float64(len(queries))
+	if t.MeanMAEPost > 0 {
+		t.MAEImprovementPct = 100 * (1 - t.MeanMAECBO/t.MeanMAEPost)
+	}
+	return t, nil
+}
+
+// Print renders the table in the paper's layout.
+func (t *Table2) Print(w io.Writer, title string) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-4s %9s %9s %7s %12s %12s %6s %6s %5s\n",
+		"Q#", "BF-Post", "BF-CBO", "%down", "plan-ms Post", "plan-ms CBO", "BF(P)", "BF(C)", "diff")
+	for _, r := range t.Rows {
+		mark := " "
+		if r.PlanChanged {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "%-4d %9.3f %9.3f %7.1f %12.2f %12.2f %6d %6d %5s\n",
+			r.Query, r.NormPost, r.NormCBO, r.PctImprovement,
+			r.PlannerPostMS, r.PlannerCBOMS, r.BloomsPost, r.BloomsCBO, mark)
+	}
+	fmt.Fprintf(w, "%-4s %9.3f %9.3f %7.1f %12.2f %12.2f\n",
+		"tot", t.TotalNormPost, t.TotalNormCBO, t.TotalPct,
+		t.TotalPlannerPostMS, t.TotalPlannerCBOMS)
+	fmt.Fprintf(w, "cardinality MAE: BF-Post %.3g, BF-CBO %.3g (%.1f%% improvement)\n",
+		t.MeanMAEPost, t.MeanMAECBO, t.MAEImprovementPct)
+	fmt.Fprintf(w, "(* = BF-CBO selected a different join order than BF-Post)\n")
+}
+
+// FigureReport renders the paper's figure-style plan analysis for one query
+// (Figs. 1 and 6): plans and observed per-node input row counts for BF-Post
+// versus BF-CBO.
+func (h *Harness) FigureReport(w io.Writer, num int) error {
+	for _, mode := range []optimizer.Mode{optimizer.BFPost, optimizer.BFCBO} {
+		qr, err := h.RunQuery(num, mode)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "=== Q%d  %s  latency=%s  planner=%s  blooms=%d\n",
+			num, mode, qr.Latency.Round(time.Microsecond), qr.PlannerTime.Round(time.Microsecond), qr.Blooms)
+		fmt.Fprint(w, qr.Plan.Explain())
+		fmt.Fprintln(w, "observed rows per node (est -> actual):")
+		h.printActuals(w, qr.Plan.Root, qr, 1)
+		for _, bs := range qr.Actuals.BloomStats {
+			fmt.Fprintf(w, "  BF#%d [%s] inserted=%d tested=%d passed=%d saturation=%.3f\n",
+				bs.ID, bs.Strategy, bs.Inserted, bs.Tested, bs.Passed, bs.Saturation)
+		}
+	}
+	return nil
+}
+
+func (h *Harness) printActuals(w io.Writer, n plan.Node, qr *QueryRun, depth int) {
+	for i := 0; i < depth; i++ {
+		fmt.Fprint(w, "  ")
+	}
+	switch t := n.(type) {
+	case *plan.Scan:
+		fmt.Fprintf(w, "scan %-10s %12.0f -> %12.0f\n", t.Alias, t.EstRows(), qr.Actuals.ActualFor(n))
+	case *plan.Join:
+		fmt.Fprintf(w, "%s %-11s %12.0f -> %12.0f\n", t.Method, "("+t.Streaming.String()+")", t.EstRows(), qr.Actuals.ActualFor(n))
+		h.printActuals(w, t.Outer, qr, depth+1)
+		h.printActuals(w, t.Inner, qr, depth+1)
+	}
+}
+
+// NaiveRow is one line of the §3.1 blow-up experiment.
+type NaiveRow struct {
+	Tables        int
+	NaiveMS       float64
+	TwoPhaseMS    float64
+	NaivePlans    int
+	TwoPhasePlans int
+	NaiveDNF      bool
+}
+
+// RunNaiveBlowup measures planner latency of the naive single-pass approach
+// versus the two-phase BF-CBO on synthetic chain joins of growing size,
+// reproducing the 28 ms / 375 ms / 56 s / DNF progression of §3.1 in shape.
+func (h *Harness) RunNaiveBlowup(minTables, maxTables int, capPlans int) ([]NaiveRow, error) {
+	var out []NaiveRow
+	for n := minTables; n <= maxTables; n++ {
+		row := NaiveRow{Tables: n}
+
+		opts := h.options(optimizer.BFCBO)
+		opts.Heuristics.H2MinApplyRows = 1
+		opts.Heuristics.H6MaxKeepFraction = 0.95
+		opts.Heuristics.H5MaxBuildNDV = 1e12
+		res, err := optimizer.Optimize(naiveChain(n), opts)
+		if err != nil {
+			return nil, err
+		}
+		row.TwoPhaseMS = res.PlanningTime.Seconds() * 1000
+		row.TwoPhasePlans = res.PlansKept
+
+		nOpts := h.options(optimizer.Naive)
+		nOpts.MaxPlansPerSet = capPlans
+		nres, err := optimizer.Optimize(naiveChain(n), nOpts)
+		switch {
+		case err == optimizer.ErrSearchSpaceExceeded:
+			row.NaiveDNF = true
+		case err != nil:
+			return nil, err
+		default:
+			row.NaiveMS = nres.PlanningTime.Seconds() * 1000
+			row.NaivePlans = nres.PlansKept
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// naiveChain builds an n-table chain query with a selective filter at the
+// far end so Bloom filters look attractive everywhere.
+func naiveChain(n int) *query.Block {
+	b := &query.Block{Name: fmt.Sprintf("naive-chain-%d", n)}
+	rows := 5e6
+	for i := 0; i < n; i++ {
+		t := chainTable(fmt.Sprintf("nc%d", i), rows)
+		var pred query.Predicate
+		if i == n-1 {
+			pred = query.CmpInt{Col: "v", Op: query.LT, Val: 5}
+		}
+		b.Relations = append(b.Relations, query.Relation{Alias: t.Name, Table: t, Pred: pred})
+		if i > 0 {
+			b.Clauses = append(b.Clauses, query.JoinClause{
+				Type: query.Inner, LeftRel: i - 1, LeftCol: "fk", RightRel: i, RightCol: "fk"})
+		}
+		rows /= 3
+	}
+	return b
+}
+
+// chainTable builds a synthetic catalog table for the blow-up experiment.
+func chainTable(name string, rows float64) *catalog.Table {
+	t := catalog.NewTable(name, rows, []catalog.Column{
+		{Name: "pk", Type: catalog.Int64, Stats: catalog.ColumnStats{NDV: rows, Min: 0, Max: rows}},
+		{Name: "fk", Type: catalog.Int64, Stats: catalog.ColumnStats{NDV: rows / 4, Min: 0, Max: rows / 4}},
+		{Name: "v", Type: catalog.Int64, Stats: catalog.ColumnStats{NDV: 1000, Min: 0, Max: 1000}},
+	})
+	t.PrimaryKey = "pk"
+	return t
+}
+
+// PrintNaive renders the blow-up table.
+func PrintNaive(w io.Writer, rows []NaiveRow) {
+	fmt.Fprintf(w, "naive vs two-phase planning time (chain joins)\n")
+	fmt.Fprintf(w, "%-7s %12s %12s %12s %12s\n", "tables", "naive-ms", "2phase-ms", "naive-plans", "2phase-plans")
+	for _, r := range rows {
+		naive := fmt.Sprintf("%.2f", r.NaiveMS)
+		plans := fmt.Sprintf("%d", r.NaivePlans)
+		if r.NaiveDNF {
+			naive, plans = "DNF", "-"
+		}
+		fmt.Fprintf(w, "%-7d %12s %12.2f %12s %12d\n", r.Tables, naive, r.TwoPhaseMS, plans, r.TwoPhasePlans)
+	}
+}

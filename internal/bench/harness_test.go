@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bfcbo/internal/optimizer"
+)
+
+func tinyHarness(t *testing.T) *Harness {
+	t.Helper()
+	h, err := NewHarness(Config{ScaleFactor: 0.004, Seed: 5, DOP: 4, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestRunQueryAllModes(t *testing.T) {
+	h := tinyHarness(t)
+	for _, mode := range []optimizer.Mode{optimizer.NoBF, optimizer.BFPost, optimizer.BFCBO} {
+		qr, err := h.RunQuery(12, mode)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if qr.Latency <= 0 || qr.PlannerTime <= 0 {
+			t.Fatalf("%s: degenerate timings %+v", mode, qr)
+		}
+	}
+	if _, err := h.RunQuery(99, optimizer.NoBF); err == nil {
+		t.Fatal("unknown query should error")
+	}
+}
+
+func TestTable2SubsetRuns(t *testing.T) {
+	h := tinyHarness(t)
+	tbl, err := h.RunTable2([]int{3, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		if r.NormPost <= 0 || r.NormCBO <= 0 {
+			t.Fatalf("degenerate normalized latencies: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	tbl.Print(&buf, "test table")
+	out := buf.String()
+	for _, want := range []string{"Q#", "tot", "MAE"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Print output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The headline reproduction property at harness level: on Q12 BF-CBO must
+// estimate better than BF-Post (lower MAE) and must apply at least one
+// Bloom filter where BF-Post applies none.
+func TestQ12HeadlineProperties(t *testing.T) {
+	h := tinyHarness(t)
+	post, err := h.RunQuery(12, optimizer.BFPost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cbo, err := h.RunQuery(12, optimizer.BFCBO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.Blooms != 0 {
+		t.Fatalf("BF-Post should have no Bloom filters on Q12, has %d", post.Blooms)
+	}
+	if cbo.Blooms == 0 {
+		t.Fatal("BF-CBO should have Bloom filters on Q12")
+	}
+}
+
+// The paper's MAE claim is aggregate: across queries where BF-Post does
+// place Bloom filters, its scan estimates ignore the filtering while
+// BF-CBO's account for it, so BF-CBO's mean MAE must come out lower.
+func TestAggregateMAEImproves(t *testing.T) {
+	h := tinyHarness(t)
+	tbl, err := h.RunTable2([]int{3, 5, 7, 10, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.MeanMAECBO >= tbl.MeanMAEPost {
+		t.Fatalf("BF-CBO mean MAE %v should be below BF-Post's %v",
+			tbl.MeanMAECBO, tbl.MeanMAEPost)
+	}
+	if tbl.MAEImprovementPct <= 0 {
+		t.Fatalf("MAE improvement = %v%%", tbl.MAEImprovementPct)
+	}
+}
+
+func TestFigureReport(t *testing.T) {
+	h := tinyHarness(t)
+	var buf bytes.Buffer
+	if err := h.FigureReport(&buf, 12); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"BF-Post", "BF-CBO", "observed rows"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNaiveBlowupShape(t *testing.T) {
+	h := tinyHarness(t)
+	rows, err := h.RunNaiveBlowup(3, 5, 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The naive search space must grow strictly with table count and
+	// dominate two-phase at 5 tables.
+	if !rows[2].NaiveDNF {
+		if rows[2].NaivePlans <= rows[1].NaivePlans || rows[1].NaivePlans <= rows[0].NaivePlans {
+			t.Fatalf("naive plan counts not growing: %+v", rows)
+		}
+		if rows[2].NaivePlans <= rows[2].TwoPhasePlans {
+			t.Fatalf("naive (%d) should keep more plans than two-phase (%d) at 5 tables",
+				rows[2].NaivePlans, rows[2].TwoPhasePlans)
+		}
+	}
+	var buf bytes.Buffer
+	PrintNaive(&buf, rows)
+	if !strings.Contains(buf.String(), "naive") {
+		t.Fatal("PrintNaive output malformed")
+	}
+}
+
+func TestAblationRuns(t *testing.T) {
+	h := tinyHarness(t)
+	rows, err := h.RunAblation([]int{12, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("ablation variants = %d, want 10", len(rows))
+	}
+	var buf bytes.Buffer
+	PrintAblation(&buf, rows)
+	if !strings.Contains(buf.String(), "baseline") {
+		t.Fatal("ablation output malformed")
+	}
+}

@@ -1,0 +1,181 @@
+// Package bloom implements the Bloom filter runtime used by the BF-CBO
+// executor: a flat bit-vector filter with exactly two hash functions (the
+// paper fixes the hash count at two for performance, §3.5), plus a
+// partitioned variant used by the partition-join streaming strategies of
+// §3.9 and a bit-vector union used to merge per-thread filters.
+package bloom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// NumHashFunctions is fixed at two, matching §3.5 of the paper: "The number
+// of hash functions is fixed at two for performance reasons."
+const NumHashFunctions = 2
+
+// Filter is a Bloom filter over int64 join keys with two hash functions.
+// The zero value is not usable; construct with New or NewForNDV.
+type Filter struct {
+	bitsArr  []uint64
+	mask     uint64 // len(bitsArr)*64 - 1; bit count is a power of two
+	inserted uint64
+}
+
+// New creates a filter with at least nbits bits. nbits is rounded up to a
+// power of two (minimum 64) so that hash reduction is a mask, not a modulo.
+func New(nbits uint64) *Filter {
+	if nbits < 64 {
+		nbits = 64
+	}
+	nbits = nextPow2(nbits)
+	return &Filter{
+		bitsArr: make([]uint64, nbits/64),
+		mask:    nbits - 1,
+	}
+}
+
+// NewForNDV sizes a filter for an expected number of distinct values using
+// the paper's convention: the bit count is derived from an upper-bound NDV
+// estimate. With k=2 hash functions the FPR-optimal bits/key is
+// 2/ln(2) ≈ 2.885 per hash, i.e. m = k·n/ln2; we use m = 8·n rounded to a
+// power of two, which keeps FPR ≈ (1-e^(-2n/m))² ≈ 0.049 and matches the
+// "fits in L2" sizing discussed around Heuristic 5.
+func NewForNDV(ndv uint64) *Filter {
+	if ndv == 0 {
+		ndv = 1
+	}
+	return New(8 * ndv)
+}
+
+// NBits reports the size of the bit vector in bits.
+func (f *Filter) NBits() uint64 { return f.mask + 1 }
+
+// SizeBytes reports the memory footprint of the bit vector.
+func (f *Filter) SizeBytes() uint64 { return (f.mask + 1) / 8 }
+
+// Inserted reports how many Add calls have been made (not distinct keys).
+func (f *Filter) Inserted() uint64 { return f.inserted }
+
+// hash1 and hash2 are two independent 64-bit mixers (splitmix64 finalizer
+// variants with distinct constants). Keys are int64 join-column values.
+func hash1(key int64) uint64 {
+	x := uint64(key) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hash2(key int64) uint64 {
+	x := uint64(key) + 0xc2b2ae3d27d4eb4f
+	x = (x ^ (x >> 33)) * 0xff51afd7ed558ccd
+	x = (x ^ (x >> 33)) * 0xc4ceb9fe1a85ec53
+	return x ^ (x >> 33)
+}
+
+// Add inserts a key into the filter.
+func (f *Filter) Add(key int64) {
+	h1 := hash1(key) & f.mask
+	h2 := hash2(key) & f.mask
+	f.bitsArr[h1>>6] |= 1 << (h1 & 63)
+	f.bitsArr[h2>>6] |= 1 << (h2 & 63)
+	f.inserted++
+}
+
+// MayContain reports whether the key may have been inserted. False means
+// definitely absent; true may be a false positive.
+func (f *Filter) MayContain(key int64) bool {
+	h1 := hash1(key) & f.mask
+	if f.bitsArr[h1>>6]&(1<<(h1&63)) == 0 {
+		return false
+	}
+	h2 := hash2(key) & f.mask
+	return f.bitsArr[h2>>6]&(1<<(h2&63)) != 0
+}
+
+// FilterBatch appends to dst the indices i in keys for which keys[i] may be
+// present, returning the extended slice. It is the executor's batch probe.
+func (f *Filter) FilterBatch(keys []int64, dst []int) []int {
+	for i, k := range keys {
+		if f.MayContain(k) {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// Union ORs other into f. Both filters must have identical bit counts; this
+// is the merge operation used when per-thread filters must be combined
+// before applying to a single-threaded probe side (§3.9, strategy 2).
+func (f *Filter) Union(other *Filter) error {
+	if other == nil {
+		return errors.New("bloom: union with nil filter")
+	}
+	if f.mask != other.mask {
+		return fmt.Errorf("bloom: union size mismatch: %d vs %d bits", f.NBits(), other.NBits())
+	}
+	for i, w := range other.bitsArr {
+		f.bitsArr[i] |= w
+	}
+	f.inserted += other.inserted
+	return nil
+}
+
+// Saturation reports the fraction of set bits in [0,1]. The paper's future
+// work (§5) proposes monitoring saturation to detect useless filters; the
+// executor exposes it for that purpose.
+func (f *Filter) Saturation() float64 {
+	set := 0
+	for _, w := range f.bitsArr {
+		set += bits.OnesCount64(w)
+	}
+	return float64(set) / float64(f.NBits())
+}
+
+// EstimatedFPR returns the classic false-positive-rate estimate
+// (1 - e^{-k·n/m})^k for k=2 given the number of inserted keys.
+func (f *Filter) EstimatedFPR() float64 {
+	return FPR(f.inserted, f.NBits())
+}
+
+// FPR computes the theoretical false positive rate of a 2-hash Bloom filter
+// holding n keys in m bits. It is shared with the optimizer's cost model so
+// planning-time and runtime FPR agree.
+func FPR(n, m uint64) float64 {
+	if m == 0 {
+		return 1
+	}
+	p := 1 - math.Exp(-float64(NumHashFunctions)*float64(n)/float64(m))
+	return p * p
+}
+
+// BitsForNDV returns the bit count New/NewForNDV would allocate for an NDV
+// upper bound, exposed so the planner can cost Heuristic 5 (size threshold)
+// with the exact runtime sizing.
+func BitsForNDV(ndv uint64) uint64 {
+	if ndv == 0 {
+		ndv = 1
+	}
+	n := 8 * ndv
+	if n < 64 {
+		n = 64
+	}
+	return nextPow2(n)
+}
+
+// CombineKeys folds a two-column composite join key into one 64-bit key
+// for multi-column Bloom filters (§5 future work: "support for
+// multi-column Bloom filters could be added"). Build and apply sides must
+// use the same combination, which this shared helper guarantees.
+func CombineKeys(a, b int64) int64 {
+	return int64(hash1(a) ^ hash2(b))
+}
+
+func nextPow2(v uint64) uint64 {
+	if v&(v-1) == 0 {
+		return v
+	}
+	return 1 << bits.Len64(v)
+}

@@ -1,0 +1,299 @@
+package bloom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := NewForNDV(10_000)
+	for i := int64(0); i < 10_000; i++ {
+		f.Add(i * 7)
+	}
+	for i := int64(0); i < 10_000; i++ {
+		if !f.MayContain(i * 7) {
+			t.Fatalf("false negative for key %d", i*7)
+		}
+	}
+}
+
+func TestFalsePositiveRateNearTheory(t *testing.T) {
+	const n = 50_000
+	f := NewForNDV(n)
+	rng := rand.New(rand.NewSource(1))
+	inserted := make(map[int64]bool, n)
+	for len(inserted) < n {
+		k := rng.Int63()
+		inserted[k] = true
+		f.Add(k)
+	}
+	theory := f.EstimatedFPR()
+	probes, fps := 0, 0
+	for probes < 200_000 {
+		k := rng.Int63()
+		if inserted[k] {
+			continue
+		}
+		probes++
+		if f.MayContain(k) {
+			fps++
+		}
+	}
+	observed := float64(fps) / float64(probes)
+	if observed > 3*theory+0.01 {
+		t.Fatalf("observed FPR %.4f far above theoretical %.4f", observed, theory)
+	}
+}
+
+func TestFPRFormula(t *testing.T) {
+	// m = 8n with k = 2 gives (1 - e^{-1/4})^2 ≈ 0.0489.
+	got := FPR(1000, 8000)
+	want := math.Pow(1-math.Exp(-0.25), 2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("FPR(1000,8000) = %v, want %v", got, want)
+	}
+	if FPR(0, 8000) != 0 {
+		t.Fatalf("FPR with zero keys should be 0, got %v", FPR(0, 8000))
+	}
+	if FPR(10, 0) != 1 {
+		t.Fatalf("FPR with zero bits should be 1, got %v", FPR(10, 0))
+	}
+}
+
+func TestNewRoundsToPowerOfTwo(t *testing.T) {
+	cases := []struct{ in, want uint64 }{
+		{0, 64}, {1, 64}, {64, 64}, {65, 128}, {100, 128}, {1 << 20, 1 << 20}, {(1 << 20) + 1, 1 << 21},
+	}
+	for _, c := range cases {
+		if got := New(c.in).NBits(); got != c.want {
+			t.Errorf("New(%d).NBits() = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBitsForNDVMatchesNewForNDV(t *testing.T) {
+	for _, ndv := range []uint64{0, 1, 5, 1000, 123_456} {
+		if BitsForNDV(ndv) != NewForNDV(ndv).NBits() {
+			t.Errorf("BitsForNDV(%d) = %d disagrees with NewForNDV bits %d",
+				ndv, BitsForNDV(ndv), NewForNDV(ndv).NBits())
+		}
+	}
+}
+
+func TestUnionPreservesMembers(t *testing.T) {
+	a := New(1 << 14)
+	b := New(1 << 14)
+	for i := int64(0); i < 500; i++ {
+		a.Add(i)
+		b.Add(i + 10_000)
+	}
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 500; i++ {
+		if !a.MayContain(i) || !a.MayContain(i+10_000) {
+			t.Fatalf("union lost key %d", i)
+		}
+	}
+	if a.Inserted() != 1000 {
+		t.Fatalf("union inserted count = %d, want 1000", a.Inserted())
+	}
+}
+
+func TestUnionErrors(t *testing.T) {
+	a := New(128)
+	if err := a.Union(nil); err == nil {
+		t.Fatal("expected error for nil union")
+	}
+	if err := a.Union(New(256)); err == nil {
+		t.Fatal("expected error for size mismatch")
+	}
+}
+
+func TestFilterBatch(t *testing.T) {
+	f := NewForNDV(100)
+	for i := int64(0); i < 100; i += 2 {
+		f.Add(i)
+	}
+	keys := []int64{0, 1, 2, 3, 4, 98, 99}
+	got := f.FilterBatch(keys, nil)
+	// Every even key must be kept; odd keys may leak through as false
+	// positives but the even positions must all be present.
+	want := map[int]bool{0: true, 2: true, 4: true, 5: true}
+	for idx := range want {
+		found := false
+		for _, g := range got {
+			if g == idx {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("FilterBatch dropped inserted key at index %d: got %v", idx, got)
+		}
+	}
+}
+
+func TestSaturationMonotone(t *testing.T) {
+	f := New(1 << 12)
+	prev := f.Saturation()
+	if prev != 0 {
+		t.Fatalf("empty filter saturation = %v, want 0", prev)
+	}
+	for i := int64(0); i < 2000; i += 100 {
+		for j := int64(0); j < 100; j++ {
+			f.Add(i + j)
+		}
+		s := f.Saturation()
+		if s < prev {
+			t.Fatalf("saturation decreased: %v -> %v", prev, s)
+		}
+		prev = s
+	}
+	if prev <= 0 || prev > 1 {
+		t.Fatalf("saturation out of range: %v", prev)
+	}
+}
+
+// Property: membership is always true for inserted keys, for arbitrary keys
+// and filter sizes.
+func TestQuickNoFalseNegatives(t *testing.T) {
+	prop := func(keys []int64, sizeSeed uint16) bool {
+		f := New(uint64(sizeSeed))
+		for _, k := range keys {
+			f.Add(k)
+		}
+		for _, k := range keys {
+			if !f.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Union(a, b) contains everything a and b contained.
+func TestQuickUnionSuperset(t *testing.T) {
+	prop := func(ka, kb []int64) bool {
+		a, b := New(1<<12), New(1<<12)
+		for _, k := range ka {
+			a.Add(k)
+		}
+		for _, k := range kb {
+			b.Add(k)
+		}
+		if err := a.Union(b); err != nil {
+			return false
+		}
+		for _, k := range ka {
+			if !a.MayContain(k) {
+				return false
+			}
+		}
+		for _, k := range kb {
+			if !a.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionedRouting(t *testing.T) {
+	p, err := NewPartitioned(8, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 5000; i++ {
+		p.Add(i)
+	}
+	for i := int64(0); i < 5000; i++ {
+		if !p.MayContain(i) {
+			t.Fatalf("partitioned false negative for %d", i)
+		}
+	}
+	if p.Inserted() != 5000 {
+		t.Fatalf("inserted = %d, want 5000", p.Inserted())
+	}
+}
+
+func TestPartitionedAlignedProbe(t *testing.T) {
+	p, err := NewPartitioned(4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 2000; i++ {
+		p.Add(i)
+	}
+	for i := int64(0); i < 2000; i++ {
+		part := p.PartitionOf(i)
+		if !p.MayContainAligned(part, i) {
+			t.Fatalf("aligned probe false negative for %d in partition %d", i, part)
+		}
+	}
+}
+
+func TestPartitionedMerge(t *testing.T) {
+	p, err := NewPartitioned(6, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 3000; i++ {
+		p.Add(i * 3)
+	}
+	m, err := p.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 3000; i++ {
+		if !m.MayContain(i * 3) {
+			t.Fatalf("merged filter lost key %d", i*3)
+		}
+	}
+}
+
+func TestPartitionedInvalidCount(t *testing.T) {
+	if _, err := NewPartitioned(0, 10); err == nil {
+		t.Fatal("expected error for zero partitions")
+	}
+	if _, err := NewPartitioned(-3, 10); err == nil {
+		t.Fatal("expected error for negative partitions")
+	}
+}
+
+func TestPartitionedSaturationBounded(t *testing.T) {
+	p, _ := NewPartitioned(4, 100)
+	for i := int64(0); i < 400; i++ {
+		p.Add(i)
+	}
+	s := p.Saturation()
+	if s <= 0 || s >= 1 {
+		t.Fatalf("saturation %v out of expected (0,1)", s)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := NewForNDV(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Add(int64(i))
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	f := NewForNDV(1 << 20)
+	for i := int64(0); i < 1<<20; i++ {
+		f.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MayContain(int64(i))
+	}
+}

@@ -1,0 +1,92 @@
+package bloom
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Partitioned is a set of n partial Bloom filters, one per hash-join
+// partition, as built by the partition-join streaming strategies of §3.9.
+// Keys are routed to a partition by the same partitioning function the
+// exchange operator uses (hash of the partition column modulo n), so the
+// apply side can either look up the right partition (aligned / distributed
+// lookup) or merge all partitions into one filter (fallback).
+type Partitioned struct {
+	parts []*Filter
+}
+
+// NewPartitioned creates n partial filters, each sized for ndvPerPart
+// expected distinct values.
+func NewPartitioned(n int, ndvPerPart uint64) (*Partitioned, error) {
+	if n <= 0 {
+		return nil, errors.New("bloom: partition count must be positive")
+	}
+	p := &Partitioned{parts: make([]*Filter, n)}
+	for i := range p.parts {
+		p.parts[i] = NewForNDV(ndvPerPart)
+	}
+	return p, nil
+}
+
+// Parts reports the number of partitions.
+func (p *Partitioned) Parts() int { return len(p.parts) }
+
+// Part returns the i-th partial filter; the executor builds into it from the
+// thread that owns partition i.
+func (p *Partitioned) Part(i int) *Filter { return p.parts[i] }
+
+// PartitionOf returns the partition index for a key, using the same
+// hash as the exchange redistribution so build and apply agree.
+func (p *Partitioned) PartitionOf(key int64) int {
+	return int(hash1(key) % uint64(len(p.parts)))
+}
+
+// Add routes the key to its partition's filter.
+func (p *Partitioned) Add(key int64) {
+	p.parts[p.PartitionOf(key)].Add(key)
+}
+
+// MayContain probes with distributed lookup: the partition is derived from
+// the key itself (§3.9 strategy 3, "partition-unaligned" with the
+// partitioning column available on the apply side).
+func (p *Partitioned) MayContain(key int64) bool {
+	return p.parts[p.PartitionOf(key)].MayContain(key)
+}
+
+// MayContainAligned probes partition part directly (§3.9 strategy 4,
+// "partition-aligned": the apply-side relation is partitioned the same way
+// as the hash-join build side).
+func (p *Partitioned) MayContainAligned(part int, key int64) bool {
+	return p.parts[part].MayContain(key)
+}
+
+// Merge unions all partitions into a single filter (§3.9: "When unavailable,
+// we can use the bit vector merging strategy"). All partitions must share a
+// bit count; they do when built by NewPartitioned.
+func (p *Partitioned) Merge() (*Filter, error) {
+	merged := New(p.parts[0].NBits())
+	for i, f := range p.parts {
+		if err := merged.Union(f); err != nil {
+			return nil, fmt.Errorf("bloom: merging partition %d: %w", i, err)
+		}
+	}
+	return merged, nil
+}
+
+// Inserted reports total Add calls across partitions.
+func (p *Partitioned) Inserted() uint64 {
+	var n uint64
+	for _, f := range p.parts {
+		n += f.Inserted()
+	}
+	return n
+}
+
+// Saturation reports the mean saturation across partitions.
+func (p *Partitioned) Saturation() float64 {
+	var s float64
+	for _, f := range p.parts {
+		s += f.Saturation()
+	}
+	return s / float64(len(p.parts))
+}

@@ -1,0 +1,202 @@
+// Package catalog holds the schema metadata and optimizer statistics for the
+// BF-CBO reproduction: table and column definitions, row counts, per-column
+// NDV / min / max, and primary-key / foreign-key constraints. It plays the
+// role of GaussDB's catalog plus ANALYZE output: the optimizer consumes only
+// this package, never raw data, so planning is decoupled from storage.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ColType enumerates the column value kinds supported by the engine.
+type ColType int
+
+const (
+	// Int64 covers integer keys, dictionary-encoded strings and dates
+	// (stored as epoch days). All join columns are Int64.
+	Int64 ColType = iota
+	// Float64 covers prices, discounts and other numerics.
+	Float64
+	// String covers free text; never used as a join key.
+	String
+)
+
+func (t ColType) String() string {
+	switch t {
+	case Int64:
+		return "int64"
+	case Float64:
+		return "float64"
+	case String:
+		return "string"
+	default:
+		return fmt.Sprintf("ColType(%d)", int(t))
+	}
+}
+
+// ColumnStats are the ANALYZE-style statistics the estimator consumes.
+type ColumnStats struct {
+	// NDV is the estimated number of distinct values.
+	NDV float64
+	// Min and Max bound Int64/Float64 columns (as float64 for uniformity).
+	Min, Max float64
+	// NullFrac is the fraction of NULL entries in [0,1].
+	NullFrac float64
+}
+
+// Column describes one column of a table.
+type Column struct {
+	Name  string
+	Type  ColType
+	Stats ColumnStats
+}
+
+// ForeignKey records that column Col of the owning table references the
+// primary key column RefCol of table RefTable. The optimizer uses these to
+// implement Heuristic 3 (no Bloom filter on an FK joining a lossless PK).
+type ForeignKey struct {
+	Col      string
+	RefTable string
+	RefCol   string
+}
+
+// Table is the catalog entry for one base relation.
+type Table struct {
+	Name     string
+	Columns  []Column
+	RowCount float64
+	// PrimaryKey names the single-column primary key, or "" if none.
+	PrimaryKey  string
+	ForeignKeys []ForeignKey
+
+	colIndex map[string]int
+}
+
+// NewTable builds a table entry and indexes its columns.
+func NewTable(name string, rowCount float64, cols []Column) *Table {
+	t := &Table{Name: name, Columns: cols, RowCount: rowCount}
+	t.reindex()
+	return t
+}
+
+func (t *Table) reindex() {
+	t.colIndex = make(map[string]int, len(t.Columns))
+	for i, c := range t.Columns {
+		t.colIndex[c.Name] = i
+	}
+}
+
+// Column returns the named column, or an error naming the table for context.
+func (t *Table) Column(name string) (*Column, error) {
+	i, ok := t.colIndex[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %q has no column %q", t.Name, name)
+	}
+	return &t.Columns[i], nil
+}
+
+// ColumnIndex returns the positional index of a column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.colIndex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// HasColumn reports whether the table defines the named column.
+func (t *Table) HasColumn(name string) bool { return t.ColumnIndex(name) >= 0 }
+
+// ForeignKeyOn returns the FK constraint on the named column, if any.
+func (t *Table) ForeignKeyOn(col string) (ForeignKey, bool) {
+	for _, fk := range t.ForeignKeys {
+		if fk.Col == col {
+			return fk, true
+		}
+	}
+	return ForeignKey{}, false
+}
+
+// IsPrimaryKey reports whether col is the table's primary key column.
+func (t *Table) IsPrimaryKey(col string) bool {
+	return t.PrimaryKey != "" && t.PrimaryKey == col
+}
+
+// Schema is a set of tables; the unit handed to the optimizer.
+type Schema struct {
+	tables map[string]*Table
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema { return &Schema{tables: make(map[string]*Table)} }
+
+// AddTable registers a table; replacing an existing name is an error so that
+// generator/test wiring mistakes surface early.
+func (s *Schema) AddTable(t *Table) error {
+	if t == nil {
+		return fmt.Errorf("catalog: AddTable(nil)")
+	}
+	if _, dup := s.tables[t.Name]; dup {
+		return fmt.Errorf("catalog: duplicate table %q", t.Name)
+	}
+	s.tables[t.Name] = t
+	return nil
+}
+
+// Table looks up a table by name.
+func (s *Schema) Table(name string) (*Table, error) {
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// MustTable is Table for wiring code where absence is a programming error.
+func (s *Schema) MustTable(name string) *Table {
+	t, err := s.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// TableNames returns the sorted table names (deterministic iteration).
+func (s *Schema) TableNames() []string {
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Validate checks referential integrity of the metadata itself: every FK
+// references an existing table/column and that column is its table's PK.
+func (s *Schema) Validate() error {
+	for _, name := range s.TableNames() {
+		t := s.tables[name]
+		if t.PrimaryKey != "" && !t.HasColumn(t.PrimaryKey) {
+			return fmt.Errorf("catalog: table %q primary key %q is not a column", t.Name, t.PrimaryKey)
+		}
+		for _, fk := range t.ForeignKeys {
+			if !t.HasColumn(fk.Col) {
+				return fmt.Errorf("catalog: table %q FK column %q missing", t.Name, fk.Col)
+			}
+			ref, err := s.Table(fk.RefTable)
+			if err != nil {
+				return fmt.Errorf("catalog: table %q FK: %w", t.Name, err)
+			}
+			if !ref.HasColumn(fk.RefCol) {
+				return fmt.Errorf("catalog: table %q FK references missing column %s.%s",
+					t.Name, fk.RefTable, fk.RefCol)
+			}
+			if !ref.IsPrimaryKey(fk.RefCol) {
+				return fmt.Errorf("catalog: table %q FK references non-PK column %s.%s",
+					t.Name, fk.RefTable, fk.RefCol)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleSchema(t *testing.T) *Schema {
+	t.Helper()
+	s := NewSchema()
+	nation := NewTable("nation", 25, []Column{
+		{Name: "n_nationkey", Type: Int64, Stats: ColumnStats{NDV: 25, Min: 0, Max: 24}},
+		{Name: "n_name", Type: String, Stats: ColumnStats{NDV: 25}},
+	})
+	nation.PrimaryKey = "n_nationkey"
+	supplier := NewTable("supplier", 1000, []Column{
+		{Name: "s_suppkey", Type: Int64, Stats: ColumnStats{NDV: 1000, Min: 1, Max: 1000}},
+		{Name: "s_nationkey", Type: Int64, Stats: ColumnStats{NDV: 25, Min: 0, Max: 24}},
+	})
+	supplier.PrimaryKey = "s_suppkey"
+	supplier.ForeignKeys = []ForeignKey{{Col: "s_nationkey", RefTable: "nation", RefCol: "n_nationkey"}}
+	for _, tb := range []*Table{nation, supplier} {
+		if err := s.AddTable(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	s := sampleSchema(t)
+	tb, err := s.Table("supplier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tb.Column("s_nationkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.NDV != 25 {
+		t.Fatalf("NDV = %v, want 25", c.Stats.NDV)
+	}
+	if got := tb.ColumnIndex("s_suppkey"); got != 0 {
+		t.Fatalf("ColumnIndex = %d, want 0", got)
+	}
+	if tb.ColumnIndex("nope") != -1 {
+		t.Fatal("missing column should index as -1")
+	}
+}
+
+func TestForeignKeyLookup(t *testing.T) {
+	s := sampleSchema(t)
+	tb := s.MustTable("supplier")
+	fk, ok := tb.ForeignKeyOn("s_nationkey")
+	if !ok || fk.RefTable != "nation" || fk.RefCol != "n_nationkey" {
+		t.Fatalf("ForeignKeyOn = %+v ok=%v", fk, ok)
+	}
+	if _, ok := tb.ForeignKeyOn("s_suppkey"); ok {
+		t.Fatal("unexpected FK on PK column")
+	}
+	if !s.MustTable("nation").IsPrimaryKey("n_nationkey") {
+		t.Fatal("n_nationkey should be PK")
+	}
+	if s.MustTable("nation").IsPrimaryKey("n_name") {
+		t.Fatal("n_name should not be PK")
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sampleSchema(t).Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateCatchesBrokenFK(t *testing.T) {
+	s := NewSchema()
+	bad := NewTable("t", 1, []Column{{Name: "a", Type: Int64}})
+	bad.ForeignKeys = []ForeignKey{{Col: "a", RefTable: "missing", RefCol: "x"}}
+	if err := s.AddTable(bad); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("Validate should flag missing ref table, got %v", err)
+	}
+}
+
+func TestValidateCatchesNonPKRef(t *testing.T) {
+	s := NewSchema()
+	a := NewTable("a", 1, []Column{{Name: "id", Type: Int64}, {Name: "other", Type: Int64}})
+	a.PrimaryKey = "id"
+	b := NewTable("b", 1, []Column{{Name: "aref", Type: Int64}})
+	b.ForeignKeys = []ForeignKey{{Col: "aref", RefTable: "a", RefCol: "other"}}
+	for _, tb := range []*Table{a, b} {
+		if err := s.AddTable(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Validate(); err == nil {
+		t.Fatal("Validate should reject FK referencing a non-PK column")
+	}
+}
+
+func TestValidateCatchesBadPK(t *testing.T) {
+	s := NewSchema()
+	tb := NewTable("t", 1, []Column{{Name: "a", Type: Int64}})
+	tb.PrimaryKey = "ghost"
+	if err := s.AddTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err == nil {
+		t.Fatal("Validate should reject PK naming a missing column")
+	}
+}
+
+func TestDuplicateTableRejected(t *testing.T) {
+	s := NewSchema()
+	if err := s.AddTable(NewTable("t", 1, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTable(NewTable("t", 1, nil)); err == nil {
+		t.Fatal("duplicate AddTable should fail")
+	}
+	if err := s.AddTable(nil); err == nil {
+		t.Fatal("AddTable(nil) should fail")
+	}
+}
+
+func TestTableNamesSorted(t *testing.T) {
+	s := sampleSchema(t)
+	names := s.TableNames()
+	if len(names) != 2 || names[0] != "nation" || names[1] != "supplier" {
+		t.Fatalf("TableNames = %v", names)
+	}
+}
+
+func TestUnknownLookups(t *testing.T) {
+	s := sampleSchema(t)
+	if _, err := s.Table("ghost"); err == nil {
+		t.Fatal("expected error for unknown table")
+	}
+	if _, err := s.MustTable("nation").Column("ghost"); err == nil {
+		t.Fatal("expected error for unknown column")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustTable should panic for unknown table")
+		}
+	}()
+	s.MustTable("ghost")
+}
+
+func TestColTypeString(t *testing.T) {
+	if Int64.String() != "int64" || Float64.String() != "float64" || String.String() != "string" {
+		t.Fatal("ColType String() labels wrong")
+	}
+	if ColType(99).String() != "ColType(99)" {
+		t.Fatal("unknown ColType label wrong")
+	}
+}

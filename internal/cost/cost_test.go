@@ -1,0 +1,140 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if !Default().Validate() {
+		t.Fatal("Default params must validate")
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	p := Default()
+	p.BloomApplyCost = p.HashProbeCost * 2
+	if p.Validate() {
+		t.Fatal("Bloom apply dearer than hash probe must be invalid")
+	}
+	p = Default()
+	p.DOP = 0
+	if p.Validate() {
+		t.Fatal("DOP 0 must be invalid")
+	}
+}
+
+func TestScanCostComposition(t *testing.T) {
+	p := Default()
+	base := p.Scan(1000, 0, 0)
+	withPred := p.Scan(1000, 2, 0)
+	withBloom := p.Scan(1000, 2, 1)
+	if base != 1000*p.CPUTupleCost {
+		t.Fatalf("base scan cost = %v", base)
+	}
+	if withPred-base != 1000*2*p.CPUOperatorCost {
+		t.Fatalf("pred increment = %v", withPred-base)
+	}
+	if withBloom-withPred != 1000*p.BloomApplyCost {
+		t.Fatalf("bloom increment = %v", withBloom-withPred)
+	}
+}
+
+func TestBloomApplyCheaperThanProbe(t *testing.T) {
+	p := Default()
+	// Filtering 1M rows down to 100K before a hash probe must beat
+	// probing all 1M rows, when the filter is effective.
+	noBF, _ := p.HashJoin(1_000_000, 1000)
+	bfScanExtra := p.Scan(1_000_000, 0, 1) - p.Scan(1_000_000, 0, 0)
+	withBF, _ := p.HashJoin(100_000, 1000)
+	if bfScanExtra+withBF >= noBF {
+		t.Fatalf("effective Bloom filter should pay off: %v + %v vs %v", bfScanExtra, withBF, noBF)
+	}
+}
+
+func TestHashJoinStreamingChoice(t *testing.T) {
+	p := Default()
+	p.DOP = 8
+	// Tiny build side, huge probe: broadcast should win.
+	_, s := p.HashJoin(10_000_000, 100)
+	if s != BroadcastInner {
+		t.Fatalf("tiny build side should broadcast, got %s", s)
+	}
+	// Large build side, similar probe: redistribute should win.
+	_, s = p.HashJoin(1_000_000, 1_000_000)
+	if s != Redistribute {
+		t.Fatalf("balanced large join should redistribute, got %s", s)
+	}
+	// DOP 1: no streaming.
+	p.DOP = 1
+	_, s = p.HashJoin(1000, 1000)
+	if s != None {
+		t.Fatalf("DOP 1 should not stream, got %s", s)
+	}
+}
+
+func TestJoinMethodOrdering(t *testing.T) {
+	p := Default()
+	// For large equal inputs, hash join should beat nested loop by far.
+	hj, _ := p.HashJoin(100_000, 100_000)
+	nl := p.NestLoop(100_000, 100_000)
+	if hj >= nl {
+		t.Fatalf("hash join (%v) should beat nested loop (%v)", hj, nl)
+	}
+	// For a one-row inner, nested loop should be competitive (cheaper than
+	// paying hash build + full probe).
+	hj, _ = p.HashJoin(1000, 1)
+	nl = p.NestLoop(1000, 1)
+	if nl >= hj*2 {
+		t.Fatalf("tiny-inner NL (%v) should be near hash join (%v)", nl, hj)
+	}
+}
+
+func TestMergeJoinGrowsSuperlinearly(t *testing.T) {
+	p := Default()
+	small := p.MergeJoin(1000, 1000)
+	big := p.MergeJoin(10_000, 10_000)
+	if big <= 10*small {
+		t.Fatalf("merge join should grow superlinearly: %v vs %v", small, big)
+	}
+	if p.MergeJoin(1, 1) <= 0 {
+		t.Fatal("degenerate merge join must still have positive cost")
+	}
+}
+
+func TestBloomBuildDefaultFree(t *testing.T) {
+	p := Default()
+	if p.BloomBuild(1e9, 5) != 0 {
+		t.Fatal("default Bloom build cost should be zero per the paper")
+	}
+	p.BloomBuildCost = 0.001
+	if p.BloomBuild(1000, 2) != 2.0 {
+		t.Fatalf("BloomBuild = %v", p.BloomBuild(1000, 2))
+	}
+}
+
+func TestStreamingString(t *testing.T) {
+	if None.String() != "none" || BroadcastInner.String() != "BC" || Redistribute.String() != "RD" {
+		t.Fatal("streaming labels wrong")
+	}
+}
+
+// Property: costs are non-negative and monotone in input size.
+func TestQuickCostMonotone(t *testing.T) {
+	p := Default()
+	prop := func(aSeed, bSeed uint32) bool {
+		a, b := float64(aSeed%1_000_000), float64(bSeed%1_000_000)
+		hj1, _ := p.HashJoin(a, b)
+		hj2, _ := p.HashJoin(a+1000, b)
+		if hj1 < 0 || hj2 < hj1 {
+			return false
+		}
+		if p.NestLoop(a, b) < 0 || p.MergeJoin(a, b) < 0 {
+			return false
+		}
+		return p.Scan(a, 1, 1) >= p.Scan(a, 0, 0)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,21 @@
+package datagen
+
+import "time"
+
+// Dates are stored in int64 columns as days since the Unix epoch, which
+// keeps range predicates simple integer comparisons in the executor.
+
+// Date converts a calendar date to its epoch-day encoding.
+func Date(year, month, day int) int64 {
+	t := time.Date(year, time.Month(month), day, 0, 0, 0, 0, time.UTC)
+	return t.Unix() / 86400
+}
+
+// TPC-H order dates span [STARTDATE, ENDDATE - 151 days] so that derived
+// line-item dates stay within the spec's end date of 1998-12-31.
+var (
+	// MinOrderDate is 1992-01-01.
+	MinOrderDate = Date(1992, 1, 1)
+	// MaxOrderDate is 1998-08-02, per the TPC-H spec.
+	MaxOrderDate = Date(1998, 8, 2)
+)

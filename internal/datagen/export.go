@@ -1,0 +1,89 @@
+package datagen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"bfcbo/internal/catalog"
+	"bfcbo/internal/storage"
+)
+
+// ExportTBL writes every table of the dataset as dbgen-style
+// pipe-delimited <table>.tbl files in dir, so the generated data can be
+// loaded into an external DBMS to cross-check query results. Date-typed
+// int64 columns are rendered as yyyy-mm-dd; which columns are dates is
+// derived from their names (*_date columns).
+func ExportTBL(ds *Dataset, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("datagen: export: %w", err)
+	}
+	for _, name := range ds.DB.TableNames() {
+		t, err := ds.DB.Table(name)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(dir, name+".tbl"))
+		if err != nil {
+			return fmt.Errorf("datagen: export %s: %w", name, err)
+		}
+		w := bufio.NewWriter(f)
+		if err := writeTBL(w, t); err != nil {
+			f.Close()
+			return fmt.Errorf("datagen: export %s: %w", name, err)
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeTBL(w io.Writer, t *storage.Table) error {
+	n := t.NumRows()
+	isDate := make([]bool, len(t.Columns))
+	for i, c := range t.Columns {
+		isDate[i] = len(c.Name) > 4 && c.Name[len(c.Name)-4:] == "date"
+	}
+	buf := make([]byte, 0, 256)
+	for row := 0; row < n; row++ {
+		buf = buf[:0]
+		for i := range t.Columns {
+			if i > 0 {
+				buf = append(buf, '|')
+			}
+			c := &t.Columns[i]
+			switch c.Kind {
+			case catalog.Int64:
+				if isDate[i] {
+					buf = appendDate(buf, c.Ints[row])
+				} else {
+					buf = strconv.AppendInt(buf, c.Ints[row], 10)
+				}
+			case catalog.Float64:
+				buf = strconv.AppendFloat(buf, c.Floats[row], 'f', 2, 64)
+			default:
+				buf = append(buf, c.Strings[row]...)
+			}
+		}
+		buf = append(buf, '|', '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendDate renders an epoch-day value as yyyy-mm-dd.
+func appendDate(buf []byte, epochDays int64) []byte {
+	t := time.Unix(epochDays*86400, 0).UTC()
+	return t.AppendFormat(buf, "2006-01-02")
+}

@@ -1,0 +1,51 @@
+// Package datagen generates deterministic TPC-H-style data at a configurable
+// scale factor. It replaces the official dbgen tool (and the paper's SF-100
+// dataset): table row-count ratios, key ranges, value domains and skew follow
+// the TPC-H specification, so the relative cardinalities that drive the
+// optimizer's choices are the same as in the paper, just smaller.
+package datagen
+
+// rng is a small deterministic splitmix64 PRNG so generated data is
+// reproducible across runs and platforms without math/rand version drift.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform integer in [0, n).
+func (r *rng) intn(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(r.next() % uint64(n))
+}
+
+// rangeInt returns a uniform integer in [lo, hi] inclusive.
+func (r *rng) rangeInt(lo, hi int64) int64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.intn(hi-lo+1)
+}
+
+// float returns a uniform float in [0,1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// rangeFloat returns a uniform float in [lo, hi).
+func (r *rng) rangeFloat(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.float()
+}
+
+// pick returns a uniform element of choices.
+func pick[T any](r *rng, choices []T) T {
+	return choices[r.intn(int64(len(choices)))]
+}

@@ -1,0 +1,320 @@
+package datagen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func small(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := Generate(Config{ScaleFactor: 0.005, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestGenerateRowCounts(t *testing.T) {
+	ds := small(t)
+	want := map[string]int{
+		"region":   5,
+		"nation":   25,
+		"supplier": 50,
+		"customer": 750,
+		"part":     1000,
+		"partsupp": 4000,
+		"orders":   7500,
+	}
+	for name, w := range want {
+		tb, err := ds.DB.Table(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tb.NumRows() != w {
+			t.Errorf("%s rows = %d, want %d", name, tb.NumRows(), w)
+		}
+	}
+	li, _ := ds.DB.Table("lineitem")
+	// lineitem is 1..7 lines per order, expect ~4x orders.
+	if n := li.NumRows(); n < 7500*2 || n > 7500*7 {
+		t.Errorf("lineitem rows = %d, outside [15000, 52500]", n)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{ScaleFactor: 0.002, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{ScaleFactor: 0.002, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, _ := a.DB.Table("lineitem")
+	bt, _ := b.DB.Table("lineitem")
+	if at.NumRows() != bt.NumRows() {
+		t.Fatalf("nondeterministic row count: %d vs %d", at.NumRows(), bt.NumRows())
+	}
+	ak := at.MustColumn("l_partkey").Ints
+	bk := bt.MustColumn("l_partkey").Ints
+	for i := range ak {
+		if ak[i] != bk[i] {
+			t.Fatalf("row %d differs: %d vs %d", i, ak[i], bk[i])
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	a, _ := Generate(Config{ScaleFactor: 0.002, Seed: 1})
+	b, _ := Generate(Config{ScaleFactor: 0.002, Seed: 2})
+	at, _ := a.DB.Table("orders")
+	bt, _ := b.DB.Table("orders")
+	same := true
+	ac, bc := at.MustColumn("o_custkey").Ints, bt.MustColumn("o_custkey").Ints
+	for i := 0; i < len(ac) && i < len(bc); i++ {
+		if ac[i] != bc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical o_custkey streams")
+	}
+}
+
+func TestReferentialIntegrity(t *testing.T) {
+	ds := small(t)
+	sup, _ := ds.DB.Table("supplier")
+	nSup := int64(sup.NumRows())
+	cust, _ := ds.DB.Table("customer")
+	nCust := int64(cust.NumRows())
+	part, _ := ds.DB.Table("part")
+	nPart := int64(part.NumRows())
+	ord, _ := ds.DB.Table("orders")
+	nOrd := int64(ord.NumRows())
+
+	for _, k := range ord.MustColumn("o_custkey").Ints {
+		if k < 1 || k > nCust {
+			t.Fatalf("o_custkey %d out of [1,%d]", k, nCust)
+		}
+	}
+	li, _ := ds.DB.Table("lineitem")
+	for i, k := range li.MustColumn("l_orderkey").Ints {
+		if k < 1 || k > nOrd {
+			t.Fatalf("l_orderkey %d out of range at row %d", k, i)
+		}
+	}
+	for _, k := range li.MustColumn("l_partkey").Ints {
+		if k < 1 || k > nPart {
+			t.Fatalf("l_partkey %d out of [1,%d]", k, nPart)
+		}
+	}
+	for _, k := range li.MustColumn("l_suppkey").Ints {
+		if k < 1 || k > nSup {
+			t.Fatalf("l_suppkey %d out of [1,%d]", k, nSup)
+		}
+	}
+	for _, k := range sup.MustColumn("s_nationkey").Ints {
+		if k < 0 || k > 24 {
+			t.Fatalf("s_nationkey %d out of [0,24]", k)
+		}
+	}
+}
+
+// Every lineitem (partkey, suppkey) pair must exist in partsupp, because Q9
+// and Q20 join lineitem to partsupp on both columns.
+func TestLineitemSupplierConsistentWithPartsupp(t *testing.T) {
+	ds := small(t)
+	ps, _ := ds.DB.Table("partsupp")
+	pairs := make(map[[2]int64]bool, ps.NumRows())
+	pk := ps.MustColumn("ps_partkey").Ints
+	sk := ps.MustColumn("ps_suppkey").Ints
+	for i := range pk {
+		pairs[[2]int64{pk[i], sk[i]}] = true
+	}
+	li, _ := ds.DB.Table("lineitem")
+	lp := li.MustColumn("l_partkey").Ints
+	ls := li.MustColumn("l_suppkey").Ints
+	for i := range lp {
+		if !pairs[[2]int64{lp[i], ls[i]}] {
+			t.Fatalf("lineitem row %d (part %d, supp %d) not in partsupp", i, lp[i], ls[i])
+		}
+	}
+}
+
+func TestDateOrderingInvariants(t *testing.T) {
+	ds := small(t)
+	li, _ := ds.DB.Table("lineitem")
+	sd := li.MustColumn("l_shipdate").Ints
+	rd := li.MustColumn("l_receiptdate").Ints
+	for i := range sd {
+		if rd[i] <= sd[i] {
+			t.Fatalf("receiptdate %d <= shipdate %d at row %d", rd[i], sd[i], i)
+		}
+	}
+	ord, _ := ds.DB.Table("orders")
+	for _, d := range ord.MustColumn("o_orderdate").Ints {
+		if d < MinOrderDate || d > MaxOrderDate {
+			t.Fatalf("o_orderdate %d outside [%d,%d]", d, MinOrderDate, MaxOrderDate)
+		}
+	}
+}
+
+// Lineitem ship dates must be strictly after the parent order's date; this
+// validates the parallel RNG-stream reconstruction in genLineitem.
+func TestLineitemDatesAfterOrderDate(t *testing.T) {
+	ds := small(t)
+	ord, _ := ds.DB.Table("orders")
+	odate := ord.MustColumn("o_orderdate").Ints
+	li, _ := ds.DB.Table("lineitem")
+	ok := li.MustColumn("l_orderkey").Ints
+	sd := li.MustColumn("l_shipdate").Ints
+	for i := range ok {
+		if sd[i] <= odate[ok[i]-1] {
+			t.Fatalf("lineitem %d shipdate %d not after order date %d", i, sd[i], odate[ok[i]-1])
+		}
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	ds := small(t)
+	li := ds.Schema.MustTable("lineitem")
+	c, err := li.Column("l_partkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.NDV <= 0 || c.Stats.Max <= c.Stats.Min {
+		t.Fatalf("l_partkey stats unpopulated: %+v", c.Stats)
+	}
+	ord := ds.Schema.MustTable("orders")
+	if ord.PrimaryKey != "o_orderkey" {
+		t.Fatalf("orders PK = %q", ord.PrimaryKey)
+	}
+	fk, ok := ds.Schema.MustTable("lineitem").ForeignKeyOn("l_orderkey")
+	if !ok || fk.RefTable != "orders" {
+		t.Fatalf("lineitem FK missing: %+v ok=%v", fk, ok)
+	}
+}
+
+func TestValueDomains(t *testing.T) {
+	ds := small(t)
+	li, _ := ds.DB.Table("lineitem")
+	modes := make(map[string]bool)
+	for _, m := range li.MustColumn("l_shipmode").Strings {
+		modes[m] = true
+	}
+	for m := range modes {
+		found := false
+		for _, want := range ShipModes {
+			if m == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("unexpected ship mode %q", m)
+		}
+	}
+	part, _ := ds.DB.Table("part")
+	for _, b := range part.MustColumn("p_brand").Strings[:50] {
+		if !strings.HasPrefix(b, "Brand#") {
+			t.Fatalf("bad brand %q", b)
+		}
+	}
+	for _, s := range part.MustColumn("p_size").Ints {
+		if s < 1 || s > 50 {
+			t.Fatalf("p_size %d out of [1,50]", s)
+		}
+	}
+}
+
+func TestInvalidScaleFactor(t *testing.T) {
+	if _, err := Generate(Config{ScaleFactor: 0}); err == nil {
+		t.Fatal("SF=0 should error")
+	}
+	if _, err := Generate(Config{ScaleFactor: -1}); err == nil {
+		t.Fatal("SF<0 should error")
+	}
+}
+
+func TestDescribeDataset(t *testing.T) {
+	ds := small(t)
+	s := DescribeDataset(ds)
+	for _, name := range []string{"region", "nation", "lineitem", "orders"} {
+		if !strings.Contains(s, name) {
+			t.Fatalf("DescribeDataset missing %s:\n%s", name, s)
+		}
+	}
+}
+
+func TestDateEncoding(t *testing.T) {
+	if Date(1970, 1, 1) != 0 {
+		t.Fatalf("epoch day for 1970-01-01 = %d", Date(1970, 1, 1))
+	}
+	if Date(1970, 1, 2) != 1 {
+		t.Fatalf("epoch day for 1970-01-02 = %d", Date(1970, 1, 2))
+	}
+	if Date(1995, 1, 1) >= Date(1996, 1, 1) {
+		t.Fatal("date encoding not monotone")
+	}
+	if MaxOrderDate-MinOrderDate != Date(1998, 8, 2)-Date(1992, 1, 1) {
+		t.Fatal("order date window wrong")
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := newRNG(99)
+	buckets := make([]int, 10)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		buckets[r.intn(10)]++
+	}
+	for i, b := range buckets {
+		if b < n/10-n/50 || b > n/10+n/50 {
+			t.Fatalf("bucket %d count %d deviates >2%% from uniform", i, b)
+		}
+	}
+	if r.rangeInt(5, 5) != 5 {
+		t.Fatal("degenerate rangeInt failed")
+	}
+	if r.intn(0) != 0 || r.intn(-1) != 0 {
+		t.Fatal("intn with n<=0 should return 0")
+	}
+}
+
+func TestExportTBL(t *testing.T) {
+	ds := small(t)
+	dir := t.TempDir()
+	if err := ExportTBL(ds, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "nation.tbl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 25 {
+		t.Fatalf("nation.tbl lines = %d, want 25", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "0|ALGERIA|0|") {
+		t.Fatalf("nation.tbl first line = %q", lines[0])
+	}
+	// Date columns must render as yyyy-mm-dd.
+	data, err = os.ReadFile(filepath.Join(dir, "orders.tbl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(string(data), "\n", 2)[0]
+	fields := strings.Split(first, "|")
+	// o_orderkey|o_custkey|o_orderstatus|o_orderdate|...
+	if len(fields[3]) != 10 || fields[3][4] != '-' || fields[3][7] != '-' {
+		t.Fatalf("o_orderdate not rendered as date: %q", fields[3])
+	}
+	// Every table file must exist.
+	for _, name := range ds.DB.TableNames() {
+		if _, err := os.Stat(filepath.Join(dir, name+".tbl")); err != nil {
+			t.Fatalf("missing export for %s: %v", name, err)
+		}
+	}
+}

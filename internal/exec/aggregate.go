@@ -1,0 +1,102 @@
+package exec
+
+import (
+	"fmt"
+
+	"bfcbo/internal/storage"
+)
+
+// This file provides the small aggregation layer that sits on top of a
+// joined RowSet — enough to compute the TPC-H answer expressions (revenue
+// sums, group counts) that the paper's queries report above their join
+// blocks. Full GROUP BY planning is outside the reproduction's scope; these
+// helpers aggregate the executor's final row set directly.
+
+// SumFloat sums a float64 column of one relation over all result rows.
+func SumFloat(rs *RowSet, tbl *storage.Table, rel int, col string) (float64, error) {
+	c, err := tbl.Column(col)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, id := range rs.Col(rel) {
+		if id < 0 {
+			continue // null-extended outer-join row
+		}
+		sum += c.Floats[id]
+	}
+	return sum, nil
+}
+
+// SumRevenue computes the TPC-H revenue expression
+// Σ price·(1 − discount) over the result rows of one relation.
+func SumRevenue(rs *RowSet, tbl *storage.Table, rel int, priceCol, discCol string) (float64, error) {
+	p, err := tbl.Column(priceCol)
+	if err != nil {
+		return 0, err
+	}
+	d, err := tbl.Column(discCol)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, id := range rs.Col(rel) {
+		if id < 0 {
+			continue
+		}
+		sum += p.Floats[id] * (1 - d.Floats[id])
+	}
+	return sum, nil
+}
+
+// GroupCount counts result rows grouped by a string column of one relation
+// (e.g. rows per nation name).
+func GroupCount(rs *RowSet, tbl *storage.Table, rel int, col string) (map[string]int, error) {
+	c, err := tbl.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	if c.Strings == nil {
+		return nil, fmt.Errorf("exec: GroupCount needs a string column, %s.%s is not", tbl.Name, col)
+	}
+	out := make(map[string]int)
+	for _, id := range rs.Col(rel) {
+		if id < 0 {
+			out["<null>"]++
+			continue
+		}
+		out[c.Strings[id]]++
+	}
+	return out, nil
+}
+
+// GroupRevenue computes Σ price·(1 − discount) per group key, the shape of
+// Q5's and Q7's reported answers (revenue by nation / by nation pair).
+func GroupRevenue(rs *RowSet, keyTbl *storage.Table, keyRel int, keyCol string,
+	valTbl *storage.Table, valRel int, priceCol, discCol string) (map[string]float64, error) {
+	k, err := keyTbl.Column(keyCol)
+	if err != nil {
+		return nil, err
+	}
+	if k.Strings == nil {
+		return nil, fmt.Errorf("exec: GroupRevenue needs a string key column")
+	}
+	p, err := valTbl.Column(priceCol)
+	if err != nil {
+		return nil, err
+	}
+	d, err := valTbl.Column(discCol)
+	if err != nil {
+		return nil, err
+	}
+	keys := rs.Col(keyRel)
+	vals := rs.Col(valRel)
+	out := make(map[string]float64)
+	for i := range keys {
+		if keys[i] < 0 || vals[i] < 0 {
+			continue
+		}
+		out[k.Strings[keys[i]]] += p.Floats[vals[i]] * (1 - d.Floats[vals[i]])
+	}
+	return out, nil
+}

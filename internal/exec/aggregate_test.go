@@ -1,0 +1,95 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"bfcbo/internal/catalog"
+	"bfcbo/internal/query"
+	"bfcbo/internal/storage"
+)
+
+func aggFixture(t *testing.T) (*storage.Database, *storage.Table, *storage.Table, *RowSet) {
+	t.Helper()
+	db := storage.NewDatabase()
+	items, err := storage.NewTable("items", []storage.Column{
+		{Name: "price", Kind: catalog.Float64, Floats: []float64{100, 200, 300}},
+		{Name: "disc", Kind: catalog.Float64, Floats: []float64{0.1, 0.5, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := storage.NewTable("names", []storage.Column{
+		{Name: "tag", Kind: catalog.String, Strings: []string{"FR", "DE"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddTable(items); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddTable(names); err != nil {
+		t.Fatal(err)
+	}
+	// Joined result: (item0, FR), (item1, DE), (item2, FR), plus one
+	// null-extended row.
+	rs := NewRowSet(query.NewRelSet(0, 1))
+	rs.cols[rs.relPos[0]] = []int32{0, 1, 2, 0}
+	rs.cols[rs.relPos[1]] = []int32{0, 1, 0, -1}
+	return db, items, names, rs
+}
+
+func TestSumFloat(t *testing.T) {
+	_, items, _, rs := aggFixture(t)
+	got, err := SumFloat(rs, items, 0, "price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 100+200+300+100 {
+		t.Fatalf("SumFloat = %v", got)
+	}
+	if _, err := SumFloat(rs, items, 0, "ghost"); err == nil {
+		t.Fatal("missing column should error")
+	}
+}
+
+func TestSumRevenue(t *testing.T) {
+	_, items, _, rs := aggFixture(t)
+	got, err := SumRevenue(rs, items, 0, "price", "disc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 90.0 + 100 + 300 + 90
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SumRevenue = %v, want %v", got, want)
+	}
+}
+
+func TestGroupCount(t *testing.T) {
+	_, items, names, rs := aggFixture(t)
+	got, err := GroupCount(rs, names, 1, "tag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["FR"] != 2 || got["DE"] != 1 || got["<null>"] != 1 {
+		t.Fatalf("GroupCount = %v", got)
+	}
+	// Non-string column rejected.
+	if _, err := GroupCount(rs, items, 0, "price"); err == nil {
+		t.Fatal("GroupCount on float column should error")
+	}
+}
+
+func TestGroupRevenue(t *testing.T) {
+	_, items, names, rs := aggFixture(t)
+	got, err := GroupRevenue(rs, names, 1, "tag", items, 0, "price", "disc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got["FR"]-(90+300)) > 1e-9 || math.Abs(got["DE"]-100) > 1e-9 {
+		t.Fatalf("GroupRevenue = %v", got)
+	}
+	if _, err := GroupRevenue(rs, items, 0, "price", items, 0, "price", "disc"); err == nil {
+		t.Fatal("non-string key should error")
+	}
+}

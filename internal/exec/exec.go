@@ -1,0 +1,421 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"bfcbo/internal/bloom"
+	"bfcbo/internal/cost"
+	"bfcbo/internal/plan"
+	"bfcbo/internal/query"
+	"bfcbo/internal/storage"
+)
+
+// BloomRuntime reports what one Bloom filter did at execution time.
+type BloomRuntime struct {
+	ID         int
+	Strategy   string // "single", "merged", "partitioned"
+	Inserted   uint64
+	Tested     int64
+	Passed     int64
+	Saturation float64
+}
+
+// NodeActual pairs a plan node with its observed output cardinality.
+type NodeActual struct {
+	Node   plan.Node
+	Actual float64
+}
+
+// Result is the outcome of executing a plan.
+type Result struct {
+	Out *RowSet
+	// Actuals records observed output rows per plan node, in execution
+	// order, for estimate-vs-actual analysis (the paper's MAE metric).
+	Actuals []NodeActual
+	// BloomStats describes every Bloom filter that ran.
+	BloomStats []BloomRuntime
+}
+
+// ActualFor returns the observed cardinality for a node (or -1).
+func (r *Result) ActualFor(n plan.Node) float64 {
+	for _, a := range r.Actuals {
+		if a.Node == n {
+			return a.Actual
+		}
+	}
+	return -1
+}
+
+// bloomHandle abstracts single, merged and partitioned filters for probing.
+type bloomHandle interface {
+	MayContain(key int64) bool
+}
+
+type executor struct {
+	db       *storage.Database
+	block    *query.Block
+	dop      int
+	satLimit float64
+
+	tables  []*storage.Table // by relation index
+	filters map[int]bloomHandle
+	fstats  map[int]*BloomRuntime
+	specs   map[int]plan.BloomSpec
+
+	mu      sync.Mutex
+	actuals []NodeActual
+}
+
+// Options configure execution.
+type Options struct {
+	// DOP is the degree of parallelism (goroutines per exchange); 0 means
+	// GOMAXPROCS capped at 8.
+	DOP int
+	// SaturationLimit, when in (0,1), enables the adaptive behaviour the
+	// paper sketches as future work (§5): after a Bloom filter is built,
+	// its bit-vector saturation is checked and a filter saturated beyond
+	// the limit is not sent to the probe side — it would filter almost
+	// nothing while still costing a test per row. Skipped filters are
+	// reported with Strategy "skipped".
+	SaturationLimit float64
+}
+
+// Run executes a physical plan over the database and returns the final row
+// set with per-node actuals and Bloom filter statistics.
+func Run(db *storage.Database, block *query.Block, p *plan.Plan, opts Options) (*Result, error) {
+	dop := opts.DOP
+	if dop <= 0 {
+		dop = runtime.GOMAXPROCS(0)
+		if dop > 8 {
+			dop = 8
+		}
+	}
+	ex := &executor{
+		db: db, block: block, dop: dop, satLimit: opts.SaturationLimit,
+		filters: make(map[int]bloomHandle),
+		fstats:  make(map[int]*BloomRuntime),
+		specs:   make(map[int]plan.BloomSpec),
+	}
+	for _, s := range p.Blooms {
+		ex.specs[s.ID] = s
+	}
+	ex.tables = make([]*storage.Table, len(block.Relations))
+	for i, r := range block.Relations {
+		t, err := db.Table(r.Table.Name)
+		if err != nil {
+			return nil, fmt.Errorf("exec: relation %s: %w", r.Alias, err)
+		}
+		ex.tables[i] = t
+	}
+	out, err := ex.node(p.Root)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Out: out, Actuals: ex.actuals}
+	for _, s := range p.Blooms {
+		if st, ok := ex.fstats[s.ID]; ok {
+			res.BloomStats = append(res.BloomStats, *st)
+		}
+	}
+	return res, nil
+}
+
+func (ex *executor) record(n plan.Node, rows int) {
+	ex.mu.Lock()
+	ex.actuals = append(ex.actuals, NodeActual{Node: n, Actual: float64(rows)})
+	ex.mu.Unlock()
+}
+
+func (ex *executor) node(n plan.Node) (*RowSet, error) {
+	switch t := n.(type) {
+	case *plan.Scan:
+		rs, err := ex.scan(t)
+		if err != nil {
+			return nil, err
+		}
+		ex.record(n, rs.Len())
+		return rs, nil
+	case *plan.Join:
+		rs, err := ex.join(t)
+		if err != nil {
+			return nil, err
+		}
+		ex.record(n, rs.Len())
+		return rs, nil
+	default:
+		return nil, fmt.Errorf("exec: unknown plan node %T", n)
+	}
+}
+
+// scan reads a base table in dop parallel chunks, applying the local
+// predicate and any Bloom filters. Per §3.9 the scan "waits" for its
+// filters; in this in-process engine the inner (build) side of the
+// resolving join has always completed first, so a missing filter is a plan
+// bug, not a race.
+func (ex *executor) scan(s *plan.Scan) (*RowSet, error) {
+	tbl := ex.tables[s.Rel]
+	n := tbl.NumRows()
+	pred := s.Pred
+
+	type bf struct {
+		h     bloomHandle
+		vals  []int64
+		vals2 []int64 // second column of a multi-column filter, or nil
+		st    *BloomRuntime
+	}
+	var bfs []bf
+	for _, id := range s.ApplyBlooms {
+		h, ok := ex.filters[id]
+		if !ok {
+			return nil, fmt.Errorf("exec: scan of %s requires Bloom filter %d which was never built (plan bug)", s.Alias, id)
+		}
+		spec := ex.specs[id]
+		col, err := tbl.Column(spec.ApplyCol)
+		if err != nil {
+			return nil, fmt.Errorf("exec: bloom %d: %w", id, err)
+		}
+		entry := bf{h: h, vals: col.Ints, st: ex.fstats[id]}
+		if spec.ApplyCol2 != "" {
+			col2, err := tbl.Column(spec.ApplyCol2)
+			if err != nil {
+				return nil, fmt.Errorf("exec: bloom %d: %w", id, err)
+			}
+			entry.vals2 = col2.Ints
+		}
+		bfs = append(bfs, entry)
+	}
+
+	chunks := ex.dop
+	if chunks > n {
+		chunks = 1
+	}
+	parts := make([]*RowSet, chunks)
+	tested := make([]int64, len(bfs))
+	passed := make([]int64, len(bfs))
+	var wg sync.WaitGroup
+	var tmu sync.Mutex
+	for c := 0; c < chunks; c++ {
+		lo := c * n / chunks
+		hi := (c + 1) * n / chunks
+		part := NewRowSet(query.NewRelSet(s.Rel))
+		parts[c] = part
+		wg.Add(1)
+		go func(lo, hi int, part *RowSet) {
+			defer wg.Done()
+			col := part.cols[0]
+			localTested := make([]int64, len(bfs))
+			localPassed := make([]int64, len(bfs))
+		rows:
+			for i := lo; i < hi; i++ {
+				if pred != nil && !pred.Eval(tbl, i) {
+					continue
+				}
+				for k := range bfs {
+					localTested[k]++
+					key := bfs[k].vals[i]
+					if bfs[k].vals2 != nil {
+						key = bloom.CombineKeys(key, bfs[k].vals2[i])
+					}
+					if !bfs[k].h.MayContain(key) {
+						continue rows
+					}
+					localPassed[k]++
+				}
+				col = append(col, int32(i))
+			}
+			part.cols[0] = col
+			tmu.Lock()
+			for k := range bfs {
+				tested[k] += localTested[k]
+				passed[k] += localPassed[k]
+			}
+			tmu.Unlock()
+		}(lo, hi, part)
+	}
+	wg.Wait()
+	for k := range bfs {
+		if bfs[k].st != nil {
+			bfs[k].st.Tested += tested[k]
+			bfs[k].st.Passed += passed[k]
+		}
+	}
+	return concat(query.NewRelSet(s.Rel), parts), nil
+}
+
+// join dispatches on the physical method. The inner (build) side executes
+// first, which is what guarantees Bloom filters are fully built before any
+// probe-side scan that waits on them.
+func (ex *executor) join(j *plan.Join) (*RowSet, error) {
+	inner, err := ex.node(j.Inner)
+	if err != nil {
+		return nil, err
+	}
+	if len(j.BuildBlooms) > 0 {
+		if j.Method != plan.HashJoin {
+			return nil, fmt.Errorf("exec: Bloom filters can only be built at hash joins, got %s", j.Method)
+		}
+		if err := ex.buildBlooms(j, inner); err != nil {
+			return nil, err
+		}
+	}
+	outer, err := ex.node(j.Outer)
+	if err != nil {
+		return nil, err
+	}
+	switch j.Method {
+	case plan.HashJoin:
+		return ex.hashJoin(j, outer, inner)
+	case plan.MergeJoin:
+		return ex.mergeJoin(j, outer, inner)
+	case plan.NestLoopJoin:
+		return ex.nestLoop(j, outer, inner)
+	default:
+		return nil, fmt.Errorf("exec: unknown join method %v", j.Method)
+	}
+}
+
+// buildBlooms populates this hash join's Bloom filters from its build-side
+// result, choosing the §3.9 strategy from the join's streaming annotation:
+//
+//   - broadcast build side  -> one filter from one (logical) copy (strategy 1)
+//   - redistribute          -> dop partial filters, probed via distributed
+//     lookup on the key (strategies 3/4)
+//   - single-threaded       -> one filter ("merged" degenerate case of
+//     strategy 2: the union of one partial filter per thread)
+func (ex *executor) buildBlooms(j *plan.Join, inner *RowSet) error {
+	for _, id := range j.BuildBlooms {
+		spec, ok := ex.specs[id]
+		if !ok {
+			return fmt.Errorf("exec: join builds unknown Bloom filter %d", id)
+		}
+		tbl := ex.tables[spec.BuildRel]
+		col, err := tbl.Column(spec.BuildCol)
+		if err != nil {
+			return fmt.Errorf("exec: bloom %d build column: %w", id, err)
+		}
+		keyOf := func(rid int32) int64 { return col.Ints[rid] }
+		if spec.BuildCol2 != "" {
+			col2, err := tbl.Column(spec.BuildCol2)
+			if err != nil {
+				return fmt.Errorf("exec: bloom %d build column: %w", id, err)
+			}
+			keyOf = func(rid int32) int64 {
+				return bloom.CombineKeys(col.Ints[rid], col2.Ints[rid])
+			}
+		}
+		ids := inner.Col(spec.BuildRel)
+		ndv := uint64(spec.EstBuildNDV)
+		if ndv == 0 {
+			ndv = uint64(len(ids)) + 1
+		}
+		st := &BloomRuntime{ID: id}
+		var handle bloomHandle
+		switch {
+		case ex.dop <= 1:
+			f := bloom.NewForNDV(ndv)
+			for _, rid := range ids {
+				f.Add(keyOf(rid))
+			}
+			handle, st.Strategy, st.Inserted, st.Saturation = f, "single", f.Inserted(), f.Saturation()
+		case j.Streaming == cost.BroadcastInner:
+			// Build-side broadcast: the n copies are redundant; build one
+			// filter from one copy (§3.9 strategy 1).
+			f := bloom.NewForNDV(ndv)
+			for _, rid := range ids {
+				f.Add(keyOf(rid))
+			}
+			handle, st.Strategy, st.Inserted, st.Saturation = f, "single", f.Inserted(), f.Saturation()
+		case j.Streaming == cost.BroadcastOuter:
+			// Probe-side broadcast: the build side's n threads are NOT
+			// redundant — each builds a partial filter over its local
+			// slice and the partials are merged by bit-vector union
+			// (§3.9 strategy 2).
+			partials := make([]*bloom.Filter, ex.dop)
+			var wg sync.WaitGroup
+			n := len(ids)
+			for c := 0; c < ex.dop; c++ {
+				partials[c] = bloom.NewForNDV(ndv)
+				lo, hi := c*n/ex.dop, (c+1)*n/ex.dop
+				wg.Add(1)
+				go func(f *bloom.Filter, lo, hi int) {
+					defer wg.Done()
+					for _, rid := range ids[lo:hi] {
+						f.Add(keyOf(rid))
+					}
+				}(partials[c], lo, hi)
+			}
+			wg.Wait()
+			merged := partials[0]
+			for _, f := range partials[1:] {
+				if err := merged.Union(f); err != nil {
+					return err
+				}
+			}
+			handle, st.Strategy, st.Inserted, st.Saturation = merged, "merged", merged.Inserted(), merged.Saturation()
+		default:
+			// Redistributed build: n partial filters, one per partition,
+			// built in parallel; probes use distributed lookup (§3.9
+			// strategies 3 and 4).
+			// Size each partition for a generous share of the NDV
+			// estimate: estimates run low and key skew concentrates
+			// values, so a tight ndv/dop budget would inflate the FPR.
+			perPart := (2*ndv)/uint64(ex.dop) + 16
+			pf, err := bloom.NewPartitioned(ex.dop, perPart)
+			if err != nil {
+				return err
+			}
+			var wg sync.WaitGroup
+			chunks := make([][][]int64, ex.dop) // producer -> partition -> keys
+			n := len(ids)
+			for c := 0; c < ex.dop; c++ {
+				lo := c * n / ex.dop
+				hi := (c + 1) * n / ex.dop
+				chunks[c] = make([][]int64, ex.dop)
+				wg.Add(1)
+				go func(c, lo, hi int) {
+					defer wg.Done()
+					for _, rid := range ids[lo:hi] {
+						key := keyOf(rid)
+						part := pf.PartitionOf(key)
+						chunks[c][part] = append(chunks[c][part], key)
+					}
+				}(c, lo, hi)
+			}
+			wg.Wait()
+			// Each partition owner inserts its shuffled keys.
+			for part := 0; part < ex.dop; part++ {
+				wg.Add(1)
+				go func(part int) {
+					defer wg.Done()
+					f := pf.Part(part)
+					for c := 0; c < ex.dop; c++ {
+						for _, key := range chunks[c][part] {
+							f.Add(key)
+						}
+					}
+				}(part)
+			}
+			wg.Wait()
+			handle, st.Strategy, st.Inserted, st.Saturation = pf, "partitioned", pf.Inserted(), pf.Saturation()
+		}
+		// Future-work extension (§5): monitor bit-vector saturation and
+		// drop filters that came out too dense to be useful (the build
+		// side's NDV was underestimated).
+		if ex.satLimit > 0 && ex.satLimit < 1 && st.Saturation > ex.satLimit {
+			st.Strategy = "skipped"
+			ex.filters[id] = passAllFilter{}
+			ex.fstats[id] = st
+			continue
+		}
+		ex.filters[id] = handle
+		ex.fstats[id] = st
+	}
+	return nil
+}
+
+// passAllFilter stands in for a skipped (over-saturated) Bloom filter.
+type passAllFilter struct{}
+
+func (passAllFilter) MayContain(int64) bool { return true }

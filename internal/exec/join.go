@@ -1,0 +1,260 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"bfcbo/internal/plan"
+	"bfcbo/internal/query"
+)
+
+// hashKey mixes a join key for table placement (same family as the Bloom
+// hash but independent constants, so filter and table collisions decorrelate).
+func hashKey(k int64) uint64 {
+	x := uint64(k) * 0x9e3779b97f4a7c15
+	return x ^ (x >> 29)
+}
+
+// hashJoin executes an equi hash join. The first condition supplies the hash
+// key; remaining conditions are verified per candidate pair. Inner joins run
+// partitioned across dop workers when the streaming annotation says
+// Redistribute; semi/anti/left run single-threaded per partition group too,
+// since their semantics are per-outer-row.
+func (ex *executor) hashJoin(j *plan.Join, outer, inner *RowSet) (*RowSet, error) {
+	if len(j.Conds) == 0 {
+		return nil, fmt.Errorf("exec: hash join with no conditions")
+	}
+	out := outer.rels.Union(inner.rels)
+	result := NewRowSet(out)
+	if outer.Len() == 0 {
+		return result, nil
+	}
+
+	c0 := j.Conds[0]
+	outerKeys := keyColumn(outer, ex.tables[c0.OuterRel], c0.OuterRel, c0.OuterCol)
+	innerKeys := keyColumn(inner, ex.tables[c0.InnerRel], c0.InnerRel, c0.InnerCol)
+
+	// Extra conditions are verified by comparing materialized key columns.
+	type extra struct{ o, i []int64 }
+	extras := make([]extra, 0, len(j.Conds)-1)
+	for _, c := range j.Conds[1:] {
+		extras = append(extras, extra{
+			o: keyColumn(outer, ex.tables[c.OuterRel], c.OuterRel, c.OuterCol),
+			i: keyColumn(inner, ex.tables[c.InnerRel], c.InnerRel, c.InnerCol),
+		})
+	}
+	match := func(oi, ii int) bool {
+		for _, e := range extras {
+			if e.o[oi] != e.i[ii] {
+				return false
+			}
+		}
+		return true
+	}
+
+	dop := ex.dop
+	if dop > 1 && outer.Len() >= dop {
+		// Partition by key hash: both sides agree, so each worker joins an
+		// independent slice (§3.9 partition join).
+		outerParts := partitionIdx(outerKeys, dop)
+		innerParts := partitionIdx(innerKeys, dop)
+		parts := make([]*RowSet, dop)
+		errs := make([]error, dop)
+		var wg sync.WaitGroup
+		for p := 0; p < dop; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				parts[p], errs[p] = joinPartition(j.JoinType, out, outer, inner,
+					outerKeys, innerKeys, outerParts[p], innerParts[p], match)
+			}(p)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return concat(out, parts), nil
+	}
+
+	all := make([]int, 0, outer.Len())
+	for i := 0; i < outer.Len(); i++ {
+		all = append(all, i)
+	}
+	allInner := make([]int, 0, inner.Len())
+	for i := 0; i < inner.Len(); i++ {
+		allInner = append(allInner, i)
+	}
+	return joinPartition(j.JoinType, out, outer, inner, outerKeys, innerKeys, all, allInner, match)
+}
+
+// partitionIdx groups row indices by key-hash modulo dop.
+func partitionIdx(keys []int64, dop int) [][]int {
+	parts := make([][]int, dop)
+	for i, k := range keys {
+		p := int(hashKey(k) % uint64(dop))
+		parts[p] = append(parts[p], i)
+	}
+	return parts
+}
+
+// joinPartition joins one aligned partition of the two inputs.
+func joinPartition(jt query.JoinType, out query.RelSet, outer, inner *RowSet,
+	outerKeys, innerKeys []int64, oIdx, iIdx []int, match func(oi, ii int) bool) (*RowSet, error) {
+
+	ht := make(map[int64][]int, len(iIdx))
+	for _, ii := range iIdx {
+		ht[innerKeys[ii]] = append(ht[innerKeys[ii]], ii)
+	}
+	res := NewRowSet(out)
+	switch jt {
+	case query.Inner:
+		for _, oi := range oIdx {
+			for _, ii := range ht[outerKeys[oi]] {
+				if match(oi, ii) {
+					res.appendJoined(outer, oi, inner, ii)
+				}
+			}
+		}
+	case query.Semi:
+		for _, oi := range oIdx {
+			for _, ii := range ht[outerKeys[oi]] {
+				if match(oi, ii) {
+					res.appendJoined(outer, oi, inner, ii)
+					break
+				}
+			}
+		}
+	case query.Anti:
+		for _, oi := range oIdx {
+			found := false
+			for _, ii := range ht[outerKeys[oi]] {
+				if match(oi, ii) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				res.appendJoined(outer, oi, inner, -1)
+			}
+		}
+	case query.Left:
+		for _, oi := range oIdx {
+			emitted := false
+			for _, ii := range ht[outerKeys[oi]] {
+				if match(oi, ii) {
+					res.appendJoined(outer, oi, inner, ii)
+					emitted = true
+				}
+			}
+			if !emitted {
+				res.appendJoined(outer, oi, inner, -1)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("exec: unsupported hash join type %s", jt)
+	}
+	return res, nil
+}
+
+// Semi and anti joins must not expose subquery-side columns; the planner
+// nonetheless allocates them in the output row set (they hold the matched
+// row id, or -1). Downstream nodes never read them for anti joins.
+
+// mergeJoin sorts both inputs on the first condition and merges; extra
+// conditions verify per pair. Inner joins only — the planner never picks
+// merge for other types.
+func (ex *executor) mergeJoin(j *plan.Join, outer, inner *RowSet) (*RowSet, error) {
+	if j.JoinType != query.Inner {
+		return nil, fmt.Errorf("exec: merge join supports inner joins only, got %s", j.JoinType)
+	}
+	if len(j.Conds) == 0 {
+		return nil, fmt.Errorf("exec: merge join with no conditions")
+	}
+	c0 := j.Conds[0]
+	outerKeys := keyColumn(outer, ex.tables[c0.OuterRel], c0.OuterRel, c0.OuterCol)
+	innerKeys := keyColumn(inner, ex.tables[c0.InnerRel], c0.InnerRel, c0.InnerCol)
+	oIdx := sortByKey(outerKeys)
+	iIdx := sortByKey(innerKeys)
+
+	type extra struct{ o, i []int64 }
+	extras := make([]extra, 0, len(j.Conds)-1)
+	for _, c := range j.Conds[1:] {
+		extras = append(extras, extra{
+			o: keyColumn(outer, ex.tables[c.OuterRel], c.OuterRel, c.OuterCol),
+			i: keyColumn(inner, ex.tables[c.InnerRel], c.InnerRel, c.InnerCol),
+		})
+	}
+
+	out := outer.rels.Union(inner.rels)
+	res := NewRowSet(out)
+	oi, ii := 0, 0
+	for oi < len(oIdx) && ii < len(iIdx) {
+		ok, ik := outerKeys[oIdx[oi]], innerKeys[iIdx[ii]]
+		switch {
+		case ok < ik:
+			oi++
+		case ok > ik:
+			ii++
+		default:
+			// Gather the equal-key run on each side, emit the product.
+			oe := oi
+			for oe < len(oIdx) && outerKeys[oIdx[oe]] == ok {
+				oe++
+			}
+			ie := ii
+			for ie < len(iIdx) && innerKeys[iIdx[ie]] == ik {
+				ie++
+			}
+			for a := oi; a < oe; a++ {
+				for b := ii; b < ie; b++ {
+					good := true
+					for _, e := range extras {
+						if e.o[oIdx[a]] != e.i[iIdx[b]] {
+							good = false
+							break
+						}
+					}
+					if good {
+						res.appendJoined(outer, oIdx[a], inner, iIdx[b])
+					}
+				}
+			}
+			oi, ii = oe, ie
+		}
+	}
+	return res, nil
+}
+
+// nestLoop is the fallback quadratic join for tiny inputs.
+func (ex *executor) nestLoop(j *plan.Join, outer, inner *RowSet) (*RowSet, error) {
+	if j.JoinType != query.Inner {
+		return nil, fmt.Errorf("exec: nested loop supports inner joins only, got %s", j.JoinType)
+	}
+	type keyed struct{ o, i []int64 }
+	conds := make([]keyed, 0, len(j.Conds))
+	for _, c := range j.Conds {
+		conds = append(conds, keyed{
+			o: keyColumn(outer, ex.tables[c.OuterRel], c.OuterRel, c.OuterCol),
+			i: keyColumn(inner, ex.tables[c.InnerRel], c.InnerRel, c.InnerCol),
+		})
+	}
+	out := outer.rels.Union(inner.rels)
+	res := NewRowSet(out)
+	for oi := 0; oi < outer.Len(); oi++ {
+		for ii := 0; ii < inner.Len(); ii++ {
+			good := true
+			for _, c := range conds {
+				if c.o[oi] != c.i[ii] {
+					good = false
+					break
+				}
+			}
+			if good {
+				res.appendJoined(outer, oi, inner, ii)
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,125 @@
+// Package exec is the SMP vectorized executor: it interprets physical plans
+// over the columnar store using late materialization (intermediate results
+// are tuples of base-table row ids), runs hash joins under the §3.9
+// streaming strategies with real Bloom filter builds and probes, and records
+// per-node actual cardinalities so experiments can compare the planner's
+// estimates against ground truth (the paper's MAE analysis).
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"bfcbo/internal/query"
+	"bfcbo/internal/storage"
+)
+
+// nullRow marks the inner side of an unmatched left-outer row.
+const nullRow int32 = -1
+
+// RowSet is an intermediate result: for each relation it covers, a parallel
+// slice of base-table row ids. All slices have equal length (the row count).
+type RowSet struct {
+	rels   query.RelSet
+	relPos map[int]int
+	cols   [][]int32
+}
+
+// NewRowSet creates an empty row set covering rels.
+func NewRowSet(rels query.RelSet) *RowSet {
+	members := rels.Members()
+	rs := &RowSet{
+		rels:   rels,
+		relPos: make(map[int]int, len(members)),
+		cols:   make([][]int32, len(members)),
+	}
+	for i, r := range members {
+		rs.relPos[r] = i
+	}
+	return rs
+}
+
+// Rels reports which relations the row set covers.
+func (rs *RowSet) Rels() query.RelSet { return rs.rels }
+
+// Len reports the number of rows.
+func (rs *RowSet) Len() int {
+	if len(rs.cols) == 0 {
+		return 0
+	}
+	return len(rs.cols[0])
+}
+
+// Col returns the row-id column for a relation; it panics on a relation the
+// set does not cover (a planner bug, not a data condition).
+func (rs *RowSet) Col(rel int) []int32 {
+	pos, ok := rs.relPos[rel]
+	if !ok {
+		panic(fmt.Sprintf("exec: row set %s has no relation %d", rs.rels, rel))
+	}
+	return rs.cols[pos]
+}
+
+// appendRow copies row i of src plus extra ids for the relations missing
+// from src. Used by joins to emit combined tuples.
+func (rs *RowSet) appendJoined(outer *RowSet, oi int, inner *RowSet, ii int) {
+	for rel, pos := range rs.relPos {
+		switch {
+		case outer.rels.Has(rel):
+			rs.cols[pos] = append(rs.cols[pos], outer.Col(rel)[oi])
+		case inner.rels.Has(rel):
+			if ii < 0 {
+				rs.cols[pos] = append(rs.cols[pos], nullRow)
+			} else {
+				rs.cols[pos] = append(rs.cols[pos], inner.Col(rel)[ii])
+			}
+		default:
+			panic(fmt.Sprintf("exec: relation %d in neither join input", rel))
+		}
+	}
+}
+
+// appendFrom copies row i of src (same relation coverage).
+func (rs *RowSet) appendFrom(src *RowSet, i int) {
+	for rel, pos := range rs.relPos {
+		rs.cols[pos] = append(rs.cols[pos], src.Col(rel)[i])
+	}
+}
+
+// concat merges parts (all covering the same relations) into one row set.
+func concat(rels query.RelSet, parts []*RowSet) *RowSet {
+	out := NewRowSet(rels)
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+	}
+	for rel, pos := range out.relPos {
+		col := make([]int32, 0, total)
+		for _, p := range parts {
+			col = append(col, p.Col(rel)...)
+		}
+		out.cols[pos] = col
+	}
+	return out
+}
+
+// keyColumn materializes the int64 join-key values of rel.col for every row.
+func keyColumn(rs *RowSet, tbl *storage.Table, rel int, col string) []int64 {
+	ids := rs.Col(rel)
+	vals := tbl.MustColumn(col).Ints
+	out := make([]int64, len(ids))
+	for i, id := range ids {
+		out[i] = vals[id]
+	}
+	return out
+}
+
+// sortByKey returns row indices of rs ordered by the given key column.
+func sortByKey(keys []int64) []int {
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	return idx
+}

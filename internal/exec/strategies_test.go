@@ -1,0 +1,178 @@
+package exec
+
+import (
+	"testing"
+
+	"bfcbo/internal/cost"
+	"bfcbo/internal/plan"
+	"bfcbo/internal/query"
+)
+
+// handPlan builds a fact⋈dim hash join with one Bloom filter and a forced
+// streaming annotation, to drive each §3.9 build strategy deterministically.
+func handPlan(streaming cost.Streaming) *plan.Plan {
+	scanF := &plan.Scan{Rel: 0, Alias: "f", Table: "fact", ApplyBlooms: []int{0}}
+	scanD := &plan.Scan{Rel: 1, Alias: "d", Table: "dim",
+		Pred: query.CmpInt{Col: "tag", Op: query.LT, Val: 10}}
+	root := &plan.Join{
+		Method: plan.HashJoin, JoinType: query.Inner,
+		Outer: scanF, Inner: scanD,
+		Conds:       []plan.Cond{{OuterRel: 0, OuterCol: "fk", InnerRel: 1, InnerCol: "pk"}},
+		BuildBlooms: []int{0},
+		Streaming:   streaming,
+	}
+	return &plan.Plan{Root: root, Blooms: []plan.BloomSpec{{
+		ID: 0, ApplyRel: 0, ApplyCol: "fk", BuildRel: 1, BuildCol: "pk",
+		Delta: query.NewRelSet(1), EstBuildNDV: 10,
+	}}}
+}
+
+// Each streaming annotation maps to its §3.9 Bloom build strategy and all
+// produce identical, correct results.
+func TestStreamingStrategiesSection39(t *testing.T) {
+	db, schema := fixture(t)
+	b := factDimBlock(schema, query.Inner)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		streaming cost.Streaming
+		dop       int
+		strategy  string
+	}{
+		{cost.None, 1, "single"},              // serial
+		{cost.BroadcastInner, 4, "single"},    // strategy 1: redundant copies, one filter
+		{cost.Redistribute, 4, "partitioned"}, // strategies 3/4: n partial filters
+		{cost.BroadcastOuter, 4, "merged"},    // strategy 2: partials unioned
+	}
+	for _, c := range cases {
+		p := handPlan(c.streaming)
+		r, err := Run(db, b, p, Options{DOP: c.dop})
+		if err != nil {
+			t.Fatalf("%s: %v", c.streaming, err)
+		}
+		if r.Out.Len() != 100 {
+			t.Fatalf("%s: rows = %d, want 100", c.streaming, r.Out.Len())
+		}
+		if len(r.BloomStats) != 1 {
+			t.Fatalf("%s: stats = %+v", c.streaming, r.BloomStats)
+		}
+		st := r.BloomStats[0]
+		if st.Strategy != c.strategy {
+			t.Fatalf("%s: strategy = %q, want %q", c.streaming, st.Strategy, c.strategy)
+		}
+		if st.Inserted != 10 {
+			t.Fatalf("%s: inserted = %d, want 10", c.streaming, st.Inserted)
+		}
+		// A 10-of-100-keys filter on 1000 rows must pass ≈100 rows.
+		if st.Passed < 100 || st.Passed > 300 {
+			t.Fatalf("%s: passed = %d, want ≈100", c.streaming, st.Passed)
+		}
+	}
+}
+
+func TestLeftOuterJoinExecution(t *testing.T) {
+	db, schema := fixture(t)
+	b := factDimBlock(schema, query.Left)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	root := &plan.Join{
+		Method: plan.HashJoin, JoinType: query.Left,
+		Outer: &plan.Scan{Rel: 0, Alias: "f", Table: "fact"},
+		Inner: &plan.Scan{Rel: 1, Alias: "d", Table: "dim",
+			Pred: query.CmpInt{Col: "tag", Op: query.LT, Val: 10}},
+		Conds: []plan.Cond{{OuterRel: 0, OuterCol: "fk", InnerRel: 1, InnerCol: "pk"}},
+	}
+	for _, dop := range []int{1, 4} {
+		r, err := Run(db, b, &plan.Plan{Root: root}, Options{DOP: dop})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// All 1000 fact rows survive: 100 with a match, 900 null-extended.
+		if r.Out.Len() != 1000 {
+			t.Fatalf("dop %d: left join rows = %d, want 1000", dop, r.Out.Len())
+		}
+		nulls := 0
+		for _, id := range r.Out.Col(1) {
+			if id < 0 {
+				nulls++
+			}
+		}
+		if nulls != 900 {
+			t.Fatalf("dop %d: null-extended rows = %d, want 900", dop, nulls)
+		}
+	}
+}
+
+func TestMergeJoinRejectsNonInner(t *testing.T) {
+	db, schema := fixture(t)
+	b := factDimBlock(schema, query.Semi)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	root := &plan.Join{
+		Method: plan.MergeJoin, JoinType: query.Semi,
+		Outer: &plan.Scan{Rel: 0, Alias: "f", Table: "fact"},
+		Inner: &plan.Scan{Rel: 1, Alias: "d", Table: "dim"},
+		Conds: []plan.Cond{{OuterRel: 0, OuterCol: "fk", InnerRel: 1, InnerCol: "pk"}},
+	}
+	if _, err := Run(db, b, &plan.Plan{Root: root}, Options{DOP: 1}); err == nil {
+		t.Fatal("merge semi join should be rejected")
+	}
+	root.Method = plan.NestLoopJoin
+	if _, err := Run(db, b, &plan.Plan{Root: root}, Options{DOP: 1}); err == nil {
+		t.Fatal("nested-loop semi join should be rejected")
+	}
+	root.Method = plan.HashJoin
+	root.JoinType = query.JoinType(99)
+	if _, err := Run(db, b, &plan.Plan{Root: root}, Options{DOP: 1}); err == nil {
+		t.Fatal("unknown join type should be rejected")
+	}
+}
+
+func TestHashJoinNoConds(t *testing.T) {
+	db, schema := fixture(t)
+	b := factDimBlock(schema, query.Inner)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	root := &plan.Join{
+		Method: plan.HashJoin, JoinType: query.Inner,
+		Outer: &plan.Scan{Rel: 0, Alias: "f", Table: "fact"},
+		Inner: &plan.Scan{Rel: 1, Alias: "d", Table: "dim"},
+	}
+	if _, err := Run(db, b, &plan.Plan{Root: root}, Options{DOP: 1}); err == nil {
+		t.Fatal("hash join without conditions should be rejected")
+	}
+}
+
+func TestEmptyBuildSide(t *testing.T) {
+	db, schema := fixture(t)
+	b := factDimBlock(schema, query.Inner)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	root := &plan.Join{
+		Method: plan.HashJoin, JoinType: query.Inner,
+		Outer: &plan.Scan{Rel: 0, Alias: "f", Table: "fact", ApplyBlooms: []int{0}},
+		Inner: &plan.Scan{Rel: 1, Alias: "d", Table: "dim",
+			Pred: query.CmpInt{Col: "tag", Op: query.LT, Val: -1}}, // nothing survives
+		Conds:       []plan.Cond{{OuterRel: 0, OuterCol: "fk", InnerRel: 1, InnerCol: "pk"}},
+		BuildBlooms: []int{0},
+	}
+	p := &plan.Plan{Root: root, Blooms: []plan.BloomSpec{{
+		ID: 0, ApplyRel: 0, ApplyCol: "fk", BuildRel: 1, BuildCol: "pk", EstBuildNDV: 1,
+	}}}
+	r, err := Run(db, b, p, Options{DOP: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Out.Len() != 0 {
+		t.Fatalf("empty build side should produce 0 rows, got %d", r.Out.Len())
+	}
+	// The empty filter rejects everything: the probe scan emits 0 rows.
+	if r.BloomStats[0].Passed != 0 {
+		t.Fatalf("empty filter passed %d rows", r.BloomStats[0].Passed)
+	}
+}

@@ -1,0 +1,180 @@
+package optimizer
+
+import (
+	"bfcbo/internal/plan"
+	"bfcbo/internal/query"
+)
+
+// This file implements the §3.1 strawman: Bloom filter sub-plans are created
+// up front with unknown δ, maintained uncosted, and re-costed by a recursive
+// walk of the whole sub-plan tree whenever a join finally provides the build
+// side. Because uncosted plans cannot be pruned, plan lists grow
+// multiplicatively with every join that does not resolve a filter — the
+// optimization-time explosion the paper measured (28 ms / 375 ms / 56 s /
+// DNF for 3/4/5/6-table joins).
+
+// addNaiveBasePlans seeds relation rel's list with unknown-δ Bloom filter
+// sub-plans: one per candidate, plus the all-candidates combination.
+func (o *optimizer) addNaiveBasePlans(rel int, l *planList) {
+	var mine []*candidate
+	for _, c := range o.cands {
+		if c.applyRel == rel {
+			mine = append(mine, c)
+		}
+	}
+	if len(mine) == 0 {
+		return
+	}
+	rows := o.est.BaseRows(rel)
+	combos := make([][]*candidate, 0, len(mine)+1)
+	for _, c := range mine {
+		combos = append(combos, []*candidate{c})
+	}
+	if len(mine) > 1 {
+		combos = append(combos, mine)
+	}
+	for _, combo := range combos {
+		pending := make([]pendingBF, len(combo))
+		ids := make([]int, len(combo))
+		for i, c := range combo {
+			id := o.allocBloom(c, 0)
+			pending[i] = pendingBF{cand: c, delta: 0, factor: 1, bloomID: id}
+			ids[i] = id
+		}
+		sortPending(pending)
+		cst := o.scanCost(rel, len(pending))
+		l.insert(&subPlan{
+			rels: query.NewRelSet(rel), rows: rows, cost: cst,
+			pending: pending, uncosted: true,
+			node: o.newScanNode(rel, rows, cst, ids),
+		})
+	}
+}
+
+// combineNaive joins two sub-plans at least one of which carries unknown-δ
+// Bloom filters. Resolution assigns δ = inner set and triggers the
+// "necessarily recursive" re-costing of the outer sub-plan tree (§3.1).
+func (o *optimizer) combineNaive(s query.RelSet, jt query.JoinType, conds []plan.Cond, pa, pb *subPlan, list *planList) {
+	inner := pb.rels
+
+	var resolved, carried []pendingBF
+	var factors []naiveFactor
+	mustHash := jt != query.Inner
+	for _, p := range pa.pending {
+		if p.delta.Empty() { // unknown δ
+			if inner.Has(p.cand.buildRel) {
+				d := inner
+				f := o.keptFraction(p.cand, d)
+				o.specs[p.bloomID] = plan.BloomSpec{
+					ID:       p.bloomID,
+					ApplyRel: p.cand.applyRel, ApplyCol: p.cand.applyCol,
+					BuildRel: p.cand.buildRel, BuildCol: p.cand.buildCol,
+					ApplyCol2: p.cand.applyCol2, BuildCol2: p.cand.buildCol2,
+					Delta:       d,
+					EstBuildNDV: o.buildNDV(p.cand, d),
+				}
+				factors = append(factors, naiveFactor{applyRel: p.cand.applyRel, buildRel: p.cand.buildRel, factor: f})
+				resolved = append(resolved, pendingBF{cand: p.cand, delta: d, factor: f, bloomID: p.bloomID})
+				mustHash = true
+				continue
+			}
+			carried = append(carried, p)
+			continue
+		}
+		// Already-resolved-δ pendings behave as in the two-phase path.
+		switch {
+		case p.delta.SubsetOf(inner):
+			resolved = append(resolved, p)
+			mustHash = true
+		case p.delta.Overlaps(inner):
+			return
+		default:
+			carried = append(carried, p)
+		}
+	}
+	carried = append(carried, pb.pending...)
+	sortPending(carried)
+	stillUncosted := false
+	for _, p := range carried {
+		if p.delta.Empty() {
+			stillUncosted = true
+		}
+	}
+
+	// The recursive re-cost: walk the outer tree applying the now-known
+	// reduction factors at its leaf scans and recomputing every
+	// intermediate cardinality and cost on the way back up.
+	paRows, paCost := pa.rows, pa.cost
+	if len(factors) > 0 {
+		paRows, paCost = o.recostNaive(pa.node, factors)
+	}
+
+	rows := o.est.JoinCard(s)
+	var buildIDs []int
+	for _, p := range resolved {
+		buildIDs = append(buildIDs, p.bloomID)
+	}
+	hc, streaming := o.opts.Cost.HashJoin(paRows, pb.rows)
+	total := paCost + pb.cost + hc
+	node := &plan.Join{
+		Method: plan.HashJoin, JoinType: jt, Outer: pa.node, Inner: pb.node,
+		Conds: conds, BuildBlooms: buildIDs, Streaming: streaming,
+		Rows: rows, Cost: total,
+	}
+	list.insert(&subPlan{rels: s, rows: rows, cost: total, pending: carried, node: node, uncosted: stillUncosted})
+	if mustHash || stillUncosted {
+		return
+	}
+	mc := o.opts.Cost.MergeJoin(paRows, pb.rows)
+	list.insert(&subPlan{
+		rels: s, rows: rows, cost: paCost + pb.cost + mc, pending: carried,
+		node: &plan.Join{Method: plan.MergeJoin, JoinType: jt, Outer: pa.node, Inner: pb.node, Conds: conds, Rows: rows, Cost: paCost + pb.cost + mc},
+	})
+}
+
+// naiveFactor is one resolved Bloom reduction: it shrinks every subtree
+// that contains the apply relation but not yet the build relation.
+type naiveFactor struct {
+	applyRel int
+	buildRel int
+	factor   float64
+}
+
+// recostNaive recomputes (rows, cost) of a sub-plan tree after Bloom filter
+// reduction factors become known for some of its leaf relations. This is
+// deliberately a full recursive traversal — the cost the paper identifies
+// as unavoidable in the naive design.
+func (o *optimizer) recostNaive(n plan.Node, factors []naiveFactor) (float64, float64) {
+	switch t := n.(type) {
+	case *plan.Scan:
+		rows := o.est.BaseRows(t.Rel)
+		for _, f := range factors {
+			if f.applyRel == t.Rel {
+				rows *= f.factor
+			}
+		}
+		return rows, o.scanCost(t.Rel, len(t.ApplyBlooms))
+	case *plan.Join:
+		ro, co := o.recostNaive(t.Outer, factors)
+		ri, ci := o.recostNaive(t.Inner, factors)
+		rels := t.Rels()
+		rows := o.est.JoinCard(rels)
+		for _, f := range factors {
+			if rels.Has(f.applyRel) && !rels.Has(f.buildRel) {
+				rows *= f.factor
+			}
+		}
+		var mc float64
+		switch t.Method {
+		case plan.HashJoin:
+			mc, _ = o.opts.Cost.HashJoin(ro, ri)
+		case plan.MergeJoin:
+			mc = o.opts.Cost.MergeJoin(ro, ri)
+		default:
+			mc = o.opts.Cost.NestLoop(ro, ri)
+		}
+		return rows, co + ci + mc
+	default:
+		return 1, 0
+	}
+}

@@ -1,0 +1,138 @@
+// Package optimizer implements the paper's core contribution: a bottom-up
+// System-R style dynamic-programming join enumerator with four modes —
+//
+//   - NoBF:   plain cost-based optimization, no Bloom filters.
+//   - BFPost: plain CBO plus the traditional post-optimization pass that
+//     bolts Bloom filters onto the already-chosen plan (the baseline).
+//   - BFCBO:  the paper's two-phase method. Bloom filter candidates are
+//     marked on base relations, a first bottom-up pass collects the valid
+//     build-side relation sets (δ), Bloom filter scan sub-plans are costed
+//     per δ, and a second bottom-up pass plans with those sub-plans under
+//     the join-order restrictions of §3.6.
+//   - Naive:  the strawman of §3.1 that keeps uncosted, unresolved Bloom
+//     filter sub-plans alive; its planning time explodes with join count.
+package optimizer
+
+import (
+	"fmt"
+
+	"bfcbo/internal/cost"
+)
+
+// Mode selects the optimization strategy.
+type Mode int
+
+const (
+	NoBF Mode = iota
+	BFPost
+	BFCBO
+	Naive
+)
+
+func (m Mode) String() string {
+	switch m {
+	case NoBF:
+		return "NoBF"
+	case BFPost:
+		return "BF-Post"
+	case BFCBO:
+		return "BF-CBO"
+	case Naive:
+		return "Naive"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Heuristics are the search-space-limiting rules of §3.10. Zero values
+// disable the optional ones; Default enables the paper's configuration.
+type Heuristics struct {
+	// H1LargerOnly places a Bloom filter candidate only on the larger
+	// relation of each hashable join clause (§3.3).
+	H1LargerOnly bool
+	// H2MinApplyRows skips candidates whose apply-side estimated rows are
+	// at or below this threshold (§3.3; 10,000 at SF 100).
+	H2MinApplyRows float64
+	// H3FKLosslessPK prunes δs where the candidate's clause is a foreign
+	// key referencing a lossless primary key (§3.4).
+	H3FKLosslessPK bool
+	// H4 (apply all candidates of a relation simultaneously) is structural
+	// in this implementation and always on, as in the paper (§3.5).
+
+	// H5MaxBuildNDV removes sub-plans whose Bloom filter would hold more
+	// distinct values than this (§3.5; 2M at SF 100, sized for L2).
+	H5MaxBuildNDV float64
+	// H6MaxKeepFraction removes Bloom filters expected to keep more than
+	// this fraction of rows (§3.5; the paper keeps filters removing at
+	// least 1/3 of rows, i.e. threshold 2/3).
+	H6MaxKeepFraction float64
+	// H7MaxSubPlans, when > 0, prunes a relation's Bloom filter sub-plans
+	// down to the single best (fewest rows, then cheapest) whenever their
+	// number exceeds this cap (§3.10; 4 in the paper's Table 3 experiment).
+	H7MaxSubPlans int
+	// H8MinJoinInputCard, when > 0, skips Bloom filter candidates entirely
+	// if the total join-input cardinality observed in phase 1 stays below
+	// the threshold — the quick-transactional-query escape hatch (§3.10).
+	H8MinJoinInputCard float64
+	// H9BothSides relaxes H1: candidates go on both relations of a clause,
+	// but only δs whose build side is smaller than the apply side are kept
+	// (§3.10).
+	H9BothSides bool
+	// MultiColumn enables the §5 future-work extension: relation pairs
+	// joined on two or more columns additionally get one multi-column
+	// Bloom filter candidate over the composite key, which is far more
+	// selective than the paper's per-column filters on composite-key joins
+	// (lineitem ⋈ partsupp).
+	MultiColumn bool
+}
+
+// DefaultHeuristics returns the paper's §4.1 settings, with the row and NDV
+// thresholds scaled from SF 100 to the given scale factor so that small
+// in-memory datasets behave like the paper's 100 GB one.
+func DefaultHeuristics(scaleFactor float64) Heuristics {
+	scale := scaleFactor / 100
+	minRows := 10_000 * scale
+	if minRows < 20 {
+		minRows = 20
+	}
+	maxNDV := 2_000_000 * scale
+	if maxNDV < 5000 {
+		// The floor keeps the scaled threshold above the build-side NDVs
+		// of the paper's accepted filters (Q12's filtered lineitem passes
+		// H5 at SF 100; its scaled equivalent must pass here too).
+		maxNDV = 5000
+	}
+	return Heuristics{
+		H1LargerOnly:      true,
+		H2MinApplyRows:    minRows,
+		H3FKLosslessPK:    true,
+		H5MaxBuildNDV:     maxNDV,
+		H6MaxKeepFraction: 2.0 / 3.0,
+	}
+}
+
+// Options configure one optimization run.
+type Options struct {
+	Mode       Mode
+	Cost       cost.Params
+	Heuristics Heuristics
+	// MaxPlansPerSet bounds a relation set's plan list; exceeding it aborts
+	// with an error. It exists to keep Naive mode's exponential blow-up
+	// from consuming all memory (the paper gave up after 30 minutes on a
+	// 6-table join; we give up deterministically).
+	MaxPlansPerSet int
+	// DisablePostPass skips the §3.7 post-processing pass that BF-CBO
+	// normally retains; used by ablation experiments.
+	DisablePostPass bool
+}
+
+// DefaultOptions returns BF-CBO with paper-default heuristics at the given
+// scale factor.
+func DefaultOptions(scaleFactor float64) Options {
+	return Options{
+		Mode:           BFCBO,
+		Cost:           cost.Default(),
+		Heuristics:     DefaultHeuristics(scaleFactor),
+		MaxPlansPerSet: 200_000,
+	}
+}

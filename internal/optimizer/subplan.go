@@ -1,0 +1,151 @@
+package optimizer
+
+import (
+	"sort"
+
+	"bfcbo/internal/plan"
+	"bfcbo/internal/query"
+)
+
+// candidate is a Bloom filter candidate (BFC, §3.3): the option of filtering
+// applyRel's scan with a filter built from buildRel.buildCol. It is a
+// property of the apply relation; Δ (deltas) is populated by phase 1.
+type candidate struct {
+	id       int
+	applyRel int
+	applyCol string
+	buildRel int
+	buildCol string
+	// applyCol2/buildCol2 are set for multi-column candidates (the §5
+	// extension): the filter key is the composite of both columns.
+	applyCol2 string
+	buildCol2 string
+	// clauseType is the join type of the originating clause; it gates the
+	// correctness restrictions of §3.3.
+	clauseType query.JoinType
+	// fromH9 marks candidates produced by the permissive Heuristic 9.
+	fromH9 bool
+	// deltas is Δ: the valid build-side relation sets observed in phase 1.
+	deltas []query.RelSet
+}
+
+// addDelta appends δ if not already present.
+func (c *candidate) addDelta(d query.RelSet) {
+	for _, x := range c.deltas {
+		if x == d {
+			return
+		}
+	}
+	c.deltas = append(c.deltas, d)
+}
+
+// pendingBF is one applied-but-unresolved Bloom filter carried by a
+// sub-plan: the filter is already reflected in the sub-plan's row estimate,
+// and delta must eventually appear on the inner side of a hash join.
+type pendingBF struct {
+	cand *candidate
+	// delta is δ; zero in Naive mode where it is not yet known.
+	delta query.RelSet
+	// factor is the row-reduction factor |R ˆ⋉ δ|/|R| priced into rows.
+	factor float64
+	// bloomID is the plan.BloomSpec ID allocated for this application.
+	bloomID int
+}
+
+// subPlan is one entry in a relation set's plan-list: a costed physical
+// alternative with its Bloom filter property set.
+type subPlan struct {
+	rels    query.RelSet
+	rows    float64
+	cost    float64
+	pending []pendingBF // sorted by cand.id; empty for plain plans
+	node    plan.Node
+	// uncosted marks Naive-mode plans whose Bloom filters have unknown δ:
+	// their row estimate is not final and they are exempt from pruning,
+	// which is precisely what makes the naive approach explode (§3.1).
+	uncosted bool
+}
+
+// pendingFactor is the product of all unresolved Bloom reduction factors.
+func (p *subPlan) pendingFactor() float64 {
+	f := 1.0
+	for _, b := range p.pending {
+		f *= b.factor
+	}
+	return f
+}
+
+func sortPending(ps []pendingBF) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].cand.id < ps[j].cand.id })
+}
+
+// pendingEasier reports whether a's Bloom constraints are no harder than
+// b's: every pending filter of a appears in b for the same candidate with a
+// superset δ. A plan with easier constraints can be used in every join where
+// the harder one can (and more), so it may dominate (§3.5's pruning rule).
+func pendingEasier(a, b []pendingBF) bool {
+	for _, pa := range a {
+		found := false
+		for _, pb := range b {
+			if pa.cand.id == pb.cand.id && pa.delta.SubsetOf(pb.delta) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// dominates implements the plan-list pruning rule: a dominates b when it is
+// no more expensive, produces no more rows, and carries constraints no
+// harder than b's. Uncosted (naive) plans neither dominate nor get
+// dominated — they "cannot be pruned" (§3.1).
+func dominates(a, b *subPlan) bool {
+	if a.uncosted || b.uncosted {
+		return false
+	}
+	return a.cost <= b.cost && a.rows <= b.rows && pendingEasier(a.pending, b.pending)
+}
+
+// planList holds the Pareto-optimal sub-plans for one relation set.
+type planList struct {
+	plans []*subPlan
+}
+
+// insert adds p unless dominated; it evicts plans p dominates. Reports
+// whether p was kept.
+func (l *planList) insert(p *subPlan) bool {
+	for _, q := range l.plans {
+		if dominates(q, p) {
+			return false
+		}
+	}
+	kept := l.plans[:0]
+	for _, q := range l.plans {
+		if !dominates(p, q) {
+			kept = append(kept, q)
+		}
+	}
+	l.plans = append(kept, p)
+	return true
+}
+
+// best returns the cheapest fully-resolved plan, or nil.
+func (l *planList) best() *subPlan {
+	var b *subPlan
+	for _, p := range l.plans {
+		if len(p.pending) > 0 || p.uncosted {
+			continue
+		}
+		if b == nil || p.cost < b.cost {
+			b = p
+		}
+	}
+	return b
+}
+
+// len reports the number of stored plans.
+func (l *planList) len() int { return len(l.plans) }

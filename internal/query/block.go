@@ -1,0 +1,322 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"bfcbo/internal/catalog"
+)
+
+// JoinType classifies a join clause. For Left, Semi and Anti the clause's
+// left side is the row-preserving / probe-retaining side and the right side
+// is the nullable / subquery side.
+type JoinType int
+
+const (
+	// Inner is a plain equi-join; fully reorderable.
+	Inner JoinType = iota
+	// Semi keeps left rows with at least one right match (EXISTS / IN).
+	Semi
+	// Anti keeps left rows with no right match (NOT EXISTS / NOT IN).
+	Anti
+	// Left is a left outer join preserving all left rows.
+	Left
+)
+
+func (jt JoinType) String() string {
+	switch jt {
+	case Inner:
+		return "inner"
+	case Semi:
+		return "semi"
+	case Anti:
+		return "anti"
+	case Left:
+		return "left"
+	default:
+		return fmt.Sprintf("JoinType(%d)", int(jt))
+	}
+}
+
+// Relation is one base-table reference inside a block. The same catalog
+// table may appear under several aliases (Q21 references lineitem 3 times).
+type Relation struct {
+	// Alias is unique within the block ("l", "n1", ...).
+	Alias string
+	// Table is the catalog entry backing this reference.
+	Table *catalog.Table
+	// Pred is the local (single-table) predicate, or nil.
+	Pred Predicate
+}
+
+// JoinClause is a hashable equi-join clause between two relations of the
+// block: left.LeftCol = right.RightCol.
+type JoinClause struct {
+	Type     JoinType
+	LeftRel  int
+	LeftCol  string
+	RightRel int
+	RightCol string
+	// SubRels marks, for non-inner clauses, the unit of relations forming
+	// the nullable/subquery side (always contains RightRel). The enumerator
+	// does not reorder across this boundary. Ignored for Inner.
+	SubRels RelSet
+	// Derived marks clauses added by transitive closure of equi-join
+	// equivalence; they enable extra join orders but are not counted twice
+	// in selectivity estimation alongside their generating clauses.
+	Derived bool
+}
+
+func (c JoinClause) String() string {
+	return fmt.Sprintf("[%d].%s %s= [%d].%s", c.LeftRel, c.LeftCol, c.Type, c.RightRel, c.RightCol)
+}
+
+// Rels returns the set {LeftRel, RightRel}.
+func (c JoinClause) Rels() RelSet { return NewRelSet(c.LeftRel, c.RightRel) }
+
+// Block is a single select-project-join query block: the planner's input.
+type Block struct {
+	Name      string
+	Relations []Relation
+	Clauses   []JoinClause
+}
+
+// AllRels returns the set of all relation indices in the block.
+func (b *Block) AllRels() RelSet {
+	return RelSet(1)<<uint(len(b.Relations)) - 1
+}
+
+// RelIndex resolves an alias to its index, or -1.
+func (b *Block) RelIndex(alias string) int {
+	for i, r := range b.Relations {
+		if r.Alias == alias {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks internal consistency: clause endpoints exist, join columns
+// are Int64 columns of their tables, SubRels are set exactly for non-inner
+// clauses, and the join graph is connected (the enumerator requires it; a
+// disconnected graph would need cross products, which TPC-H never does).
+func (b *Block) Validate() error {
+	if len(b.Relations) == 0 {
+		return fmt.Errorf("query: block %q has no relations", b.Name)
+	}
+	if len(b.Relations) > 64 {
+		return fmt.Errorf("query: block %q has %d relations; max 64", b.Name, len(b.Relations))
+	}
+	seen := make(map[string]bool, len(b.Relations))
+	for i, r := range b.Relations {
+		if r.Table == nil {
+			return fmt.Errorf("query: block %q relation %d has nil table", b.Name, i)
+		}
+		if r.Alias == "" {
+			return fmt.Errorf("query: block %q relation %d has empty alias", b.Name, i)
+		}
+		if seen[r.Alias] {
+			return fmt.Errorf("query: block %q duplicate alias %q", b.Name, r.Alias)
+		}
+		seen[r.Alias] = true
+	}
+	for i, c := range b.Clauses {
+		if c.LeftRel < 0 || c.LeftRel >= len(b.Relations) || c.RightRel < 0 || c.RightRel >= len(b.Relations) {
+			return fmt.Errorf("query: block %q clause %d references missing relation", b.Name, i)
+		}
+		if c.LeftRel == c.RightRel {
+			return fmt.Errorf("query: block %q clause %d joins a relation to itself", b.Name, i)
+		}
+		for _, side := range []struct {
+			rel int
+			col string
+		}{{c.LeftRel, c.LeftCol}, {c.RightRel, c.RightCol}} {
+			col, err := b.Relations[side.rel].Table.Column(side.col)
+			if err != nil {
+				return fmt.Errorf("query: block %q clause %d: %w", b.Name, i, err)
+			}
+			if col.Type != catalog.Int64 {
+				return fmt.Errorf("query: block %q clause %d join column %s.%s is %s; join keys must be int64",
+					b.Name, i, b.Relations[side.rel].Alias, side.col, col.Type)
+			}
+		}
+		if c.Type != Inner {
+			if !c.SubRels.Has(c.RightRel) {
+				return fmt.Errorf("query: block %q clause %d (%s) SubRels %s must contain right relation %d",
+					b.Name, i, c.Type, c.SubRels, c.RightRel)
+			}
+			if c.SubRels.Has(c.LeftRel) {
+				return fmt.Errorf("query: block %q clause %d (%s) SubRels %s must not contain left relation %d",
+					b.Name, i, c.Type, c.SubRels, c.LeftRel)
+			}
+		} else if !c.SubRels.Empty() {
+			return fmt.Errorf("query: block %q clause %d is inner but has SubRels %s", b.Name, i, c.SubRels)
+		}
+	}
+	if len(b.Relations) > 1 && !b.connected() {
+		return fmt.Errorf("query: block %q join graph is disconnected", b.Name)
+	}
+	return nil
+}
+
+func (b *Block) connected() bool {
+	reach := NewRelSet(0)
+	for changed := true; changed; {
+		changed = false
+		for _, c := range b.Clauses {
+			l, r := reach.Has(c.LeftRel), reach.Has(c.RightRel)
+			if l != r {
+				reach = reach.Add(c.LeftRel).Add(c.RightRel)
+				changed = true
+			}
+		}
+	}
+	return reach == b.AllRels()
+}
+
+// ClausesBetween returns the clauses with one endpoint in each of the two
+// disjoint sets, normalised so LeftRel ∈ s1.
+func (b *Block) ClausesBetween(s1, s2 RelSet) []JoinClause {
+	var out []JoinClause
+	for _, c := range b.Clauses {
+		switch {
+		case s1.Has(c.LeftRel) && s2.Has(c.RightRel):
+			out = append(out, c)
+		case s2.Has(c.LeftRel) && s1.Has(c.RightRel):
+			// Non-inner clauses are direction-sensitive; keep orientation
+			// but let the caller see the clause (it checks sides itself).
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ConnectedSet reports whether the relations in s form a connected subgraph
+// of the join graph.
+func (b *Block) ConnectedSet(s RelSet) bool {
+	if s.Empty() {
+		return false
+	}
+	if s.Single() {
+		return true
+	}
+	reach := NewRelSet(s.First())
+	for changed := true; changed; {
+		changed = false
+		for _, c := range b.Clauses {
+			if !s.Has(c.LeftRel) || !s.Has(c.RightRel) {
+				continue
+			}
+			l, r := reach.Has(c.LeftRel), reach.Has(c.RightRel)
+			if l != r {
+				reach = reach.Add(c.LeftRel).Add(c.RightRel)
+				changed = true
+			}
+		}
+	}
+	return reach == s
+}
+
+// NonInnerUnitOK enforces the block's reordering fence: a candidate subset s
+// is plan-able only if, for every non-inner clause, s contains none of the
+// clause's SubRels, all of them, or is itself fully inside them. This treats
+// each subquery/nullable side as an indivisible planning unit, the standard
+// conservative rule for semi/anti/outer joins.
+func (b *Block) NonInnerUnitOK(s RelSet) bool {
+	for _, c := range b.Clauses {
+		if c.Type == Inner {
+			continue
+		}
+		inter := s.Intersect(c.SubRels)
+		if inter.Empty() || inter == c.SubRels || s.SubsetOf(c.SubRels) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// AddTransitiveClauses computes the transitive closure of the Inner
+// equi-join clauses (equivalence classes à la PostgreSQL) and appends any
+// implied clauses that are missing, marked Derived. For example, from
+// s_suppkey = l_suppkey and ps_suppkey = l_suppkey it derives
+// s_suppkey = ps_suppkey, enabling the supplier–partsupp join order.
+func (b *Block) AddTransitiveClauses() {
+	type endpoint struct {
+		rel int
+		col string
+	}
+	parent := make(map[endpoint]endpoint)
+	var find func(e endpoint) endpoint
+	find = func(e endpoint) endpoint {
+		p, ok := parent[e]
+		if !ok || p == e {
+			parent[e] = e
+			return e
+		}
+		root := find(p)
+		parent[e] = root
+		return root
+	}
+	union := func(a, c endpoint) { parent[find(a)] = find(c) }
+
+	for _, c := range b.Clauses {
+		if c.Type != Inner {
+			continue
+		}
+		union(endpoint{c.LeftRel, c.LeftCol}, endpoint{c.RightRel, c.RightCol})
+	}
+	classes := make(map[endpoint][]endpoint)
+	for e := range parent {
+		r := find(e)
+		classes[r] = append(classes[r], e)
+	}
+	have := make(map[string]bool)
+	key := func(a, c endpoint) string {
+		if a.rel > c.rel || (a.rel == c.rel && a.col > c.col) {
+			a, c = c, a
+		}
+		return fmt.Sprintf("%d.%s=%d.%s", a.rel, a.col, c.rel, c.col)
+	}
+	for _, c := range b.Clauses {
+		if c.Type == Inner {
+			have[key(endpoint{c.LeftRel, c.LeftCol}, endpoint{c.RightRel, c.RightCol})] = true
+		}
+	}
+	for _, members := range classes {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				a, c := members[i], members[j]
+				if a.rel == c.rel {
+					continue
+				}
+				k := key(a, c)
+				if have[k] {
+					continue
+				}
+				have[k] = true
+				b.Clauses = append(b.Clauses, JoinClause{
+					Type: Inner, LeftRel: a.rel, LeftCol: a.col,
+					RightRel: c.rel, RightCol: c.col, Derived: true,
+				})
+			}
+		}
+	}
+}
+
+// String renders a compact description for EXPLAIN/debug output.
+func (b *Block) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "block %s\n", b.Name)
+	for i, r := range b.Relations {
+		pred := ""
+		if r.Pred != nil {
+			pred = "  where " + r.Pred.String()
+		}
+		fmt.Fprintf(&sb, "  [%d] %s (%s)%s\n", i, r.Alias, r.Table.Name, pred)
+	}
+	for _, c := range b.Clauses {
+		fmt.Fprintf(&sb, "  %s\n", c)
+	}
+	return sb.String()
+}

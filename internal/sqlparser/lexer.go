@@ -1,0 +1,148 @@
+// Package sqlparser provides the SQL front end for the engine: a lexer and
+// recursive-descent parser for the select-project-join subset the optimizer
+// plans (SELECT ... FROM t1 [a1], t2 [a2], ... WHERE conjuncts). Equality
+// between columns of two relations becomes a join clause; everything else
+// becomes a local predicate resolved against the catalog, so the parser is
+// also the binder. EXISTS sub-queries are not parsed — semi/anti joins are
+// expressed programmatically, as the TPC-H blocks do.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkNumber
+	tkString
+	tkSymbol // ( ) , = < > <= >= <>
+	tkKeyword
+)
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "BETWEEN": true, "IN": true, "LIKE": true, "DATE": true,
+	"AS": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; idents preserved
+	pos  int
+}
+
+func (t token) is(kw string) bool { return t.kind == tkKeyword && t.text == kw }
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex splits the input into tokens, or reports the offending position.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			l.pos++
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case isDigit(c) || (c == '-' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+			l.lexNumber()
+		case isIdentStart(c):
+			l.lexIdent()
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tkEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) || c == '.' }
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' is an escaped quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tkString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqlparser: unterminated string literal at position %d", start)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tkNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	up := strings.ToUpper(text)
+	if keywords[up] {
+		l.toks = append(l.toks, token{kind: tkKeyword, text: up, pos: start})
+		return
+	}
+	l.toks = append(l.toks, token{kind: tkIdent, text: text, pos: start})
+}
+
+func (l *lexer) lexSymbol() error {
+	start := l.pos
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		if two == "!=" {
+			two = "<>"
+		}
+		l.toks = append(l.toks, token{kind: tkSymbol, text: two, pos: start})
+		l.pos += 2
+		return nil
+	}
+	switch c := l.src[l.pos]; c {
+	case '(', ')', ',', '=', '<', '>', '*':
+		l.toks = append(l.toks, token{kind: tkSymbol, text: string(c), pos: start})
+		l.pos++
+		return nil
+	default:
+		return fmt.Errorf("sqlparser: unexpected character %q at position %d", c, start)
+	}
+}

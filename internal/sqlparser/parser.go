@@ -1,0 +1,517 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"bfcbo/internal/catalog"
+	"bfcbo/internal/query"
+)
+
+// Parse turns one SPJ SELECT statement into a bound query.Block against the
+// given schema. The select list is accepted but ignored (the engine's block
+// output is the joined row set); the FROM list names the relations; WHERE
+// conjuncts become join clauses (col = col across relations) or local
+// predicates.
+func Parse(schema *catalog.Schema, sql string) (*query.Block, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{schema: schema, toks: toks}
+	b, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+type parser struct {
+	schema *catalog.Schema
+	toks   []token
+	i      int
+
+	block *query.Block
+	preds map[int][]query.Predicate
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expectSym(s string) error {
+	t := p.next()
+	if t.kind != tkSymbol || t.text != s {
+		return fmt.Errorf("sqlparser: expected %q at position %d, got %q", s, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectKw(kw string) error {
+	t := p.next()
+	if !t.is(kw) {
+		return fmt.Errorf("sqlparser: expected %s at position %d, got %q", kw, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) parse() (*query.Block, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	// Skip the select list up to FROM: identifiers, commas, '*'.
+	for !p.cur().is("FROM") {
+		if p.cur().kind == tkEOF {
+			return nil, fmt.Errorf("sqlparser: missing FROM clause")
+		}
+		p.next()
+	}
+	p.next() // FROM
+	p.block = &query.Block{Name: "sql"}
+	p.preds = make(map[int][]query.Predicate)
+	if err := p.parseFromList(); err != nil {
+		return nil, err
+	}
+	if p.cur().is("WHERE") {
+		p.next()
+		if err := p.parseConjuncts(); err != nil {
+			return nil, err
+		}
+	}
+	if p.cur().kind != tkEOF {
+		return nil, fmt.Errorf("sqlparser: trailing input at position %d: %q", p.cur().pos, p.cur().text)
+	}
+	for rel, ps := range p.preds {
+		switch len(ps) {
+		case 0:
+		case 1:
+			p.block.Relations[rel].Pred = ps[0]
+		default:
+			p.block.Relations[rel].Pred = query.And{Ps: ps}
+		}
+	}
+	return p.block, nil
+}
+
+func (p *parser) parseFromList() error {
+	for {
+		t := p.next()
+		if t.kind != tkIdent {
+			return fmt.Errorf("sqlparser: expected table name at position %d, got %q", t.pos, t.text)
+		}
+		tbl, err := p.schema.Table(t.text)
+		if err != nil {
+			return err
+		}
+		alias := t.text
+		if p.cur().is("AS") {
+			p.next()
+		}
+		if p.cur().kind == tkIdent {
+			alias = p.next().text
+		}
+		p.block.Relations = append(p.block.Relations, query.Relation{Alias: alias, Table: tbl})
+		if p.cur().kind == tkSymbol && p.cur().text == "," {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}
+
+// colRef is a resolved column reference.
+type colRef struct {
+	rel int
+	col string
+	typ catalog.ColType
+}
+
+// resolveCol binds "alias.col" or a bare unambiguous "col".
+func (p *parser) resolveCol(name string, pos int) (colRef, error) {
+	if dot := strings.IndexByte(name, '.'); dot >= 0 {
+		alias, col := name[:dot], name[dot+1:]
+		rel := p.block.RelIndex(alias)
+		if rel < 0 {
+			return colRef{}, fmt.Errorf("sqlparser: unknown relation %q at position %d", alias, pos)
+		}
+		c, err := p.block.Relations[rel].Table.Column(col)
+		if err != nil {
+			return colRef{}, err
+		}
+		return colRef{rel: rel, col: col, typ: c.Type}, nil
+	}
+	found := -1
+	var typ catalog.ColType
+	for i, r := range p.block.Relations {
+		if r.Table.HasColumn(name) {
+			if found >= 0 {
+				return colRef{}, fmt.Errorf("sqlparser: ambiguous column %q at position %d", name, pos)
+			}
+			found = i
+			c, _ := r.Table.Column(name)
+			typ = c.Type
+		}
+	}
+	if found < 0 {
+		return colRef{}, fmt.Errorf("sqlparser: unknown column %q at position %d", name, pos)
+	}
+	return colRef{rel: found, col: name, typ: typ}, nil
+}
+
+func (p *parser) parseConjuncts() error {
+	for {
+		if err := p.parseConjunct(); err != nil {
+			return err
+		}
+		if p.cur().is("AND") {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}
+
+// parseConjunct handles one AND-term: a parenthesised OR group or a simple
+// comparison/BETWEEN/IN/LIKE term.
+func (p *parser) parseConjunct() error {
+	if p.cur().kind == tkSymbol && p.cur().text == "(" {
+		p.next()
+		pred, rel, err := p.parseOrGroup()
+		if err != nil {
+			return err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return err
+		}
+		p.preds[rel] = append(p.preds[rel], pred)
+		return nil
+	}
+	pred, rel, join, err := p.parseSimple()
+	if err != nil {
+		return err
+	}
+	if join != nil {
+		p.block.Clauses = append(p.block.Clauses, *join)
+		return nil
+	}
+	p.preds[rel] = append(p.preds[rel], pred)
+	return nil
+}
+
+// parseOrGroup parses pred OR pred (OR pred)* where all disjuncts must bind
+// to the same relation.
+func (p *parser) parseOrGroup() (query.Predicate, int, error) {
+	var ps []query.Predicate
+	rel := -1
+	for {
+		pred, r, join, err := p.parseSimple()
+		if err != nil {
+			return nil, 0, err
+		}
+		if join != nil {
+			return nil, 0, fmt.Errorf("sqlparser: join clauses cannot appear inside OR groups")
+		}
+		if rel == -1 {
+			rel = r
+		} else if rel != r {
+			return nil, 0, fmt.Errorf("sqlparser: OR group mixes relations %d and %d (unsupported)", rel, r)
+		}
+		ps = append(ps, pred)
+		if p.cur().is("OR") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if len(ps) == 1 {
+		return ps[0], rel, nil
+	}
+	return query.Or{Ps: ps}, rel, nil
+}
+
+// parseSimple parses one atomic term. Returns either a local predicate with
+// its relation, or a join clause.
+func (p *parser) parseSimple() (query.Predicate, int, *query.JoinClause, error) {
+	negated := false
+	if p.cur().is("NOT") {
+		p.next()
+		negated = true
+	}
+	t := p.next()
+	if t.kind != tkIdent {
+		return nil, 0, nil, fmt.Errorf("sqlparser: expected column at position %d, got %q", t.pos, t.text)
+	}
+	lhs, err := p.resolveCol(t.text, t.pos)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+
+	if p.cur().is("BETWEEN") {
+		p.next()
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		if err := p.expectKw("AND"); err != nil {
+			return nil, 0, nil, err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		pred, err := betweenPred(lhs, lo, hi)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		return maybeNot(pred, negated), lhs.rel, nil, nil
+	}
+	if p.cur().is("IN") {
+		p.next()
+		if err := p.expectSym("("); err != nil {
+			return nil, 0, nil, err
+		}
+		var lits []literal
+		for {
+			l, err := p.parseLiteral()
+			if err != nil {
+				return nil, 0, nil, err
+			}
+			lits = append(lits, l)
+			if p.cur().kind == tkSymbol && p.cur().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, 0, nil, err
+		}
+		pred, err := inPred(lhs, lits)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		return maybeNot(pred, negated), lhs.rel, nil, nil
+	}
+	if p.cur().is("LIKE") {
+		p.next()
+		lt := p.next()
+		if lt.kind != tkString {
+			return nil, 0, nil, fmt.Errorf("sqlparser: LIKE needs a string pattern at position %d", lt.pos)
+		}
+		pred, err := likePred(lhs, lt.text)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		return maybeNot(pred, negated), lhs.rel, nil, nil
+	}
+
+	op := p.next()
+	if op.kind != tkSymbol {
+		return nil, 0, nil, fmt.Errorf("sqlparser: expected operator at position %d, got %q", op.pos, op.text)
+	}
+	cmpOp, ok := map[string]query.CmpOp{
+		"=": query.EQ, "<>": query.NE, "<": query.LT, "<=": query.LE,
+		">": query.GT, ">=": query.GE,
+	}[op.text]
+	if !ok {
+		return nil, 0, nil, fmt.Errorf("sqlparser: unsupported operator %q at position %d", op.text, op.pos)
+	}
+
+	// Column on the right side?
+	if p.cur().kind == tkIdent && !p.cur().is("DATE") {
+		rt := p.next()
+		rhs, err := p.resolveCol(rt.text, rt.pos)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		if lhs.rel == rhs.rel {
+			if lhs.typ != catalog.Int64 || rhs.typ != catalog.Int64 {
+				return nil, 0, nil, fmt.Errorf("sqlparser: column-column comparison supports int64 columns only")
+			}
+			return maybeNot(query.CmpCols{Col1: lhs.col, Op: cmpOp, Col2: rhs.col}, negated), lhs.rel, nil, nil
+		}
+		if cmpOp != query.EQ {
+			return nil, 0, nil, fmt.Errorf("sqlparser: only equality join clauses are supported, got %q", op.text)
+		}
+		if negated {
+			return nil, 0, nil, fmt.Errorf("sqlparser: NOT on a join clause is unsupported")
+		}
+		return nil, 0, &query.JoinClause{
+			Type: query.Inner, LeftRel: lhs.rel, LeftCol: lhs.col,
+			RightRel: rhs.rel, RightCol: rhs.col,
+		}, nil
+	}
+
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	pred, err := cmpPred(lhs, cmpOp, lit)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return maybeNot(pred, negated), lhs.rel, nil, nil
+}
+
+type literal struct {
+	isStr bool
+	str   string
+	num   float64
+	isInt bool
+	i     int64
+}
+
+func (p *parser) parseLiteral() (literal, error) {
+	t := p.next()
+	switch {
+	case t.kind == tkString:
+		return literal{isStr: true, str: t.text}, nil
+	case t.is("DATE"):
+		st := p.next()
+		if st.kind != tkString {
+			return literal{}, fmt.Errorf("sqlparser: DATE needs a 'yyyy-mm-dd' string at position %d", st.pos)
+		}
+		tm, err := time.Parse("2006-01-02", st.text)
+		if err != nil {
+			return literal{}, fmt.Errorf("sqlparser: bad date %q: %v", st.text, err)
+		}
+		d := tm.Unix() / 86400
+		return literal{isInt: true, i: d, num: float64(d)}, nil
+	case t.kind == tkNumber:
+		if !strings.Contains(t.text, ".") {
+			v, err := strconv.ParseInt(t.text, 10, 64)
+			if err != nil {
+				return literal{}, fmt.Errorf("sqlparser: bad integer %q: %v", t.text, err)
+			}
+			return literal{isInt: true, i: v, num: float64(v)}, nil
+		}
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return literal{}, fmt.Errorf("sqlparser: bad number %q: %v", t.text, err)
+		}
+		return literal{num: v}, nil
+	default:
+		return literal{}, fmt.Errorf("sqlparser: expected literal at position %d, got %q", t.pos, t.text)
+	}
+}
+
+func maybeNot(p query.Predicate, negated bool) query.Predicate {
+	if negated {
+		return query.Not{P: p}
+	}
+	return p
+}
+
+func cmpPred(c colRef, op query.CmpOp, l literal) (query.Predicate, error) {
+	switch c.typ {
+	case catalog.Int64:
+		if l.isStr {
+			return nil, fmt.Errorf("sqlparser: string literal compared to int column %s", c.col)
+		}
+		if !l.isInt {
+			return nil, fmt.Errorf("sqlparser: fractional literal compared to int column %s", c.col)
+		}
+		return query.CmpInt{Col: c.col, Op: op, Val: l.i}, nil
+	case catalog.Float64:
+		if l.isStr {
+			return nil, fmt.Errorf("sqlparser: string literal compared to float column %s", c.col)
+		}
+		return query.CmpFloat{Col: c.col, Op: op, Val: l.num}, nil
+	default:
+		if !l.isStr {
+			return nil, fmt.Errorf("sqlparser: numeric literal compared to string column %s", c.col)
+		}
+		switch op {
+		case query.EQ:
+			return query.StrEq{Col: c.col, Val: l.str}, nil
+		case query.NE:
+			return query.StrNE{Col: c.col, Val: l.str}, nil
+		default:
+			return nil, fmt.Errorf("sqlparser: string column %s supports = and <> only", c.col)
+		}
+	}
+}
+
+func betweenPred(c colRef, lo, hi literal) (query.Predicate, error) {
+	switch c.typ {
+	case catalog.Int64:
+		if !lo.isInt || !hi.isInt {
+			return nil, fmt.Errorf("sqlparser: BETWEEN bounds for int column %s must be integers/dates", c.col)
+		}
+		return query.BetweenInt{Col: c.col, Lo: lo.i, Hi: hi.i}, nil
+	case catalog.Float64:
+		if lo.isStr || hi.isStr {
+			return nil, fmt.Errorf("sqlparser: BETWEEN bounds for float column %s must be numeric", c.col)
+		}
+		return query.BetweenFloat{Col: c.col, Lo: lo.num, Hi: hi.num}, nil
+	default:
+		return nil, fmt.Errorf("sqlparser: BETWEEN unsupported on string column %s", c.col)
+	}
+}
+
+func inPred(c colRef, lits []literal) (query.Predicate, error) {
+	switch c.typ {
+	case catalog.Int64:
+		vals := make([]int64, len(lits))
+		for i, l := range lits {
+			if !l.isInt {
+				return nil, fmt.Errorf("sqlparser: IN list for int column %s must be integers", c.col)
+			}
+			vals[i] = l.i
+		}
+		return query.InInt{Col: c.col, Vals: vals}, nil
+	case catalog.String:
+		vals := make([]string, len(lits))
+		for i, l := range lits {
+			if !l.isStr {
+				return nil, fmt.Errorf("sqlparser: IN list for string column %s must be strings", c.col)
+			}
+			vals[i] = l.str
+		}
+		return query.StrIn{Col: c.col, Vals: vals}, nil
+	default:
+		return nil, fmt.Errorf("sqlparser: IN unsupported on float column %s", c.col)
+	}
+}
+
+// likePred maps the supported LIKE shapes: 'prefix%', '%sub%', '%a%b%',
+// and exact match without wildcards.
+func likePred(c colRef, pattern string) (query.Predicate, error) {
+	if c.typ != catalog.String {
+		return nil, fmt.Errorf("sqlparser: LIKE requires a string column, %s is not", c.col)
+	}
+	if !strings.Contains(pattern, "%") {
+		return query.StrEq{Col: c.col, Val: pattern}, nil
+	}
+	parts := strings.Split(pattern, "%")
+	// 'prefix%' and 'prefix%more%' start with a non-empty prefix.
+	if parts[0] != "" {
+		rest := nonEmpty(parts[1:])
+		if len(rest) == 0 {
+			return query.StrPrefix{Col: c.col, Prefix: parts[0]}, nil
+		}
+		return query.And{Ps: []query.Predicate{
+			query.StrPrefix{Col: c.col, Prefix: parts[0]},
+			query.StrContains{Col: c.col, Subs: rest},
+		}}, nil
+	}
+	subs := nonEmpty(parts)
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("sqlparser: LIKE pattern %q matches everything", pattern)
+	}
+	return query.StrContains{Col: c.col, Subs: subs}, nil
+}
+
+func nonEmpty(ss []string) []string {
+	var out []string
+	for _, s := range ss {
+		if s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,313 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"bfcbo/internal/bloom"
+	"bfcbo/internal/query"
+)
+
+// Estimator computes cardinalities for one query block. It memoizes
+// per-relation filtered cardinalities and per-set join cardinalities so that
+// the canonical estimate for a relation set is split-independent — the paper
+// relies on this when a resolved Bloom filter sub-plan's cardinality
+// "simply becomes the original cardinality estimate for the joined
+// relation" (§3.6).
+type Estimator struct {
+	Block *query.Block
+
+	baseRows []float64 // rows after local predicates, per relation
+	baseSel  []float64 // local predicate selectivity, per relation
+	joinCard map[query.RelSet]float64
+}
+
+// NewEstimator prepares an estimator for a validated block.
+func NewEstimator(b *query.Block) *Estimator {
+	e := &Estimator{
+		Block:    b,
+		baseRows: make([]float64, len(b.Relations)),
+		baseSel:  make([]float64, len(b.Relations)),
+		joinCard: make(map[query.RelSet]float64, 1<<uint(len(b.Relations))),
+	}
+	for i, r := range b.Relations {
+		sel := PredicateSelectivity(r.Table, r.Pred)
+		e.baseSel[i] = sel
+		rows := r.Table.RowCount * sel
+		if rows < 1 {
+			rows = 1
+		}
+		e.baseRows[i] = rows
+	}
+	return e
+}
+
+// BaseRows returns the estimated rows of relation i after local predicates.
+func (e *Estimator) BaseRows(i int) float64 { return e.baseRows[i] }
+
+// LocalSelectivity returns the local predicate selectivity of relation i.
+func (e *Estimator) LocalSelectivity(i int) float64 { return e.baseSel[i] }
+
+// colNDV returns the base NDV of rel.col (before local predicates),
+// defaulting to the table row count when statistics are absent.
+func (e *Estimator) colNDV(rel int, col string) float64 {
+	t := e.Block.Relations[rel].Table
+	c, err := t.Column(col)
+	if err != nil || c.Stats.NDV <= 0 {
+		if t.RowCount > 0 {
+			return t.RowCount
+		}
+		return 1
+	}
+	return c.Stats.NDV
+}
+
+// NDVAfterLocal returns the NDV of rel.col after rel's local predicates,
+// via Yao's formula.
+func (e *Estimator) NDVAfterLocal(rel int, col string) float64 {
+	t := e.Block.Relations[rel].Table
+	d := e.colNDV(rel, col)
+	return NDVAfterFilter(d, math.Max(t.RowCount, 1), e.baseRows[rel])
+}
+
+// ClauseSelectivity is the standard equi-join selectivity
+// 1 / max(ndv(left), ndv(right)) with NDVs taken after local predicates.
+func (e *Estimator) ClauseSelectivity(c query.JoinClause) float64 {
+	dl := e.NDVAfterLocal(c.LeftRel, c.LeftCol)
+	dr := e.NDVAfterLocal(c.RightRel, c.RightCol)
+	d := math.Max(dl, dr)
+	if d < 1 {
+		d = 1
+	}
+	return 1 / d
+}
+
+// JoinCard returns the canonical cardinality estimate for the join of the
+// relations in s (with their local predicates), independent of join order.
+// Semi/anti/left units contribute a row-fraction instead of a cross-product
+// term, mirroring how an unnested EXISTS behaves.
+func (e *Estimator) JoinCard(s query.RelSet) float64 {
+	if card, ok := e.joinCard[s]; ok {
+		return card
+	}
+	// Relations absorbed by a fully-contained non-inner unit contribute
+	// through the unit's selectivity, not their own cardinality.
+	absorbed := query.RelSet(0)
+	type unit struct {
+		clause query.JoinClause
+	}
+	var units []unit
+	for _, c := range e.Block.Clauses {
+		if c.Type == query.Inner {
+			continue
+		}
+		if c.SubRels.SubsetOf(s) && s.Has(c.LeftRel) {
+			units = append(units, unit{c})
+			absorbed = absorbed.Union(c.SubRels)
+		}
+	}
+	rows := 1.0
+	counted := s.Minus(absorbed)
+	for _, i := range counted.Members() {
+		rows *= e.baseRows[i]
+	}
+	// Inner clause selectivities among counted relations. Derived clauses
+	// are skipped so transitive closure does not double-count. Multiple
+	// clauses between the same relation pair (composite keys such as
+	// lineitem ⋈ partsupp on partkey AND suppkey) are highly correlated;
+	// assuming independence would underestimate by orders of magnitude, so
+	// selectivities beyond the most selective clause per pair enter with
+	// exponential backoff (s, √s, ∜s, ...), as SQL Server does.
+	perPair := make(map[query.RelSet][]float64)
+	for _, c := range e.Block.Clauses {
+		if c.Type != query.Inner || c.Derived {
+			continue
+		}
+		if counted.Has(c.LeftRel) && counted.Has(c.RightRel) {
+			pair := query.NewRelSet(c.LeftRel, c.RightRel)
+			perPair[pair] = append(perPair[pair], e.ClauseSelectivity(c))
+		}
+	}
+	for _, sels := range perPair {
+		sort.Float64s(sels)
+		exp := 1.0
+		for _, s := range sels {
+			rows *= math.Pow(s, exp)
+			exp /= 2
+		}
+	}
+	// Non-inner units: multiply by the retained fraction of the preserve
+	// side's rows.
+	for _, u := range units {
+		c := u.clause
+		frac := e.SemiJoinFraction(c.LeftRel, c.LeftCol, c.RightRel, c.RightCol, c.SubRels)
+		switch c.Type {
+		case query.Semi:
+			rows *= frac
+		case query.Anti:
+			af := 1 - frac
+			if af < 0.005 {
+				af = 0.005 // anti joins rarely eliminate everything
+			}
+			rows *= af
+		case query.Left:
+			// A left join cannot drop preserve-side rows; approximate as
+			// the inner estimate clamped below by the preserve side.
+			inner := rows * frac
+			if inner > rows {
+				rows = inner
+			}
+		}
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	e.joinCard[s] = rows
+	return rows
+}
+
+// relKeptFraction estimates the fraction of relation rel's (locally
+// filtered) rows that survive being joined with the other relations of
+// delta, by propagating semi-join reductions along the clauses inside delta
+// (predicate-transfer style, acyclic traversal). It is the quantity that
+// makes |R0 ⋉ (R1,R2)| differ from |R0 ⋉ R1| in Fig. 2 of the paper.
+func (e *Estimator) relKeptFraction(rel int, delta query.RelSet, visited query.RelSet) float64 {
+	frac := 1.0
+	visited = visited.Add(rel)
+	for _, c := range e.Block.Clauses {
+		if c.Type != query.Inner && c.Type != query.Semi {
+			continue
+		}
+		var other int
+		var myCol, otherCol string
+		switch {
+		case c.LeftRel == rel && delta.Has(c.RightRel):
+			other, myCol, otherCol = c.RightRel, c.LeftCol, c.RightCol
+		case c.RightRel == rel && delta.Has(c.LeftRel):
+			other, myCol, otherCol = c.LeftRel, c.RightCol, c.LeftCol
+		default:
+			continue
+		}
+		if visited.Has(other) {
+			continue
+		}
+		frac *= e.semiFracOneHop(rel, myCol, other, otherCol, delta, visited)
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	if frac < minSel {
+		frac = minSel
+	}
+	return frac
+}
+
+// semiFracOneHop is the fraction of rel's rows whose myCol value appears in
+// other.otherCol after other has been reduced by its own local predicate and
+// by its neighbors inside delta.
+func (e *Estimator) semiFracOneHop(rel int, myCol string, other int, otherCol string, delta query.RelSet, visited query.RelSet) float64 {
+	otherKept := e.relKeptFraction(other, delta, visited)
+	otherRowsBase := math.Max(e.Block.Relations[other].Table.RowCount, 1)
+	otherRowsEff := e.baseRows[other] * otherKept
+	dOther := NDVAfterFilter(e.colNDV(other, otherCol), otherRowsBase, otherRowsEff)
+	domain := math.Max(e.colNDV(rel, myCol), e.colNDV(other, otherCol))
+	if domain < 1 {
+		domain = 1
+	}
+	frac := dOther / domain
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
+}
+
+// SemiJoinFraction estimates the fraction of applyRel's rows retained by a
+// semi-join (equivalently, an ideal Bloom filter with zero false positives)
+// on the clause applyRel.applyCol = buildRel.buildCol, where the build side
+// is the joined set delta (which must contain buildRel).
+func (e *Estimator) SemiJoinFraction(applyRel int, applyCol string, buildRel int, buildCol string, delta query.RelSet) float64 {
+	visited := query.NewRelSet(applyRel)
+	return e.semiFracOneHop(applyRel, applyCol, buildRel, buildCol, delta, visited)
+}
+
+// BuildNDV estimates the number of distinct buildCol values the build side
+// will insert into a Bloom filter when the hash-join build side is the
+// joined set delta. The optimizer uses it both to size the filter (and
+// enforce Heuristic 5) and to compute the false-positive rate.
+func (e *Estimator) BuildNDV(buildRel int, buildCol string, delta query.RelSet) float64 {
+	kept := e.relKeptFraction(buildRel, delta, 0)
+	base := math.Max(e.Block.Relations[buildRel].Table.RowCount, 1)
+	eff := e.baseRows[buildRel] * kept
+	return NDVAfterFilter(e.colNDV(buildRel, buildCol), base, eff)
+}
+
+// ModelFPR is the false-positive rate the planner assumes for every Bloom
+// filter: the theoretical FPR of a 2-hash filter at the executor's design
+// ratio of 8 bits per expected distinct key, ≈ 4.9 %. Using the design
+// ratio rather than the power-of-two-rounded runtime size keeps the
+// estimate monotone in δ (a strictly better build side always yields a
+// strictly lower estimate); the runtime filter's true FPR is at or below
+// this value because rounding only adds bits.
+var ModelFPR = bloom.FPR(1000, 8000)
+
+// BloomKeptFraction is the planning-time reduction factor of a Bloom filter
+// applied to applyRel: the semi-join fraction plus leakage from the
+// filter's false-positive rate, |R ˆ⋉ δ| / |R| in the paper's notation.
+func (e *Estimator) BloomKeptFraction(applyRel int, applyCol string, buildRel int, buildCol string, delta query.RelSet) float64 {
+	frac := e.SemiJoinFraction(applyRel, applyCol, buildRel, buildCol, delta)
+	kept := frac + (1-frac)*ModelFPR
+	if kept > 1 {
+		kept = 1
+	}
+	return kept
+}
+
+// CompositeKeptFraction estimates the reduction of a multi-column Bloom
+// filter over the pair (applyRel.c1, applyRel.c2) = (buildRel.b1, b2) with
+// build side delta. Composite keys of a child table referencing a pair
+// table (lineitem -> partsupp) hit exactly one build pair per probe row, so
+// the kept fraction is the fraction of build pairs surviving within δ, plus
+// the filter's false-positive leakage (§5 future-work extension).
+func (e *Estimator) CompositeKeptFraction(applyRel, buildRel int, delta query.RelSet) float64 {
+	base := math.Max(e.Block.Relations[buildRel].Table.RowCount, 1)
+	eff := e.baseRows[buildRel] * e.relKeptFraction(buildRel, delta, 0)
+	frac := eff / base
+	if frac > 1 {
+		frac = 1
+	}
+	kept := frac + (1-frac)*ModelFPR
+	if kept > 1 {
+		kept = 1
+	}
+	return kept
+}
+
+// CompositeBuildNDV estimates the distinct composite keys the build side
+// inserts: its surviving rows (pairs are near-unique in a pair table).
+func (e *Estimator) CompositeBuildNDV(buildRel int, delta query.RelSet) float64 {
+	return e.baseRows[buildRel] * e.relKeptFraction(buildRel, delta, 0)
+}
+
+// FKToPK reports whether the clause applyRel.applyCol -> buildRel.buildCol
+// is a foreign key referencing that primary key, the precondition of
+// Heuristic 3.
+func (e *Estimator) FKToPK(applyRel int, applyCol string, buildRel int, buildCol string) bool {
+	at := e.Block.Relations[applyRel].Table
+	bt := e.Block.Relations[buildRel].Table
+	fk, ok := at.ForeignKeyOn(applyCol)
+	return ok && fk.RefTable == bt.Name && fk.RefCol == buildCol && bt.IsPrimaryKey(buildCol)
+}
+
+// LosslessPK reports whether, for an FK→PK Bloom filter candidate, the
+// primary-key build side loses no keys under delta: no local predicate on
+// the build relation and no reduction from other delta members. In that
+// case the Bloom filter cannot remove any probe rows (Heuristic 3, §3.4).
+func (e *Estimator) LosslessPK(applyRel int, applyCol string, buildRel int, buildCol string, delta query.RelSet) bool {
+	if !e.FKToPK(applyRel, applyCol, buildRel, buildCol) {
+		return false
+	}
+	if e.baseSel[buildRel] < 0.999999 {
+		return false // local predicate filters the PK side
+	}
+	return e.relKeptFraction(buildRel, delta, 0) > 0.999999
+}

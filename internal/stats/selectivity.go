@@ -1,0 +1,179 @@
+// Package stats implements the cardinality estimator: local-predicate
+// selectivity from catalog statistics, join and semi-join cardinality, NDV
+// propagation through filters (Yao's formula), and the δ-dependent Bloom
+// filter reduction factor that is the heart of the paper's method — the
+// estimated cardinality |R ˆ⋉ δ| of a scan with a Bloom filter applied,
+// including the filter's false-positive rate (§3.5).
+package stats
+
+import (
+	"math"
+
+	"bfcbo/internal/catalog"
+	"bfcbo/internal/query"
+)
+
+// Default selectivities for predicates the statistics cannot resolve,
+// following PostgreSQL's conventions (DEFAULT_EQ_SEL etc.).
+const (
+	defaultEqSel    = 0.005
+	defaultIneqSel  = 1.0 / 3.0
+	defaultMatchSel = 0.02 // LIKE '%...%'
+	defaultPrefSel  = 0.05 // LIKE 'prefix%'
+	minSel          = 1e-9 // floor to avoid zero-cardinality degeneracy
+)
+
+// clampSel bounds a selectivity into [minSel, 1].
+func clampSel(s float64) float64 {
+	if math.IsNaN(s) || s < minSel {
+		return minSel
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// PredicateSelectivity estimates the fraction of rows of table t that
+// satisfy p, using only catalog statistics (uniformity and independence
+// assumptions, as in System R).
+func PredicateSelectivity(t *catalog.Table, p query.Predicate) float64 {
+	if p == nil {
+		return 1
+	}
+	switch q := p.(type) {
+	case query.CmpInt:
+		return clampSel(cmpSelectivity(t, q.Col, q.Op, float64(q.Val)))
+	case query.CmpFloat:
+		return clampSel(cmpSelectivity(t, q.Col, q.Op, q.Val))
+	case query.CmpCols:
+		switch q.Op {
+		case query.EQ:
+			return clampSel(defaultEqSel)
+		case query.NE:
+			return clampSel(1 - defaultEqSel)
+		default:
+			return clampSel(defaultIneqSel)
+		}
+	case query.BetweenInt:
+		return clampSel(rangeFraction(t, q.Col, float64(q.Lo), float64(q.Hi)))
+	case query.BetweenFloat:
+		return clampSel(rangeFraction(t, q.Col, q.Lo, q.Hi))
+	case query.InInt:
+		return clampSel(float64(len(q.Vals)) * eqSelectivity(t, q.Col))
+	case query.StrEq:
+		return clampSel(eqSelectivity(t, q.Col))
+	case query.StrNE:
+		return clampSel(1 - eqSelectivity(t, q.Col))
+	case query.StrIn:
+		return clampSel(float64(len(q.Vals)) * eqSelectivity(t, q.Col))
+	case query.StrPrefix:
+		return clampSel(defaultPrefSel)
+	case query.StrContains:
+		return clampSel(defaultMatchSel)
+	case query.Not:
+		return clampSel(1 - PredicateSelectivity(t, q.P))
+	case query.And:
+		s := 1.0
+		for _, sub := range q.Ps {
+			s *= PredicateSelectivity(t, sub)
+		}
+		return clampSel(s)
+	case query.Or:
+		// P(a or b) = 1 - Π(1 - s_i) under independence.
+		s := 1.0
+		for _, sub := range q.Ps {
+			s *= 1 - PredicateSelectivity(t, sub)
+		}
+		return clampSel(1 - s)
+	default:
+		return clampSel(defaultEqSel)
+	}
+}
+
+// eqSelectivity is 1/NDV for an equality against an arbitrary constant.
+func eqSelectivity(t *catalog.Table, col string) float64 {
+	c, err := t.Column(col)
+	if err != nil || c.Stats.NDV <= 0 {
+		return defaultEqSel
+	}
+	return 1 / c.Stats.NDV
+}
+
+func cmpSelectivity(t *catalog.Table, col string, op query.CmpOp, val float64) float64 {
+	switch op {
+	case query.EQ:
+		return eqSelectivity(t, col)
+	case query.NE:
+		return 1 - eqSelectivity(t, col)
+	}
+	c, err := t.Column(col)
+	if err != nil {
+		return defaultIneqSel
+	}
+	mn, mx := c.Stats.Min, c.Stats.Max
+	if mx <= mn {
+		return defaultIneqSel
+	}
+	frac := (val - mn) / (mx - mn) // fraction of rows with value < val (uniform)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	eq := eqSelectivity(t, col)
+	switch op {
+	case query.LT:
+		return frac
+	case query.LE:
+		return frac + eq
+	case query.GT:
+		return 1 - frac - eq
+	case query.GE:
+		return 1 - frac
+	default:
+		return defaultIneqSel
+	}
+}
+
+func rangeFraction(t *catalog.Table, col string, lo, hi float64) float64 {
+	c, err := t.Column(col)
+	if err != nil {
+		return defaultIneqSel * defaultIneqSel
+	}
+	mn, mx := c.Stats.Min, c.Stats.Max
+	if mx <= mn {
+		return defaultIneqSel
+	}
+	l := math.Max(lo, mn)
+	h := math.Min(hi, mx)
+	if h < l {
+		return 0
+	}
+	return (h - l) / (mx - mn)
+}
+
+// NDVAfterFilter applies Yao's formula: given a column with d distinct
+// values uniformly spread over n rows, a random subset of n' rows contains
+// approximately d·(1 − (1 − n'/n)^(n/d)) distinct values.
+func NDVAfterFilter(d, n, nPrime float64) float64 {
+	if d <= 0 || n <= 0 {
+		return 0
+	}
+	if nPrime >= n {
+		return d
+	}
+	if nPrime <= 0 {
+		return 0
+	}
+	kept := 1 - math.Pow(1-nPrime/n, n/d)
+	out := d * kept
+	if out > nPrime {
+		out = nPrime // cannot have more distinct values than rows
+	}
+	if out < 1 {
+		out = 1
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package tpch
+
+import (
+	"testing"
+
+	"bfcbo/internal/datagen"
+	"bfcbo/internal/exec"
+	"bfcbo/internal/optimizer"
+	"bfcbo/internal/query"
+)
+
+func dataset(t *testing.T) *datagen.Dataset {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.Config{ScaleFactor: 0.005, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestAllQueriesDefined(t *testing.T) {
+	qs := All()
+	if len(qs) != 22 {
+		t.Fatalf("defined %d queries, want 22", len(qs))
+	}
+	for i, q := range qs {
+		if q.Num != i+1 {
+			t.Fatalf("query order wrong at %d: got Q%d", i, q.Num)
+		}
+		if q.Build == nil || q.Name == "" {
+			t.Fatalf("Q%d incomplete", q.Num)
+		}
+	}
+	if _, ok := Get(12); !ok {
+		t.Fatal("Get(12) failed")
+	}
+	if _, ok := Get(99); ok {
+		t.Fatal("Get(99) should fail")
+	}
+}
+
+func TestAnalyzedList(t *testing.T) {
+	a := Analyzed()
+	if len(a) != 16 {
+		t.Fatalf("analyzed count = %d, want 16", len(a))
+	}
+	omitted := map[int]bool{1: true, 6: true, 13: true, 14: true, 15: true, 22: true}
+	for _, n := range a {
+		if omitted[n] {
+			t.Fatalf("Q%d should be omitted from the analyzed set", n)
+		}
+	}
+}
+
+func TestAllBlocksValidate(t *testing.T) {
+	ds := dataset(t)
+	for _, q := range All() {
+		b := q.Build(ds.Schema)
+		if err := b.Validate(); err != nil {
+			t.Errorf("Q%d: %v", q.Num, err)
+		}
+	}
+}
+
+// Every query must plan in all four relevant modes and execute with
+// identical result cardinality in each — Bloom filters must never change
+// query answers.
+func TestAllQueriesPlanAndExecuteConsistently(t *testing.T) {
+	ds := dataset(t)
+	modes := []optimizer.Mode{optimizer.NoBF, optimizer.BFPost, optimizer.BFCBO}
+	for _, q := range All() {
+		rows := make(map[optimizer.Mode]int)
+		for _, mode := range modes {
+			opts := optimizer.DefaultOptions(ds.Config.ScaleFactor)
+			opts.Mode = mode
+			b := q.Build(ds.Schema)
+			res, err := optimizer.Optimize(b, opts)
+			if err != nil {
+				t.Fatalf("Q%d %s: optimize: %v", q.Num, mode, err)
+			}
+			r, err := exec.Run(ds.DB, b, res.Plan, exec.Options{DOP: 4})
+			if err != nil {
+				t.Fatalf("Q%d %s: exec: %v\n%s", q.Num, mode, err, res.Plan.Explain())
+			}
+			rows[mode] = r.Out.Len()
+		}
+		if rows[optimizer.NoBF] != rows[optimizer.BFPost] || rows[optimizer.NoBF] != rows[optimizer.BFCBO] {
+			t.Errorf("Q%d result rows differ across modes: %v", q.Num, rows)
+		}
+	}
+}
+
+// Q12 is the paper's Figure 1: BF-CBO must flip the join inputs so that a
+// Bloom filter built from (filtered) lineitem applies to orders, and the
+// orders scan estimate must drop far below the table size.
+func TestQ12JoinOrderFlip(t *testing.T) {
+	ds := dataset(t)
+	q, _ := Get(12)
+
+	opts := optimizer.DefaultOptions(ds.Config.ScaleFactor)
+	opts.Mode = optimizer.BFPost
+	post, err := optimizer.Optimize(q.Build(ds.Schema), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BF-Post: the clause is FK (l_orderkey) -> unfiltered PK (o_orderkey)
+	// whenever orders ends up on the build side; H3 forbids that filter, so
+	// BF-Post gets no Bloom filter on this query (panel a of Figure 1).
+	if post.Plan.CountBlooms() != 0 {
+		t.Fatalf("BF-Post should apply no Bloom filter on Q12, got %d\n%s",
+			post.Plan.CountBlooms(), post.Plan.Explain())
+	}
+
+	opts.Mode = optimizer.BFCBO
+	cbo, err := optimizer.Optimize(q.Build(ds.Schema), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cbo.Plan.CountBlooms() == 0 {
+		t.Fatalf("BF-CBO should apply a Bloom filter to orders on Q12\n%s", cbo.Plan.Explain())
+	}
+	var found bool
+	for _, bf := range cbo.Plan.Blooms {
+		if cbo.Plan.Scans()[0] != nil { // structural sanity only
+		}
+		// Apply side must be orders (rel 0), build side lineitem (rel 1).
+		if bf.ApplyRel == 0 && bf.BuildRel == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected BF built from lineitem applied to orders:\n%s", cbo.Plan.Explain())
+	}
+	// The orders scan estimate must reflect the filter.
+	ordersTable := ds.Schema.MustTable("orders").RowCount
+	for _, s := range cbo.Plan.Scans() {
+		if s.Rel == 0 && s.Rows >= 0.5*ordersTable {
+			t.Fatalf("orders scan estimate %v not reduced (table %v)", s.Rows, ordersTable)
+		}
+	}
+	if post.Plan.JoinOrderSignature() == cbo.Plan.JoinOrderSignature() {
+		t.Logf("note: join signatures match (%s); acceptable at tiny SF if cost model ties", cbo.Plan.JoinOrderSignature())
+	}
+}
+
+// Q7 is the paper's Figure 6: BF-CBO should enable multiple Bloom filters
+// with predicate transfer from the nation filters.
+func TestQ7PredicateTransfer(t *testing.T) {
+	ds := dataset(t)
+	q, _ := Get(7)
+	opts := optimizer.DefaultOptions(ds.Config.ScaleFactor)
+	opts.Mode = optimizer.BFCBO
+	cbo, err := optimizer.Optimize(q.Build(ds.Schema), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts2 := optimizer.DefaultOptions(ds.Config.ScaleFactor)
+	opts2.Mode = optimizer.BFPost
+	post, err := optimizer.Optimize(q.Build(ds.Schema), opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cbo.Plan.CountBlooms() <= post.Plan.CountBlooms() {
+		t.Fatalf("BF-CBO should enable more Bloom filters than BF-Post on Q7: %d vs %d\ncbo:\n%s\npost:\n%s",
+			cbo.Plan.CountBlooms(), post.Plan.CountBlooms(), cbo.Plan.Explain(), post.Plan.Explain())
+	}
+}
+
+// Anti-join queries must never carry Bloom filters across the anti clause.
+func TestQ16Q22NoAntiBloom(t *testing.T) {
+	ds := dataset(t)
+	for _, num := range []int{16, 22} {
+		q, _ := Get(num)
+		opts := optimizer.DefaultOptions(ds.Config.ScaleFactor)
+		opts.Mode = optimizer.BFCBO
+		res, err := optimizer.Optimize(q.Build(ds.Schema), opts)
+		if err != nil {
+			t.Fatalf("Q%d: %v", num, err)
+		}
+		for _, bf := range res.Plan.Blooms {
+			b := q.Build(ds.Schema)
+			for _, c := range b.Clauses {
+				if c.Type != query.Anti {
+					continue
+				}
+				crosses := (bf.ApplyRel == c.LeftRel && bf.Delta.Has(c.RightRel)) ||
+					(c.SubRels.Has(bf.ApplyRel) && bf.Delta.Has(c.LeftRel))
+				if crosses {
+					t.Errorf("Q%d: Bloom filter crosses anti join: %+v", num, bf)
+				}
+			}
+		}
+	}
+}
+
+func TestPlannerEstimatesSaneOnAllQueries(t *testing.T) {
+	ds := dataset(t)
+	for _, q := range All() {
+		opts := optimizer.DefaultOptions(ds.Config.ScaleFactor)
+		res, err := optimizer.Optimize(q.Build(ds.Schema), opts)
+		if err != nil {
+			t.Fatalf("Q%d: %v", q.Num, err)
+		}
+		if res.Plan.Root.EstRows() < 0 || res.Plan.Root.EstCost() <= 0 {
+			t.Errorf("Q%d: degenerate estimates rows=%v cost=%v",
+				q.Num, res.Plan.Root.EstRows(), res.Plan.Root.EstCost())
+		}
+	}
+}
