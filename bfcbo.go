@@ -49,6 +49,10 @@ type Config struct {
 	// DOP is the degree of parallelism for planning and execution;
 	// 0 defaults to 8.
 	DOP int
+	// LegacyExecutor selects the original operator-at-a-time materializing
+	// executor instead of the default morsel-driven pipelined one. It
+	// exists for A/B comparisons; the pipelined executor is the default.
+	LegacyExecutor bool
 }
 
 // Engine bundles a generated database with planner and executor.
@@ -94,7 +98,9 @@ func (e *Engine) TPCH(num int) (*query.Block, error) {
 type Output struct {
 	// Rows is the number of result rows of the join block.
 	Rows int
-	// Explain is the physical plan rendered as text.
+	// Explain is the physical plan rendered as text, followed by the
+	// EXPLAIN ANALYZE-style tree annotated with per-operator actual rows
+	// and wall times.
 	Explain string
 	// Blooms is the number of Bloom filters in the plan.
 	Blooms int
@@ -105,6 +111,15 @@ type Output struct {
 	JoinOrder string
 	// BloomStats reports what each filter did at runtime.
 	BloomStats []exec.BloomRuntime
+	// ExplainAnalyze is the plan annotated with observed per-operator rows,
+	// batch counts and wall times (EXPLAIN ANALYZE style).
+	ExplainAnalyze string
+	// OpStats are the raw per-operator runtime counters in pipeline
+	// execution order (empty when LegacyExecutor is set).
+	OpStats []exec.OpStat
+	// Pipelines reports each executed pipeline of the morsel-driven
+	// executor (empty when LegacyExecutor is set).
+	Pipelines []exec.PipelineStat
 }
 
 // Plan optimizes a block without executing it.
@@ -121,18 +136,23 @@ func (e *Engine) Run(b *query.Block, mode Mode) (*Output, error) {
 		return nil, err
 	}
 	start := time.Now()
-	r, err := exec.Run(e.ds.DB, b, res.Plan, exec.Options{DOP: e.cfg.DOP})
+	r, err := exec.Run(e.ds.DB, b, res.Plan, exec.Options{DOP: e.cfg.DOP, Legacy: e.cfg.LegacyExecutor})
+	execTime := time.Since(start)
 	if err != nil {
 		return nil, err
 	}
+	analyzed := r.ExplainAnalyze(res.Plan)
 	return &Output{
-		Rows:         r.Out.Len(),
-		Explain:      res.Plan.Explain(),
-		Blooms:       res.Plan.CountBlooms(),
-		PlanningTime: res.PlanningTime,
-		ExecTime:     time.Since(start),
-		JoinOrder:    res.Plan.JoinOrderSignature(),
-		BloomStats:   r.BloomStats,
+		Rows:           r.Rows,
+		Explain:        res.Plan.Explain() + analyzed,
+		Blooms:         res.Plan.CountBlooms(),
+		PlanningTime:   res.PlanningTime,
+		ExecTime:       execTime,
+		JoinOrder:      res.Plan.JoinOrderSignature(),
+		BloomStats:     r.BloomStats,
+		ExplainAnalyze: analyzed,
+		OpStats:        r.OpStats,
+		Pipelines:      r.Pipelines,
 	}, nil
 }
 

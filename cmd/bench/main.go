@@ -27,15 +27,16 @@ func main() {
 		dop  = flag.Int("dop", 8, "degree of parallelism")
 		reps = flag.Int("reps", 3, "repetitions per query (first is warm-up)")
 		exp  = flag.String("experiment", "all", "table2|table3|fig1|fig6|naive|mae|ablation|all")
+		jout = flag.String("json", "BENCH_PR1.json", "machine-readable Table 2 report path (empty disables)")
 	)
 	flag.Parse()
-	if err := run(*sf, *seed, *dop, *reps, *exp); err != nil {
+	if err := run(*sf, *seed, *dop, *reps, *exp, *jout); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sf float64, seed uint64, dop, reps int, exp string) error {
+func run(sf float64, seed uint64, dop, reps int, exp, jsonPath string) error {
 	mk := func(h7 bool) (*bench.Harness, error) {
 		return bench.NewHarness(bench.Config{
 			ScaleFactor: sf, Seed: seed, DOP: dop, Reps: reps, Heuristic7: h7,
@@ -53,6 +54,12 @@ func run(sf float64, seed uint64, dop, reps int, exp string) error {
 			return err
 		}
 		t.Print(w, fmt.Sprintf("Table 2 / Figure 5 — normalized TPC-H latencies (SF %g, DOP %d)", sf, dop))
+		if jsonPath != "" {
+			if err := h.WriteJSON(jsonPath, t); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", jsonPath)
+		}
 		return nil
 	}
 	runTable3 := func() error {

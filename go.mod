@@ -1,0 +1,3 @@
+module bfcbo
+
+go 1.24

@@ -72,10 +72,16 @@ func (h *Harness) options(mode optimizer.Mode) optimizer.Options {
 
 // QueryRun is the measured outcome of one (query, mode) cell.
 type QueryRun struct {
-	Query        int
-	Mode         optimizer.Mode
-	Latency      time.Duration
-	PlannerTime  time.Duration
+	Query       int
+	Mode        optimizer.Mode
+	Latency     time.Duration
+	PlannerTime time.Duration
+	// ExecTime is the median executor-only latency (Latency minus the
+	// planning component).
+	ExecTime time.Duration
+	// Pipelines reports the morsel-driven executor's per-pipeline timings
+	// for the measured run.
+	Pipelines    []exec.PipelineStat
 	Blooms       int
 	OutputRows   int
 	JoinOrderSig string
@@ -125,8 +131,10 @@ func (h *Harness) RunQuery(num int, mode optimizer.Mode) (*QueryRun, error) {
 		Query: num, Mode: mode,
 		Latency:      med + res.PlanningTime,
 		PlannerTime:  res.PlanningTime,
+		ExecTime:     med,
+		Pipelines:    r.Pipelines,
 		Blooms:       res.Plan.CountBlooms(),
-		OutputRows:   r.Out.Len(),
+		OutputRows:   r.Rows,
 		JoinOrderSig: res.Plan.JoinOrderSignature(),
 		Plan:         res.Plan,
 		Actuals:      r,
@@ -179,10 +187,25 @@ type Row struct {
 	MAECBO         float64
 }
 
+// Cell is one raw (query, mode) measurement kept alongside the normalized
+// Table 2 rows, for machine-readable reports.
+type Cell struct {
+	Query     int     `json:"query"`
+	Mode      string  `json:"mode"`
+	PlanMS    float64 `json:"plan_ms"`
+	ExecMS    float64 `json:"exec_ms"`
+	Blooms    int     `json:"blooms"`
+	Rows      int     `json:"rows"`
+	MAE       float64 `json:"mae"`
+	JoinOrder string  `json:"join_order"`
+}
+
 // Table2 reproduces the paper's Table 2 (and Fig. 5): normalized latencies
 // and planner times across the analyzed queries.
 type Table2 struct {
 	Rows []Row
+	// Cells holds the raw per-(query, mode) measurements behind Rows.
+	Cells []Cell
 	// Totals mirror the paper's "total" line.
 	TotalNormPost, TotalNormCBO, TotalPct      float64
 	TotalPlannerPostMS, TotalPlannerCBOMS      float64
@@ -214,6 +237,18 @@ func (h *Harness) RunTable2(queries []int) (*Table2, error) {
 		if post.OutputRows != noBF.OutputRows || cbo.OutputRows != noBF.OutputRows {
 			return nil, fmt.Errorf("bench: Q%d result mismatch across modes: %d/%d/%d rows",
 				num, noBF.OutputRows, post.OutputRows, cbo.OutputRows)
+		}
+		for _, qr := range []*QueryRun{noBF, post, cbo} {
+			t.Cells = append(t.Cells, Cell{
+				Query:     qr.Query,
+				Mode:      qr.Mode.String(),
+				PlanMS:    qr.PlannerTime.Seconds() * 1000,
+				ExecMS:    qr.ExecTime.Seconds() * 1000,
+				Blooms:    qr.Blooms,
+				Rows:      qr.OutputRows,
+				MAE:       qr.MAE,
+				JoinOrder: qr.JoinOrderSig,
+			})
 		}
 		base := noBF.Latency.Seconds()
 		if base <= 0 {
@@ -291,6 +326,13 @@ func (h *Harness) FigureReport(w io.Writer, num int) error {
 		for _, bs := range qr.Actuals.BloomStats {
 			fmt.Fprintf(w, "  BF#%d [%s] inserted=%d tested=%d passed=%d saturation=%.3f\n",
 				bs.ID, bs.Strategy, bs.Inserted, bs.Tested, bs.Passed, bs.Saturation)
+		}
+		if len(qr.Pipelines) > 0 {
+			fmt.Fprintf(w, "pipelines (last measured run):\n")
+			for _, ps := range qr.Pipelines {
+				fmt.Fprintf(w, "  %s  workers=%d rows=%d wall=%s\n",
+					ps.Label, ps.Workers, ps.Rows, ps.Wall.Round(time.Microsecond))
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// JSONReport is the machine-readable companion of the Table 2 text report:
+// raw per-query per-mode planning/execution latencies, Bloom filter counts
+// and cardinality MAE, plus the run configuration and summary lines. It
+// seeds the performance trajectory tracked across PRs (BENCH_PR1.json and
+// successors).
+type JSONReport struct {
+	ScaleFactor float64 `json:"scale_factor"`
+	Seed        uint64  `json:"seed"`
+	DOP         int     `json:"dop"`
+	Reps        int     `json:"reps"`
+	Heuristic7  bool    `json:"heuristic7"`
+
+	Cells []Cell `json:"cells"`
+
+	Summary struct {
+		TotalNormPost     float64 `json:"total_norm_post"`
+		TotalNormCBO      float64 `json:"total_norm_cbo"`
+		TotalPct          float64 `json:"total_pct_improvement"`
+		MeanMAEPost       float64 `json:"mean_mae_post"`
+		MeanMAECBO        float64 `json:"mean_mae_cbo"`
+		MAEImprovementPct float64 `json:"mae_improvement_pct"`
+	} `json:"summary"`
+}
+
+// JSONReport assembles the machine-readable report for a completed Table 2
+// run on this harness.
+func (h *Harness) JSONReport(t *Table2) *JSONReport {
+	r := &JSONReport{
+		ScaleFactor: h.cfg.ScaleFactor,
+		Seed:        h.cfg.Seed,
+		DOP:         h.cfg.DOP,
+		Reps:        h.cfg.Reps,
+		Heuristic7:  h.cfg.Heuristic7,
+		Cells:       t.Cells,
+	}
+	r.Summary.TotalNormPost = t.TotalNormPost
+	r.Summary.TotalNormCBO = t.TotalNormCBO
+	r.Summary.TotalPct = t.TotalPct
+	r.Summary.MeanMAEPost = t.MeanMAEPost
+	r.Summary.MeanMAECBO = t.MeanMAECBO
+	r.Summary.MAEImprovementPct = t.MAEImprovementPct
+	return r
+}
+
+// WriteJSON writes the report to path, indented for diffability.
+func (h *Harness) WriteJSON(path string, t *Table2) error {
+	data, err := json.MarshalIndent(h.JSONReport(t), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

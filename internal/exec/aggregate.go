@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"bfcbo/internal/query"
 	"bfcbo/internal/storage"
 )
 
@@ -66,6 +67,240 @@ func GroupCount(rs *RowSet, tbl *storage.Table, rel int, col string) (map[string
 			continue
 		}
 		out[c.Strings[id]]++
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Streaming aggregation: the pipelined counterpart of the helpers above.
+// When Options.Aggregates is set, the root pipeline's result sink is an
+// aggregation operator — each worker folds its batches into private
+// partials which are merged once at the end, so the final join output is
+// never materialized.
+
+// AggKind selects the aggregate computed by one AggSpec.
+type AggKind int
+
+const (
+	// AggCountStar counts result rows; no columns needed.
+	AggCountStar AggKind = iota
+	// AggSum sums the float column Rel.Col (null-extended rows skipped).
+	AggSum
+	// AggRevenue computes Σ price·(1 − discount) over Rel.
+	AggRevenue
+	// AggGroupCount counts rows per value of the string column KeyRel.KeyCol
+	// (null-extended rows count under "<null>").
+	AggGroupCount
+	// AggGroupRevenue computes Σ price·(1 − discount) over Rel per value of
+	// KeyRel.KeyCol (rows with either side null-extended are skipped).
+	AggGroupRevenue
+)
+
+// AggSpec describes one aggregate over the final join output.
+type AggSpec struct {
+	Kind AggKind
+	// Rel / Col locate the value column (AggSum), or Rel + PriceCol/DiscCol
+	// the revenue columns (AggRevenue, AggGroupRevenue).
+	Rel               int
+	Col               string
+	PriceCol, DiscCol string
+	// KeyRel / KeyCol locate the string grouping column (AggGroupCount,
+	// AggGroupRevenue).
+	KeyRel int
+	KeyCol string
+}
+
+// AggValue is the computed result of one AggSpec; the field matching the
+// spec's kind is populated.
+type AggValue struct {
+	Count     int64
+	Sum       float64
+	Groups    map[string]int
+	GroupSums map[string]float64
+}
+
+// aggCols is one spec with its column vectors resolved against storage.
+type aggCols struct {
+	spec        AggSpec
+	vals        []float64 // AggSum value column
+	price, disc []float64
+	keys        []string
+}
+
+func (ex *executor) resolveAgg(spec AggSpec) (aggCols, error) {
+	a := aggCols{spec: spec}
+	var err error
+	floatCol := func(rel int, name string) ([]float64, error) {
+		c, err := ex.tables[rel].Column(name)
+		if err != nil {
+			return nil, err
+		}
+		if c.Floats == nil {
+			return nil, fmt.Errorf("exec: aggregate needs a float column, %s.%s is not", ex.tables[rel].Name, name)
+		}
+		return c.Floats, nil
+	}
+	switch spec.Kind {
+	case AggCountStar:
+	case AggSum:
+		if a.vals, err = floatCol(spec.Rel, spec.Col); err != nil {
+			return a, err
+		}
+	case AggRevenue, AggGroupRevenue:
+		if a.price, err = floatCol(spec.Rel, spec.PriceCol); err != nil {
+			return a, err
+		}
+		if a.disc, err = floatCol(spec.Rel, spec.DiscCol); err != nil {
+			return a, err
+		}
+	}
+	switch spec.Kind {
+	case AggGroupCount, AggGroupRevenue:
+		c, err := ex.tables[spec.KeyRel].Column(spec.KeyCol)
+		if err != nil {
+			return a, err
+		}
+		if c.Strings == nil {
+			return a, fmt.Errorf("exec: aggregate group key must be a string column, %s.%s is not",
+				ex.tables[spec.KeyRel].Name, spec.KeyCol)
+		}
+		a.keys = c.Strings
+	}
+	return a, nil
+}
+
+// aggPartial is one worker's accumulator for one spec.
+type aggPartial struct {
+	count     int64
+	sum       float64
+	groups    map[string]int
+	groupSums map[string]float64
+}
+
+// fold accumulates one batch into the partial.
+func (a *aggCols) fold(p *aggPartial, b *RowSet) {
+	switch a.spec.Kind {
+	case AggCountStar:
+		p.count += int64(b.Len())
+	case AggSum:
+		for _, id := range b.Col(a.spec.Rel) {
+			if id < 0 {
+				continue
+			}
+			p.sum += a.vals[id]
+		}
+	case AggRevenue:
+		for _, id := range b.Col(a.spec.Rel) {
+			if id < 0 {
+				continue
+			}
+			p.sum += a.price[id] * (1 - a.disc[id])
+		}
+	case AggGroupCount:
+		if p.groups == nil {
+			p.groups = make(map[string]int)
+		}
+		for _, id := range b.Col(a.spec.KeyRel) {
+			if id < 0 {
+				p.groups["<null>"]++
+				continue
+			}
+			p.groups[a.keys[id]]++
+		}
+	case AggGroupRevenue:
+		if p.groupSums == nil {
+			p.groupSums = make(map[string]float64)
+		}
+		keys := b.Col(a.spec.KeyRel)
+		vals := b.Col(a.spec.Rel)
+		for i := range keys {
+			if keys[i] < 0 || vals[i] < 0 {
+				continue
+			}
+			p.groupSums[a.keys[keys[i]]] += a.price[vals[i]] * (1 - a.disc[vals[i]])
+		}
+	}
+}
+
+// aggSink is the streaming-aggregation result sink: partials per (worker,
+// spec), merged in finish.
+type aggSink struct {
+	ex       *executor
+	cols     []aggCols
+	partials [][]aggPartial // [worker][spec]
+	rowsSeen []int64        // per worker
+}
+
+func (ex *executor) newAggSink(rels query.RelSet, workers int) (sink, error) {
+	s := &aggSink{
+		ex:       ex,
+		partials: make([][]aggPartial, workers),
+		rowsSeen: make([]int64, workers),
+	}
+	for _, spec := range ex.aggSpecs {
+		a, err := ex.resolveAgg(spec)
+		if err != nil {
+			return nil, err
+		}
+		s.cols = append(s.cols, a)
+	}
+	for w := range s.partials {
+		s.partials[w] = make([]aggPartial, len(s.cols))
+	}
+	return s, nil
+}
+
+func (s *aggSink) consume(w int, b *RowSet) {
+	s.rowsSeen[w] += int64(b.Len())
+	for i := range s.cols {
+		s.cols[i].fold(&s.partials[w][i], b)
+	}
+}
+
+func (s *aggSink) finish() error {
+	out := make([]AggValue, len(s.cols))
+	for i := range s.cols {
+		v := &out[i]
+		for w := range s.partials {
+			p := &s.partials[w][i]
+			v.Count += p.count
+			v.Sum += p.sum
+			for k, n := range p.groups {
+				if v.Groups == nil {
+					v.Groups = make(map[string]int)
+				}
+				v.Groups[k] += n
+			}
+			for k, x := range p.groupSums {
+				if v.GroupSums == nil {
+					v.GroupSums = make(map[string]float64)
+				}
+				v.GroupSums[k] += x
+			}
+		}
+	}
+	s.ex.aggs = out
+	var rows int64
+	for _, n := range s.rowsSeen {
+		rows += n
+	}
+	s.ex.rows = int(rows)
+	return nil
+}
+
+// aggregateRowSet computes the same aggregates post-hoc from a
+// materialized result — the legacy executor's path, kept so A/B tests can
+// diff it against the streaming sink.
+func (ex *executor) aggregateRowSet(rs *RowSet, specs []AggSpec) ([]AggValue, error) {
+	out := make([]AggValue, len(specs))
+	for i, spec := range specs {
+		a, err := ex.resolveAgg(spec)
+		if err != nil {
+			return nil, err
+		}
+		var p aggPartial
+		a.fold(&p, rs)
+		out[i] = AggValue{Count: p.count, Sum: p.sum, Groups: p.groups, GroupSums: p.groupSums}
 	}
 	return out, nil
 }

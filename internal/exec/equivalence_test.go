@@ -1,0 +1,114 @@
+package exec
+
+import (
+	"sync"
+	"testing"
+
+	"bfcbo/internal/datagen"
+	"bfcbo/internal/optimizer"
+	"bfcbo/internal/tpch"
+)
+
+// The executor-equivalence suite: the pipelined morsel-driven executor and
+// the legacy operator-at-a-time interpreter must produce identical row
+// counts — and identical Bloom filter tested/passed tallies, which are
+// deterministic at a fixed DOP — for every built-in TPC-H query under all
+// four optimizer modes, at DOP 1 and 4.
+
+var (
+	eqOnce sync.Once
+	eqDS   *datagen.Dataset
+	eqErr  error
+)
+
+func equivalenceDataset(t *testing.T) *datagen.Dataset {
+	t.Helper()
+	eqOnce.Do(func() {
+		eqDS, eqErr = datagen.Generate(datagen.Config{ScaleFactor: 0.01, Seed: 71})
+	})
+	if eqErr != nil {
+		t.Fatal(eqErr)
+	}
+	return eqDS
+}
+
+func TestExecutorEquivalenceTPCH(t *testing.T) {
+	ds := equivalenceDataset(t)
+	modes := []optimizer.Mode{optimizer.NoBF, optimizer.BFPost, optimizer.BFCBO, optimizer.Naive}
+	for _, q := range tpch.All() {
+		block := q.Build(ds.Schema)
+		for _, mode := range modes {
+			opts := optimizer.DefaultOptions(0.01)
+			opts.Mode = mode
+			if mode == optimizer.Naive {
+				// The naive strawman's search space explodes on the wider
+				// queries; a capped search that aborts is not an executor
+				// concern, so those cells are skipped.
+				opts.MaxPlansPerSet = 50_000
+			}
+			res, err := optimizer.Optimize(block, opts)
+			if err == optimizer.ErrSearchSpaceExceeded {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("Q%d %s: optimize: %v", q.Num, mode, err)
+			}
+			rowsAtDOP := map[int]int{}
+			for _, dop := range []int{1, 4} {
+				legacy, err := Run(ds.DB, block, res.Plan, Options{DOP: dop, Legacy: true})
+				if err != nil {
+					t.Fatalf("Q%d %s dop %d: legacy exec: %v", q.Num, mode, dop, err)
+				}
+				piped, err := Run(ds.DB, block, res.Plan, Options{DOP: dop})
+				if err != nil {
+					t.Fatalf("Q%d %s dop %d: pipelined exec: %v", q.Num, mode, dop, err)
+				}
+				if legacy.Rows != piped.Rows {
+					t.Errorf("Q%d %s dop %d: rows diverge: legacy=%d pipelined=%d",
+						q.Num, mode, dop, legacy.Rows, piped.Rows)
+				}
+				rowsAtDOP[dop] = piped.Rows
+				// Per-node actuals must agree (both record every node once).
+				for _, na := range legacy.Actuals {
+					if got := piped.ActualFor(na.Node); got != na.Actual {
+						t.Errorf("Q%d %s dop %d: node actual diverges: legacy=%v pipelined=%v",
+							q.Num, mode, dop, na.Actual, got)
+					}
+				}
+				// Bloom runtime tallies are deterministic at fixed DOP: the
+				// same filter bits are built (bit-vector union is order
+				// independent) and the same rows are probed.
+				lbf := bloomByID(legacy.BloomStats)
+				pbf := bloomByID(piped.BloomStats)
+				if len(lbf) != len(pbf) {
+					t.Errorf("Q%d %s dop %d: bloom stat count diverges: %d vs %d",
+						q.Num, mode, dop, len(lbf), len(pbf))
+				}
+				for id, l := range lbf {
+					p, ok := pbf[id]
+					if !ok {
+						t.Errorf("Q%d %s dop %d: bloom %d missing from pipelined run", q.Num, mode, dop, id)
+						continue
+					}
+					if l.Strategy != p.Strategy || l.Inserted != p.Inserted ||
+						l.Tested != p.Tested || l.Passed != p.Passed {
+						t.Errorf("Q%d %s dop %d: bloom %d diverges: legacy=%+v pipelined=%+v",
+							q.Num, mode, dop, id, l, p)
+					}
+				}
+			}
+			if rowsAtDOP[1] != rowsAtDOP[4] {
+				t.Errorf("Q%d %s: pipelined rows differ across DOP: dop1=%d dop4=%d",
+					q.Num, mode, rowsAtDOP[1], rowsAtDOP[4])
+			}
+		}
+	}
+}
+
+func bloomByID(stats []BloomRuntime) map[int]BloomRuntime {
+	m := make(map[int]BloomRuntime, len(stats))
+	for _, s := range stats {
+		m[s.ID] = s
+	}
+	return m
+}

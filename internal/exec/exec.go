@@ -30,12 +30,34 @@ type NodeActual struct {
 
 // Result is the outcome of executing a plan.
 type Result struct {
+	// Out is the materialized final row set. It is nil when the run used
+	// streaming aggregation (Options.Aggregates); use Rows then.
 	Out *RowSet
+	// Rows is the final output row count, set on every run.
+	Rows int
 	// Actuals records observed output rows per plan node, in execution
 	// order, for estimate-vs-actual analysis (the paper's MAE metric).
 	Actuals []NodeActual
 	// BloomStats describes every Bloom filter that ran.
 	BloomStats []BloomRuntime
+	// OpStats reports per-operator runtime counters in pipeline execution
+	// order (empty for legacy runs).
+	OpStats []OpStat
+	// Pipelines reports each executed pipeline (empty for legacy runs).
+	Pipelines []PipelineStat
+	// Aggregates holds one value per Options.Aggregates spec.
+	Aggregates []AggValue
+}
+
+// StatFor returns the runtime counters recorded for a plan node, or nil
+// (legacy runs record no operator stats).
+func (r *Result) StatFor(n plan.Node) *OpStat {
+	for i := range r.OpStats {
+		if r.OpStats[i].Node == n {
+			return &r.OpStats[i]
+		}
+	}
+	return nil
 }
 
 // ActualFor returns the observed cardinality for a node (or -1).
@@ -58,11 +80,24 @@ type executor struct {
 	block    *query.Block
 	dop      int
 	satLimit float64
+	morsel   int
 
 	tables  []*storage.Table // by relation index
 	filters map[int]bloomHandle
 	fstats  map[int]*BloomRuntime
 	specs   map[int]plan.BloomSpec
+
+	// Pipelined-execution state: breaker outputs keyed by their join, the
+	// per-operator stat registry, and the final output.
+	builds   map[*plan.Join]*hashTable
+	sorted   map[*plan.Join]*mergePair
+	mats     map[*plan.Join]*nlInner
+	stats    []*opStats
+	pipes    []PipelineStat
+	aggSpecs []AggSpec
+	aggs     []AggValue
+	out      *RowSet
+	rows     int
 
 	mu      sync.Mutex
 	actuals []NodeActual
@@ -80,6 +115,19 @@ type Options struct {
 	// nothing while still costing a test per row. Skipped filters are
 	// reported with Strategy "skipped".
 	SaturationLimit float64
+	// Legacy selects the original operator-at-a-time interpreter that
+	// fully materializes every intermediate row set. The default is the
+	// morsel-driven pipelined executor; the legacy path exists so A/B
+	// correctness tests can diff the two on identical plans.
+	Legacy bool
+	// MorselSize overrides the rows-per-morsel granularity of the
+	// pipelined executor; 0 means DefaultMorselSize.
+	MorselSize int
+	// Aggregates, when non-empty, replaces final-result materialization
+	// with streaming aggregation: Result.Out stays nil and
+	// Result.Aggregates holds one value per spec. The legacy executor
+	// computes the same values post-hoc from its materialized output.
+	Aggregates []AggSpec
 }
 
 // Run executes a physical plan over the database and returns the final row
@@ -92,11 +140,20 @@ func Run(db *storage.Database, block *query.Block, p *plan.Plan, opts Options) (
 			dop = 8
 		}
 	}
+	morsel := opts.MorselSize
+	if morsel <= 0 {
+		morsel = DefaultMorselSize
+	}
 	ex := &executor{
 		db: db, block: block, dop: dop, satLimit: opts.SaturationLimit,
-		filters: make(map[int]bloomHandle),
-		fstats:  make(map[int]*BloomRuntime),
-		specs:   make(map[int]plan.BloomSpec),
+		morsel:   morsel,
+		filters:  make(map[int]bloomHandle),
+		fstats:   make(map[int]*BloomRuntime),
+		specs:    make(map[int]plan.BloomSpec),
+		builds:   make(map[*plan.Join]*hashTable),
+		sorted:   make(map[*plan.Join]*mergePair),
+		mats:     make(map[*plan.Join]*nlInner),
+		aggSpecs: opts.Aggregates,
 	}
 	for _, s := range p.Blooms {
 		ex.specs[s.ID] = s
@@ -109,11 +166,29 @@ func Run(db *storage.Database, block *query.Block, p *plan.Plan, opts Options) (
 		}
 		ex.tables[i] = t
 	}
-	out, err := ex.node(p.Root)
-	if err != nil {
+	if opts.Legacy {
+		out, err := ex.node(p.Root)
+		if err != nil {
+			return nil, err
+		}
+		ex.out, ex.rows = out, out.Len()
+		if len(opts.Aggregates) > 0 {
+			aggs, err := ex.aggregateRowSet(out, opts.Aggregates)
+			if err != nil {
+				return nil, err
+			}
+			ex.aggs = aggs
+		}
+	} else if err := ex.runPipelined(p); err != nil {
 		return nil, err
 	}
-	res := &Result{Out: out, Actuals: ex.actuals}
+	res := &Result{
+		Out: ex.out, Rows: ex.rows, Actuals: ex.actuals,
+		Pipelines: ex.pipes, Aggregates: ex.aggs,
+	}
+	for _, st := range ex.stats {
+		res.OpStats = append(res.OpStats, st.snapshot())
+	}
 	for _, s := range p.Blooms {
 		if st, ok := ex.fstats[s.ID]; ok {
 			res.BloomStats = append(res.BloomStats, *st)

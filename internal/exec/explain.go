@@ -1,0 +1,63 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bfcbo/internal/plan"
+)
+
+// ExplainAnalyze renders the plan tree annotated with observed runtime —
+// actual rows next to the planner's estimates, plus batch counts and
+// in-operator wall time from the pipelined executor — followed by the
+// per-pipeline schedule and Bloom filter runtime. For legacy runs (no
+// operator stats) it falls back to est→actual rows only.
+func (r *Result) ExplainAnalyze(p *plan.Plan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "executed (%s)  rows=%d  blooms=%d\n", p.Mode, r.Rows, len(p.Blooms))
+	r.explainNode(&b, p.Root, 1)
+	if len(r.Pipelines) > 0 {
+		fmt.Fprintf(&b, "pipelines (%d):\n", len(r.Pipelines))
+		for _, ps := range r.Pipelines {
+			fmt.Fprintf(&b, "  %s  workers=%d rows=%d wall=%s\n",
+				ps.Label, ps.Workers, ps.Rows, ps.Wall.Round(time.Microsecond))
+		}
+	}
+	for _, bs := range r.BloomStats {
+		fmt.Fprintf(&b, "  BF#%d [%s] inserted=%d tested=%d passed=%d saturation=%.3f\n",
+			bs.ID, bs.Strategy, bs.Inserted, bs.Tested, bs.Passed, bs.Saturation)
+	}
+	return b.String()
+}
+
+func (r *Result) explainNode(b *strings.Builder, n plan.Node, depth int) {
+	ind := strings.Repeat("  ", depth)
+	head := ""
+	switch t := n.(type) {
+	case *plan.Scan:
+		head = fmt.Sprintf("Scan %s (%s)", t.Alias, t.Table)
+		if len(t.ApplyBlooms) > 0 {
+			head += fmt.Sprintf("  blooms=%v", t.ApplyBlooms)
+		}
+	case *plan.Join:
+		head = fmt.Sprintf("%s(%s) %s", t.Method, t.JoinType, t.Streaming)
+		if len(t.BuildBlooms) > 0 {
+			head += fmt.Sprintf("  buildBF=%v", t.BuildBlooms)
+		}
+	default:
+		head = fmt.Sprintf("%T", n)
+	}
+	fmt.Fprintf(b, "%s%s  est=%.0f", ind, head, n.EstRows())
+	if st := r.StatFor(n); st != nil {
+		fmt.Fprintf(b, " actual=%d batches=%d wall=%s",
+			st.RowsOut, st.Batches, st.Wall.Round(time.Microsecond))
+	} else if a := r.ActualFor(n); a >= 0 {
+		fmt.Fprintf(b, " actual=%.0f", a)
+	}
+	b.WriteByte('\n')
+	if j, ok := n.(*plan.Join); ok {
+		r.explainNode(b, j.Outer, depth+1)
+		r.explainNode(b, j.Inner, depth+1)
+	}
+}

@@ -107,7 +107,7 @@ func joinPartition(jt query.JoinType, out query.RelSet, outer, inner *RowSet,
 	for _, ii := range iIdx {
 		ht[innerKeys[ii]] = append(ht[innerKeys[ii]], ii)
 	}
-	res := NewRowSet(out)
+	res := NewRowSetCap(out, len(oIdx))
 	switch jt {
 	case query.Inner:
 		for _, oi := range oIdx {
@@ -188,7 +188,7 @@ func (ex *executor) mergeJoin(j *plan.Join, outer, inner *RowSet) (*RowSet, erro
 	}
 
 	out := outer.rels.Union(inner.rels)
-	res := NewRowSet(out)
+	res := NewRowSetCap(out, len(oIdx))
 	oi, ii := 0, 0
 	for oi < len(oIdx) && ii < len(iIdx) {
 		ok, ik := outerKeys[oIdx[oi]], innerKeys[iIdx[ii]]

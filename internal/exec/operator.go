@@ -1,0 +1,87 @@
+package exec
+
+import (
+	"sync/atomic"
+	"time"
+
+	"bfcbo/internal/plan"
+)
+
+// DefaultMorselSize is the number of source rows a worker claims per
+// NextBatch when Options.MorselSize is zero. Small enough that batches of
+// row ids stay cache-resident through a scan→probe→probe chain, large
+// enough that the shared cursor is not contended.
+const DefaultMorselSize = 1024
+
+// PhysicalOperator is the morsel-driven execution interface. Each worker
+// of a pipeline owns a private operator chain; NextBatch pulls the next
+// batch of rows (a small RowSet in the usual late-materialization layout)
+// or nil at end of stream. Shared state behind the per-worker instances
+// (the morsel cursor, hash tables, sorted runs) is owned by the pipeline.
+type PhysicalOperator interface {
+	// Open prepares per-worker state before the first NextBatch.
+	Open() error
+	// NextBatch returns the next non-empty batch, or nil at end of stream.
+	NextBatch() (*RowSet, error)
+	// Close releases per-worker state after the last NextBatch.
+	Close() error
+}
+
+// opStats are the shared runtime counters of one plan operator, updated
+// with one atomic add per batch by every worker that runs an instance.
+type opStats struct {
+	label     string
+	node      plan.Node
+	rowsIn    atomic.Int64
+	rowsOut   atomic.Int64
+	batches   atomic.Int64
+	wallNanos atomic.Int64
+}
+
+func (s *opStats) observe(rowsIn, rowsOut int, d time.Duration) {
+	s.rowsIn.Add(int64(rowsIn))
+	s.rowsOut.Add(int64(rowsOut))
+	s.batches.Add(1)
+	s.wallNanos.Add(int64(d))
+}
+
+// OpStat is the exported snapshot of one operator's runtime counters, the
+// raw material of EXPLAIN ANALYZE.
+type OpStat struct {
+	// Label names the operator, e.g. "Scan l" or "HashJoin(inner) probe".
+	Label string
+	// Node is the plan node the operator implements.
+	Node plan.Node
+	// RowsIn / RowsOut are total input and output rows across all workers.
+	// For sources RowsIn counts rows scanned before filtering.
+	RowsIn, RowsOut int64
+	// Batches is the number of morsels/batches processed.
+	Batches int64
+	// Wall is the summed in-operator wall time across workers (it can
+	// exceed the pipeline's elapsed time under parallelism).
+	Wall time.Duration
+}
+
+func (s *opStats) snapshot() OpStat {
+	return OpStat{
+		Label:   s.label,
+		Node:    s.node,
+		RowsIn:  s.rowsIn.Load(),
+		RowsOut: s.rowsOut.Load(),
+		Batches: s.batches.Load(),
+		Wall:    time.Duration(s.wallNanos.Load()),
+	}
+}
+
+// PipelineStat reports one executed pipeline.
+type PipelineStat struct {
+	ID int
+	// Label is the pipeline's one-line description (source -> ops -> sink).
+	Label string
+	// Workers is the degree of parallelism the pipeline ran with.
+	Workers int
+	// Wall is the elapsed time of the whole pipeline including its sink.
+	Wall time.Duration
+	// Rows is the number of rows the pipeline delivered to its sink.
+	Rows int64
+}

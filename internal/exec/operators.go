@@ -1,0 +1,525 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bfcbo/internal/bloom"
+	"bfcbo/internal/plan"
+	"bfcbo/internal/query"
+	"bfcbo/internal/storage"
+)
+
+// ---------------------------------------------------------------------------
+// Scan source: workers pull morsels of base-table rows from a shared atomic
+// cursor, apply the residual predicate and Bloom probes, and emit batches of
+// qualifying row ids. This is the morsel-driven entry point of a pipeline.
+
+// scanBloom is one Bloom filter a scan probes, with shared atomic tallies.
+type scanBloom struct {
+	h      bloomHandle
+	vals   []int64
+	vals2  []int64 // second column of a multi-column filter, or nil
+	st     *BloomRuntime
+	tested atomic.Int64
+	passed atomic.Int64
+}
+
+// scanSource is the shared state of a scan pipeline source.
+type scanSource struct {
+	s      *plan.Scan
+	tbl    *storage.Table
+	pred   query.Predicate
+	bfs    []*scanBloom
+	n      int
+	morsel int
+	cursor atomic.Int64
+	stats  *opStats
+}
+
+func (ex *executor) newScanSource(s *plan.Scan, stats *opStats) (*scanSource, error) {
+	tbl := ex.tables[s.Rel]
+	src := &scanSource{
+		s: s, tbl: tbl, pred: s.Pred,
+		n: tbl.NumRows(), morsel: ex.morsel, stats: stats,
+	}
+	for _, id := range s.ApplyBlooms {
+		h, ok := ex.filters[id]
+		if !ok {
+			return nil, fmt.Errorf("exec: scan of %s requires Bloom filter %d which was never built (plan bug)", s.Alias, id)
+		}
+		spec := ex.specs[id]
+		col, err := tbl.Column(spec.ApplyCol)
+		if err != nil {
+			return nil, fmt.Errorf("exec: bloom %d: %w", id, err)
+		}
+		entry := &scanBloom{h: h, vals: col.Ints, st: ex.fstats[id]}
+		if spec.ApplyCol2 != "" {
+			col2, err := tbl.Column(spec.ApplyCol2)
+			if err != nil {
+				return nil, fmt.Errorf("exec: bloom %d: %w", id, err)
+			}
+			entry.vals2 = col2.Ints
+		}
+		src.bfs = append(src.bfs, entry)
+	}
+	return src, nil
+}
+
+// flushBloomStats folds the atomic tallies into the BloomRuntime records;
+// called once, after the pipeline's workers have all finished.
+func (src *scanSource) flushBloomStats() {
+	for _, b := range src.bfs {
+		if b.st != nil {
+			b.st.Tested += b.tested.Load()
+			b.st.Passed += b.passed.Load()
+		}
+	}
+}
+
+// scanOp is the per-worker operator over a shared scanSource.
+type scanOp struct {
+	src *scanSource
+}
+
+func (o *scanOp) Open() error  { return nil }
+func (o *scanOp) Close() error { return nil }
+
+func (o *scanOp) NextBatch() (*RowSet, error) {
+	src := o.src
+	localTested := make([]int64, len(src.bfs))
+	localPassed := make([]int64, len(src.bfs))
+	for {
+		lo := int(src.cursor.Add(int64(src.morsel))) - src.morsel
+		if lo >= src.n {
+			return nil, nil
+		}
+		hi := lo + src.morsel
+		if hi > src.n {
+			hi = src.n
+		}
+		start := time.Now()
+		out := NewRowSetCap(query.NewRelSet(src.s.Rel), hi-lo)
+		col := out.cols[0]
+		for k := range localTested {
+			localTested[k], localPassed[k] = 0, 0
+		}
+	rows:
+		for i := lo; i < hi; i++ {
+			if src.pred != nil && !src.pred.Eval(src.tbl, i) {
+				continue
+			}
+			for k, b := range src.bfs {
+				localTested[k]++
+				key := b.vals[i]
+				if b.vals2 != nil {
+					key = bloom.CombineKeys(key, b.vals2[i])
+				}
+				if !b.h.MayContain(key) {
+					continue rows
+				}
+				localPassed[k]++
+			}
+			col = append(col, int32(i))
+		}
+		out.cols[0] = col
+		for k, b := range src.bfs {
+			b.tested.Add(localTested[k])
+			b.passed.Add(localPassed[k])
+		}
+		src.stats.observe(hi-lo, len(col), time.Since(start))
+		if len(col) > 0 {
+			return out, nil
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Hash-join probe: batches stream against a shared, read-only hash table
+// built by the join's build pipeline.
+
+// hashTable is the shared result of a hash-build sink: the materialized
+// build side plus partitioned key→row-index maps (partitioned only so the
+// build can run across workers; probes read all partitions freely).
+type hashTable struct {
+	inner       *RowSet
+	innerKeys   []int64
+	innerExtras [][]int64
+	parts       []map[int64][]int32
+}
+
+func (ht *hashTable) lookup(key int64) []int32 {
+	return ht.parts[int(hashKey(key)%uint64(len(ht.parts)))][key]
+}
+
+// buildHashTable partitions the build side by key hash and builds one map
+// per partition in parallel.
+func buildHashTable(ex *executor, j *plan.Join, inner *RowSet) (*hashTable, error) {
+	if len(j.Conds) == 0 {
+		return nil, fmt.Errorf("exec: hash join with no conditions")
+	}
+	switch j.JoinType {
+	case query.Inner, query.Semi, query.Anti, query.Left:
+	default:
+		return nil, fmt.Errorf("exec: unsupported hash join type %s", j.JoinType)
+	}
+	c0 := j.Conds[0]
+	ht := &hashTable{
+		inner:     inner,
+		innerKeys: keyColumn(inner, ex.tables[c0.InnerRel], c0.InnerRel, c0.InnerCol),
+	}
+	for _, c := range j.Conds[1:] {
+		ht.innerExtras = append(ht.innerExtras,
+			keyColumn(inner, ex.tables[c.InnerRel], c.InnerRel, c.InnerCol))
+	}
+	nparts := ex.dop
+	if nparts < 1 {
+		nparts = 1
+	}
+	idx := partitionIdx(ht.innerKeys, nparts)
+	ht.parts = make([]map[int64][]int32, nparts)
+	var wg sync.WaitGroup
+	for p := 0; p < nparts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			m := make(map[int64][]int32, len(idx[p]))
+			for _, ii := range idx[p] {
+				k := ht.innerKeys[ii]
+				m[k] = append(m[k], int32(ii))
+			}
+			ht.parts[p] = m
+		}(p)
+	}
+	wg.Wait()
+	return ht, nil
+}
+
+// probeShared is the per-pipeline state of one hash-probe operator.
+type probeShared struct {
+	j       *plan.Join
+	ht      *hashTable
+	outRels query.RelSet
+	// outerVals[e] maps a base-table row id of the outer key relation to
+	// its key value; e=0 is the hash condition, the rest verify extras.
+	outerVals [][]int64
+	outerRels []int
+	stats     *opStats
+}
+
+func (ex *executor) newProbeShared(j *plan.Join, ht *hashTable, inRels query.RelSet, stats *opStats) (*probeShared, error) {
+	sh := &probeShared{
+		j: j, ht: ht,
+		outRels: inRels.Union(j.Inner.Rels()),
+		stats:   stats,
+	}
+	for _, c := range j.Conds {
+		col, err := ex.tables[c.OuterRel].Column(c.OuterCol)
+		if err != nil {
+			return nil, fmt.Errorf("exec: probe column: %w", err)
+		}
+		sh.outerVals = append(sh.outerVals, col.Ints)
+		sh.outerRels = append(sh.outerRels, c.OuterRel)
+	}
+	return sh, nil
+}
+
+// probeOp streams batches from child through the hash table.
+type probeOp struct {
+	sh    *probeShared
+	child PhysicalOperator
+}
+
+func (o *probeOp) Open() error  { return o.child.Open() }
+func (o *probeOp) Close() error { return o.child.Close() }
+
+// match verifies the extra (non-hash) conditions for one candidate pair.
+func (sh *probeShared) match(outerIDs [][]int32, oi int, ii int32) bool {
+	for e := 1; e < len(sh.outerVals); e++ {
+		if sh.outerVals[e][outerIDs[e][oi]] != sh.ht.innerExtras[e-1][ii] {
+			return false
+		}
+	}
+	return true
+}
+
+func (o *probeOp) NextBatch() (*RowSet, error) {
+	sh := o.sh
+	for {
+		in, err := o.child.NextBatch()
+		if err != nil || in == nil {
+			return nil, err
+		}
+		start := time.Now()
+		n := in.Len()
+		out := NewRowSetCap(sh.outRels, n)
+		// Row-id column of the outer key relation per condition, resolved
+		// once per batch.
+		outerIDs := make([][]int32, len(sh.outerRels))
+		for e, rel := range sh.outerRels {
+			outerIDs[e] = in.Col(rel)
+		}
+		keyIDs, keyVals := outerIDs[0], sh.outerVals[0]
+		ht := sh.ht
+		switch sh.j.JoinType {
+		case query.Inner:
+			for oi := 0; oi < n; oi++ {
+				for _, ii := range ht.lookup(keyVals[keyIDs[oi]]) {
+					if sh.match(outerIDs, oi, ii) {
+						out.appendJoined(in, oi, ht.inner, int(ii))
+					}
+				}
+			}
+		case query.Semi:
+			for oi := 0; oi < n; oi++ {
+				for _, ii := range ht.lookup(keyVals[keyIDs[oi]]) {
+					if sh.match(outerIDs, oi, ii) {
+						out.appendJoined(in, oi, ht.inner, int(ii))
+						break
+					}
+				}
+			}
+		case query.Anti:
+			for oi := 0; oi < n; oi++ {
+				found := false
+				for _, ii := range ht.lookup(keyVals[keyIDs[oi]]) {
+					if sh.match(outerIDs, oi, ii) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					out.appendJoined(in, oi, ht.inner, -1)
+				}
+			}
+		case query.Left:
+			for oi := 0; oi < n; oi++ {
+				emitted := false
+				for _, ii := range ht.lookup(keyVals[keyIDs[oi]]) {
+					if sh.match(outerIDs, oi, ii) {
+						out.appendJoined(in, oi, ht.inner, int(ii))
+						emitted = true
+					}
+				}
+				if !emitted {
+					out.appendJoined(in, oi, ht.inner, -1)
+				}
+			}
+		}
+		sh.stats.observe(n, out.Len(), time.Since(start))
+		if out.Len() > 0 {
+			return out, nil
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Nested-loop probe: quadratic fallback against a materialized inner.
+
+// nlInner is the materialized inner input of a nested-loop join with its
+// per-condition key arrays (indexed by inner row position).
+type nlInner struct {
+	rs   *RowSet
+	keys [][]int64
+}
+
+type nlShared struct {
+	j       *plan.Join
+	inner   *nlInner
+	outRels query.RelSet
+	// outerVals / outerRels as in probeShared, one entry per condition.
+	outerVals [][]int64
+	outerRels []int
+	stats     *opStats
+}
+
+func (ex *executor) newNLShared(j *plan.Join, inner *nlInner, inRels query.RelSet, stats *opStats) (*nlShared, error) {
+	if j.JoinType != query.Inner {
+		return nil, fmt.Errorf("exec: nested loop supports inner joins only, got %s", j.JoinType)
+	}
+	sh := &nlShared{
+		j: j, inner: inner,
+		outRels: inRels.Union(j.Inner.Rels()),
+		stats:   stats,
+	}
+	for _, c := range j.Conds {
+		col, err := ex.tables[c.OuterRel].Column(c.OuterCol)
+		if err != nil {
+			return nil, fmt.Errorf("exec: nested-loop column: %w", err)
+		}
+		sh.outerVals = append(sh.outerVals, col.Ints)
+		sh.outerRels = append(sh.outerRels, c.OuterRel)
+	}
+	return sh, nil
+}
+
+type nlProbeOp struct {
+	sh    *nlShared
+	child PhysicalOperator
+}
+
+func (o *nlProbeOp) Open() error  { return o.child.Open() }
+func (o *nlProbeOp) Close() error { return o.child.Close() }
+
+func (o *nlProbeOp) NextBatch() (*RowSet, error) {
+	sh := o.sh
+	for {
+		in, err := o.child.NextBatch()
+		if err != nil || in == nil {
+			return nil, err
+		}
+		start := time.Now()
+		n := in.Len()
+		m := sh.inner.rs.Len()
+		out := NewRowSetCap(sh.outRels, n)
+		outerIDs := make([][]int32, len(sh.outerRels))
+		for e, rel := range sh.outerRels {
+			outerIDs[e] = in.Col(rel)
+		}
+		for oi := 0; oi < n; oi++ {
+			for ii := 0; ii < m; ii++ {
+				good := true
+				for e := range sh.outerVals {
+					if sh.outerVals[e][outerIDs[e][oi]] != sh.inner.keys[e][ii] {
+						good = false
+						break
+					}
+				}
+				if good {
+					out.appendJoined(in, oi, sh.inner.rs, ii)
+				}
+			}
+		}
+		sh.stats.observe(n, out.Len(), time.Since(start))
+		if out.Len() > 0 {
+			return out, nil
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Merge-join source: both inputs were sorted by breaker pipelines; a shared
+// serial merge hands out result batches under a mutex while the pipeline's
+// workers run the downstream operators on them in parallel.
+
+// sortedInput is one sorted, materialized merge-join input.
+type sortedInput struct {
+	rs *RowSet
+	// idx is the row order sorted by keys; keys/extras are indexed by raw
+	// row position (pre-sort), like the legacy merge.
+	idx    []int
+	keys   []int64
+	extras [][]int64
+}
+
+type mergeSource struct {
+	j       *plan.Join
+	outRels query.RelSet
+	morsel  int
+	stats   *opStats
+
+	mu           sync.Mutex
+	outer, inner *sortedInput
+	oi, ii       int // merge positions in sorted order
+	oe, ie       int // current equal-key run ends
+	a, b         int // product cursors within the run
+	inRun        bool
+	done         bool
+}
+
+func (ex *executor) newMergeSource(j *plan.Join, outer, inner *sortedInput, stats *opStats) (*mergeSource, error) {
+	if j.JoinType != query.Inner {
+		return nil, fmt.Errorf("exec: merge join supports inner joins only, got %s", j.JoinType)
+	}
+	if len(j.Conds) == 0 {
+		return nil, fmt.Errorf("exec: merge join with no conditions")
+	}
+	return &mergeSource{
+		j: j, outRels: j.Rels(), morsel: ex.morsel, stats: stats,
+		outer: outer, inner: inner,
+	}, nil
+}
+
+type mergeSourceOp struct{ src *mergeSource }
+
+func (o *mergeSourceOp) Open() error  { return nil }
+func (o *mergeSourceOp) Close() error { return nil }
+
+func (o *mergeSourceOp) NextBatch() (*RowSet, error) {
+	m := o.src
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.done {
+		return nil, nil
+	}
+	start := time.Now()
+	out := NewRowSetCap(m.outRels, m.morsel)
+	scanned := 0
+	for out.Len() < m.morsel {
+		if m.inRun {
+			// Emit the (a, b) candidate of the current equal-key run's
+			// cross product, verifying extra conditions.
+			oa, ib := m.outer.idx[m.a], m.inner.idx[m.b]
+			good := true
+			for e := range m.outer.extras {
+				if m.outer.extras[e][oa] != m.inner.extras[e][ib] {
+					good = false
+					break
+				}
+			}
+			if good {
+				out.appendJoined(m.outer.rs, oa, m.inner.rs, ib)
+			}
+			m.b++
+			if m.b == m.ie {
+				m.b = m.ii
+				m.a++
+				if m.a == m.oe {
+					m.inRun = false
+					m.oi, m.ii = m.oe, m.ie
+				}
+			}
+			continue
+		}
+		if m.oi >= len(m.outer.idx) || m.ii >= len(m.inner.idx) {
+			m.done = true
+			break
+		}
+		ok, ik := m.outer.keys[m.outer.idx[m.oi]], m.inner.keys[m.inner.idx[m.ii]]
+		switch {
+		case ok < ik:
+			m.oi++
+			scanned++
+		case ok > ik:
+			m.ii++
+			scanned++
+		default:
+			m.oe = m.oi
+			for m.oe < len(m.outer.idx) && m.outer.keys[m.outer.idx[m.oe]] == ok {
+				m.oe++
+			}
+			m.ie = m.ii
+			for m.ie < len(m.inner.idx) && m.inner.keys[m.inner.idx[m.ie]] == ik {
+				m.ie++
+			}
+			// Every input row of the run is consumed exactly once here,
+			// so RowsIn counts true merge input rows.
+			scanned += (m.oe - m.oi) + (m.ie - m.ii)
+			m.a, m.b = m.oi, m.ii
+			m.inRun = true
+		}
+	}
+	m.stats.observe(scanned, out.Len(), time.Since(start))
+	if out.Len() == 0 {
+		if !m.done {
+			// Batch filled nothing but the merge is not finished (cannot
+			// happen: an empty batch implies exhausted inputs) — guard
+			// against looping forever anyway.
+			m.done = true
+		}
+		return nil, nil
+	}
+	return out, nil
+}

@@ -1,0 +1,355 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bfcbo/internal/plan"
+	"bfcbo/internal/query"
+)
+
+// This file is the morsel-driven pipeline driver. Pipelines (decomposed by
+// internal/plan) run sequentially in execution order; within a pipeline,
+// DOP workers each own a private operator chain rooted at a shared morsel
+// source and push their batches into a thread-safe sink. Sinks are the
+// pipeline breakers: hash-table build (+ Bloom filter population), sort
+// for merge join, nested-loop materialization, result collection, and
+// streaming aggregation.
+
+// sink consumes a pipeline's output batches. consume is called
+// concurrently by workers (disjoint worker indices); finish runs once
+// after all workers complete.
+type sink interface {
+	consume(worker int, b *RowSet)
+	finish() error
+}
+
+// partsSink accumulates per-worker row sets, merged on demand. It backs
+// every materializing sink.
+type partsSink struct {
+	rels  query.RelSet
+	parts []*RowSet
+}
+
+func newPartsSink(rels query.RelSet, workers int) partsSink {
+	return partsSink{rels: rels, parts: make([]*RowSet, workers)}
+}
+
+func (s *partsSink) consume(w int, b *RowSet) {
+	if s.parts[w] == nil {
+		s.parts[w] = NewRowSet(s.rels)
+	}
+	s.parts[w].appendBatch(b)
+}
+
+func (s *partsSink) merged() *RowSet {
+	live := make([]*RowSet, 0, len(s.parts))
+	for _, p := range s.parts {
+		if p != nil {
+			live = append(live, p)
+		}
+	}
+	return concat(s.rels, live)
+}
+
+// resultSink collects the final query output.
+type resultSink struct {
+	partsSink
+	ex *executor
+}
+
+func (s *resultSink) finish() error {
+	s.ex.out = s.merged()
+	s.ex.rows = s.ex.out.Len()
+	return nil
+}
+
+// hashBuildSink materializes a hash join's build side, populates its Bloom
+// filters (reusing the §3.9 strategy selection), and builds the shared
+// hash table the probe pipeline reads.
+type hashBuildSink struct {
+	partsSink
+	ex *executor
+	j  *plan.Join
+}
+
+func (s *hashBuildSink) finish() error {
+	inner := s.merged()
+	if len(s.j.BuildBlooms) > 0 {
+		if err := s.ex.buildBlooms(s.j, inner); err != nil {
+			return err
+		}
+	}
+	ht, err := buildHashTable(s.ex, s.j, inner)
+	if err != nil {
+		return err
+	}
+	s.ex.builds[s.j] = ht
+	return nil
+}
+
+// mergePair holds both sorted inputs of one merge join.
+type mergePair struct {
+	outer, inner *sortedInput
+}
+
+// sortSink materializes and sorts one merge-join input on its first join
+// condition — the sort is the pipeline breaker.
+type sortSink struct {
+	partsSink
+	ex      *executor
+	j       *plan.Join
+	isInner bool
+}
+
+func (s *sortSink) finish() error {
+	if len(s.j.BuildBlooms) > 0 {
+		return fmt.Errorf("exec: Bloom filters can only be built at hash joins, got %s", s.j.Method)
+	}
+	if s.j.JoinType != query.Inner {
+		return fmt.Errorf("exec: merge join supports inner joins only, got %s", s.j.JoinType)
+	}
+	if len(s.j.Conds) == 0 {
+		return fmt.Errorf("exec: merge join with no conditions")
+	}
+	rs := s.merged()
+	in := &sortedInput{rs: rs}
+	for i, c := range s.j.Conds {
+		rel, col := c.OuterRel, c.OuterCol
+		if s.isInner {
+			rel, col = c.InnerRel, c.InnerCol
+		}
+		keys := keyColumn(rs, s.ex.tables[rel], rel, col)
+		if i == 0 {
+			in.keys = keys
+			in.idx = sortByKey(keys)
+		} else {
+			in.extras = append(in.extras, keys)
+		}
+	}
+	pair := s.ex.sorted[s.j]
+	if pair == nil {
+		pair = &mergePair{}
+		s.ex.sorted[s.j] = pair
+	}
+	if s.isInner {
+		pair.inner = in
+	} else {
+		pair.outer = in
+	}
+	return nil
+}
+
+// materializeSink materializes a nested-loop join's inner input with its
+// per-condition key arrays.
+type materializeSink struct {
+	partsSink
+	ex *executor
+	j  *plan.Join
+}
+
+func (s *materializeSink) finish() error {
+	if len(s.j.BuildBlooms) > 0 {
+		return fmt.Errorf("exec: Bloom filters can only be built at hash joins, got %s", s.j.Method)
+	}
+	rs := s.merged()
+	mat := &nlInner{rs: rs}
+	for _, c := range s.j.Conds {
+		mat.keys = append(mat.keys,
+			keyColumn(rs, s.ex.tables[c.InnerRel], c.InnerRel, c.InnerCol))
+	}
+	s.ex.mats[s.j] = mat
+	return nil
+}
+
+// registerStats allocates (and indexes) the shared counters for one plan
+// operator position.
+func (ex *executor) registerStats(label string, n plan.Node) *opStats {
+	st := &opStats{label: label, node: n}
+	ex.stats = append(ex.stats, st)
+	return st
+}
+
+// runPipelined executes the whole plan via pipeline decomposition.
+func (ex *executor) runPipelined(p *plan.Plan) error {
+	pipes, err := plan.Decompose(p)
+	if err != nil {
+		return err
+	}
+	for _, pl := range pipes {
+		if err := ex.runPipeline(pl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runPipeline schedules one pipeline across DOP workers pulling morsels
+// from the shared source, then finalizes its sink and records actuals.
+func (ex *executor) runPipeline(pl *plan.Pipeline) error {
+	start := time.Now()
+	workers := ex.dop
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Shared source state + per-worker source factory.
+	var newSource func() PhysicalOperator
+	var scanSrc *scanSource
+	var srcStats *opStats
+	switch t := pl.Source.(type) {
+	case *plan.Scan:
+		srcStats = ex.registerStats(fmt.Sprintf("Scan %s", t.Alias), t)
+		src, err := ex.newScanSource(t, srcStats)
+		if err != nil {
+			return err
+		}
+		scanSrc = src
+		newSource = func() PhysicalOperator { return &scanOp{src: src} }
+	case *plan.Join:
+		if t.Method != plan.MergeJoin {
+			return fmt.Errorf("exec: join %s cannot source a pipeline (plan bug)", t.Method)
+		}
+		pair := ex.sorted[t]
+		if pair == nil || pair.outer == nil || pair.inner == nil {
+			return fmt.Errorf("exec: merge join inputs were never sorted (plan bug)")
+		}
+		srcStats = ex.registerStats(fmt.Sprintf("MergeJoin(%s) merge", t.JoinType), t)
+		src, err := ex.newMergeSource(t, pair.outer, pair.inner, srcStats)
+		if err != nil {
+			return err
+		}
+		newSource = func() PhysicalOperator { return &mergeSourceOp{src: src} }
+	default:
+		return fmt.Errorf("exec: unknown pipeline source %T", pl.Source)
+	}
+
+	// Shared operator state, in stream order.
+	type opFactory func(child PhysicalOperator) PhysicalOperator
+	var factories []opFactory
+	opStatsList := make([]*opStats, 0, len(pl.Ops))
+	inRels := pl.Source.Rels()
+	for _, j := range pl.Ops {
+		switch j.Method {
+		case plan.HashJoin:
+			ht := ex.builds[j]
+			if ht == nil {
+				return fmt.Errorf("exec: hash table for %s was never built (plan bug)", j.Method)
+			}
+			st := ex.registerStats(fmt.Sprintf("HashJoin(%s) probe", j.JoinType), j)
+			sh, err := ex.newProbeShared(j, ht, inRels, st)
+			if err != nil {
+				return err
+			}
+			factories = append(factories, func(c PhysicalOperator) PhysicalOperator {
+				return &probeOp{sh: sh, child: c}
+			})
+			opStatsList = append(opStatsList, st)
+			inRels = sh.outRels
+		case plan.NestLoopJoin:
+			mat := ex.mats[j]
+			if mat == nil {
+				return fmt.Errorf("exec: nested-loop inner was never materialized (plan bug)")
+			}
+			st := ex.registerStats(fmt.Sprintf("NestLoop(%s) probe", j.JoinType), j)
+			sh, err := ex.newNLShared(j, mat, inRels, st)
+			if err != nil {
+				return err
+			}
+			factories = append(factories, func(c PhysicalOperator) PhysicalOperator {
+				return &nlProbeOp{sh: sh, child: c}
+			})
+			opStatsList = append(opStatsList, st)
+			inRels = sh.outRels
+		default:
+			return fmt.Errorf("exec: join %s cannot stream inside a pipeline (plan bug)", j.Method)
+		}
+	}
+
+	snk, err := ex.newSink(pl, inRels, workers)
+	if err != nil {
+		return err
+	}
+
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			op := newSource()
+			for _, f := range factories {
+				op = f(op)
+			}
+			if err := op.Open(); err != nil {
+				errs[w] = err
+				return
+			}
+			for {
+				b, err := op.NextBatch()
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if b == nil {
+					break
+				}
+				snk.consume(w, b)
+			}
+			errs[w] = op.Close()
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if scanSrc != nil {
+		scanSrc.flushBloomStats()
+	}
+	if err := snk.finish(); err != nil {
+		return err
+	}
+
+	// Per-node actuals: every plan node appears in exactly one pipeline
+	// position (scans and merge joins as sources, other joins as ops), so
+	// each is recorded exactly once.
+	ex.record(pl.Source, int(srcStats.rowsOut.Load()))
+	last := srcStats
+	for i, j := range pl.Ops {
+		ex.record(j, int(opStatsList[i].rowsOut.Load()))
+		last = opStatsList[i]
+	}
+	ex.pipes = append(ex.pipes, PipelineStat{
+		ID:      pl.ID,
+		Label:   pl.Describe(),
+		Workers: workers,
+		Wall:    time.Since(start),
+		Rows:    last.rowsOut.Load(),
+	})
+	return nil
+}
+
+// newSink builds the pipeline's sink for its breaker kind.
+func (ex *executor) newSink(pl *plan.Pipeline, rels query.RelSet, workers int) (sink, error) {
+	base := newPartsSink(rels, workers)
+	switch pl.Sink {
+	case plan.SinkResult:
+		if len(ex.aggSpecs) > 0 {
+			return ex.newAggSink(rels, workers)
+		}
+		return &resultSink{partsSink: base, ex: ex}, nil
+	case plan.SinkHashBuild:
+		return &hashBuildSink{partsSink: base, ex: ex, j: pl.SinkJoin}, nil
+	case plan.SinkSortOuter:
+		return &sortSink{partsSink: base, ex: ex, j: pl.SinkJoin, isInner: false}, nil
+	case plan.SinkSortInner:
+		return &sortSink{partsSink: base, ex: ex, j: pl.SinkJoin, isInner: true}, nil
+	case plan.SinkMaterialize:
+		return &materializeSink{partsSink: base, ex: ex, j: pl.SinkJoin}, nil
+	default:
+		return nil, fmt.Errorf("exec: unknown sink kind %v", pl.Sink)
+	}
+}

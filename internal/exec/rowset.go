@@ -8,7 +8,7 @@ package exec
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"bfcbo/internal/query"
 	"bfcbo/internal/storage"
@@ -35,6 +35,17 @@ func NewRowSet(rels query.RelSet) *RowSet {
 	}
 	for i, r := range members {
 		rs.relPos[r] = i
+	}
+	return rs
+}
+
+// NewRowSetCap creates an empty row set covering rels with every column
+// pre-sized to the given capacity — joins and batch producers know a good
+// lower bound and avoid the append regrowth.
+func NewRowSetCap(rels query.RelSet, capacity int) *RowSet {
+	rs := NewRowSet(rels)
+	for i := range rs.cols {
+		rs.cols[i] = make([]int32, 0, capacity)
 	}
 	return rs
 }
@@ -86,6 +97,14 @@ func (rs *RowSet) appendFrom(src *RowSet, i int) {
 	}
 }
 
+// appendBatch appends all rows of b (same relation coverage). Sinks use it
+// to fold a worker's batches into its private part.
+func (rs *RowSet) appendBatch(b *RowSet) {
+	for rel, pos := range rs.relPos {
+		rs.cols[pos] = append(rs.cols[pos], b.Col(rel)...)
+	}
+}
+
 // concat merges parts (all covering the same relations) into one row set.
 func concat(rels query.RelSet, parts []*RowSet) *RowSet {
 	out := NewRowSet(rels)
@@ -114,12 +133,41 @@ func keyColumn(rs *RowSet, tbl *storage.Table, rel int, col string) []int64 {
 	return out
 }
 
-// sortByKey returns row indices of rs ordered by the given key column.
+// keyIdx pairs a join key with its row index so the merge-join sort
+// compares contiguous memory instead of chasing keys[idx[a]] indirections
+// through an interface-based comparator.
+type keyIdx struct {
+	key int64
+	idx int32
+}
+
+// sortByKey returns row indices ordered by the given key column. This is
+// the hot path of merge join; the concrete pair sort via slices.SortFunc
+// avoids both the sort.Slice interface dispatch and the double indirection
+// of sorting an index permutation in place. Ties break by row index, which
+// also makes the order fully deterministic.
 func sortByKey(keys []int64) []int {
-	idx := make([]int, len(keys))
-	for i := range idx {
-		idx[i] = i
+	pairs := make([]keyIdx, len(keys))
+	for i, k := range keys {
+		pairs[i] = keyIdx{key: k, idx: int32(i)}
 	}
-	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	slices.SortFunc(pairs, func(a, b keyIdx) int {
+		switch {
+		case a.key < b.key:
+			return -1
+		case a.key > b.key:
+			return 1
+		case a.idx < b.idx:
+			return -1
+		case a.idx > b.idx:
+			return 1
+		default:
+			return 0
+		}
+	})
+	idx := make([]int, len(keys))
+	for i, p := range pairs {
+		idx[i] = int(p.idx)
+	}
 	return idx
 }

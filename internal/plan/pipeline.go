@@ -1,0 +1,216 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"bfcbo/internal/query"
+)
+
+// This file decomposes a physical plan tree into an ordered DAG of
+// pipelines, the unit of morsel-driven execution. A pipeline starts at a
+// morsel source (a base-table scan, or the serial output of a merge join),
+// streams batches through zero or more fused operators (hash-join probes,
+// nested-loop probes), and ends at a pipeline breaker: the build side of a
+// hash join, a sort for merge join, the materialized inner of a nested
+// loop, or the query result. Pipelines are emitted in execution order —
+// inner (build) sides strictly before the pipelines that consume them —
+// which is also what guarantees every Bloom filter is fully built before
+// any probe-side scan that waits on it runs (§3.9).
+
+// SinkKind says where a pipeline's output goes.
+type SinkKind int
+
+const (
+	// SinkResult collects the query's final row set.
+	SinkResult SinkKind = iota
+	// SinkHashBuild materializes the build side of SinkJoin, populates its
+	// Bloom filters, and builds the shared hash table.
+	SinkHashBuild
+	// SinkSortOuter / SinkSortInner materialize and sort one input of a
+	// merge join (SinkJoin) on its first join condition.
+	SinkSortOuter
+	SinkSortInner
+	// SinkMaterialize materializes the inner input of a nested-loop join.
+	SinkMaterialize
+)
+
+func (k SinkKind) String() string {
+	switch k {
+	case SinkResult:
+		return "result"
+	case SinkHashBuild:
+		return "hash-build"
+	case SinkSortOuter:
+		return "sort-outer"
+	case SinkSortInner:
+		return "sort-inner"
+	case SinkMaterialize:
+		return "materialize"
+	default:
+		return fmt.Sprintf("SinkKind(%d)", int(k))
+	}
+}
+
+// Pipeline is one streaming segment of a decomposed plan.
+type Pipeline struct {
+	// ID is the pipeline's position in execution order (0-based).
+	ID int
+	// Source produces morsels: a *Scan, or a *Join with Method MergeJoin
+	// (the serial merge of its two sorted inputs).
+	Source Node
+	// Ops are the streaming operators applied to every batch in order:
+	// hash-join probes and nested-loop probes.
+	Ops []*Join
+	// Sink says where batches end up; SinkJoin is the consuming join for
+	// every kind except SinkResult.
+	Sink     SinkKind
+	SinkJoin *Join
+	// Deps are IDs of pipelines that must complete before this one starts
+	// (build/sort/materialize producers of this pipeline's source and ops).
+	Deps []int
+}
+
+// Rels reports the relations covered by the pipeline's output batches.
+func (pl *Pipeline) Rels() query.RelSet {
+	if len(pl.Ops) > 0 {
+		return pl.Ops[len(pl.Ops)-1].Rels()
+	}
+	return pl.Source.Rels()
+}
+
+// Decompose splits a plan into pipelines in execution order. It never
+// fails on the node shapes the optimizer emits; unknown node types are an
+// error so the executor can surface plan bugs instead of panicking.
+func Decompose(p *Plan) ([]*Pipeline, error) {
+	d := &decomposer{}
+	last, err := d.build(p.Root)
+	if err != nil {
+		return nil, err
+	}
+	last.Sink = SinkResult
+	d.emit(last)
+	return d.out, nil
+}
+
+type decomposer struct {
+	out []*Pipeline
+}
+
+func (d *decomposer) emit(pl *Pipeline) *Pipeline {
+	pl.ID = len(d.out)
+	d.out = append(d.out, pl)
+	return pl
+}
+
+// build returns the open pipeline whose current stream is n's output.
+// Breaker-side pipelines are emitted (closed) along the way, inner side
+// first — the same order the legacy recursive interpreter executed them.
+func (d *decomposer) build(n Node) (*Pipeline, error) {
+	switch t := n.(type) {
+	case *Scan:
+		return &Pipeline{ID: -1, Source: t}, nil
+	case *Join:
+		switch t.Method {
+		case HashJoin:
+			in, err := d.build(t.Inner)
+			if err != nil {
+				return nil, err
+			}
+			in.Sink, in.SinkJoin = SinkHashBuild, t
+			d.emit(in)
+			out, err := d.build(t.Outer)
+			if err != nil {
+				return nil, err
+			}
+			out.Deps = append(out.Deps, in.ID)
+			out.Ops = append(out.Ops, t)
+			return out, nil
+		case MergeJoin:
+			in, err := d.build(t.Inner)
+			if err != nil {
+				return nil, err
+			}
+			in.Sink, in.SinkJoin = SinkSortInner, t
+			d.emit(in)
+			o, err := d.build(t.Outer)
+			if err != nil {
+				return nil, err
+			}
+			o.Sink, o.SinkJoin = SinkSortOuter, t
+			d.emit(o)
+			return &Pipeline{ID: -1, Source: t, Deps: []int{in.ID, o.ID}}, nil
+		case NestLoopJoin:
+			in, err := d.build(t.Inner)
+			if err != nil {
+				return nil, err
+			}
+			in.Sink, in.SinkJoin = SinkMaterialize, t
+			d.emit(in)
+			out, err := d.build(t.Outer)
+			if err != nil {
+				return nil, err
+			}
+			out.Deps = append(out.Deps, in.ID)
+			out.Ops = append(out.Ops, t)
+			return out, nil
+		default:
+			return nil, fmt.Errorf("plan: cannot decompose join method %v", t.Method)
+		}
+	default:
+		return nil, fmt.Errorf("plan: cannot decompose node %T", n)
+	}
+}
+
+// describe renders one node compactly for pipeline explanations.
+func describe(n Node) string {
+	switch t := n.(type) {
+	case *Scan:
+		return fmt.Sprintf("Scan %s", t.Alias)
+	case *Join:
+		return fmt.Sprintf("%s(%s)", t.Method, t.JoinType)
+	default:
+		return fmt.Sprintf("%T", n)
+	}
+}
+
+// Describe renders one pipeline as a single line, e.g.
+// "P2: Scan l -> HashJoin(inner) probe -> result".
+func (pl *Pipeline) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "P%d: %s", pl.ID, describe(pl.Source))
+	if j, ok := pl.Source.(*Join); ok && j.Method == MergeJoin {
+		b.WriteString(" merge")
+	}
+	for _, op := range pl.Ops {
+		fmt.Fprintf(&b, " -> %s probe", describe(op))
+	}
+	fmt.Fprintf(&b, " -> %s", pl.Sink)
+	if len(pl.Deps) > 0 {
+		fmt.Fprintf(&b, " (after %s)", depList(pl.Deps))
+	}
+	return b.String()
+}
+
+func depList(deps []int) string {
+	parts := make([]string, len(deps))
+	for i, d := range deps {
+		parts[i] = fmt.Sprintf("P%d", d)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ExplainPipelines renders the pipeline DAG of the plan in execution
+// order, one line per pipeline.
+func (p *Plan) ExplainPipelines() string {
+	pls, err := Decompose(p)
+	if err != nil {
+		return "pipelines: " + err.Error() + "\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipelines (%d):\n", len(pls))
+	for _, pl := range pls {
+		fmt.Fprintf(&b, "  %s\n", pl.Describe())
+	}
+	return b.String()
+}
