@@ -118,7 +118,10 @@ type Output struct {
 	// execution order (empty when LegacyExecutor is set).
 	OpStats []exec.OpStat
 	// Pipelines reports each executed pipeline of the morsel-driven
-	// executor (empty when LegacyExecutor is set).
+	// executor in pipeline-ID order, including the breaker finish wall and
+	// its merge/sort/build/bloom phase split (empty when LegacyExecutor is
+	// set). Pipelines are DAG-scheduled: entries with disjoint dependency
+	// chains ran concurrently, so their walls can overlap.
 	Pipelines []exec.PipelineStat
 }
 

@@ -9,6 +9,7 @@
 //	bench -experiment naive    # §3.1 naive planning-time blow-up
 //	bench -experiment mae      # Table 2's cardinality-MAE comparison
 //	bench -experiment ablation # per-heuristic ablation
+//	bench -experiment scaling  # DOP {1,2,4,8} executor scaling on Bloom-heavy queries
 //	bench -experiment all      # everything
 package main
 
@@ -27,7 +28,7 @@ func main() {
 		dop  = flag.Int("dop", 8, "degree of parallelism")
 		reps = flag.Int("reps", 3, "repetitions per query (first is warm-up)")
 		exp  = flag.String("experiment", "all", "table2|table3|fig1|fig6|naive|mae|ablation|all")
-		jout = flag.String("json", "BENCH_PR1.json", "machine-readable Table 2 report path (empty disables)")
+		jout = flag.String("json", "BENCH_PR2.json", "machine-readable Table 2 + scaling report path (empty disables)")
 	)
 	flag.Parse()
 	if err := run(*sf, *seed, *dop, *reps, *exp, *jout); err != nil {
@@ -54,12 +55,32 @@ func run(sf float64, seed uint64, dop, reps int, exp, jsonPath string) error {
 			return err
 		}
 		t.Print(w, fmt.Sprintf("Table 2 / Figure 5 — normalized TPC-H latencies (SF %g, DOP %d)", sf, dop))
+		var scaling []bench.ScalingRow
 		if jsonPath != "" {
-			if err := h.WriteJSON(jsonPath, t); err != nil {
+			// The JSON report carries the DOP scaling table alongside the
+			// Table 2 cells so one file tracks the PR's perf trajectory.
+			scaling, err = h.RunScaling(nil, nil)
+			if err != nil {
+				return err
+			}
+			bench.PrintScaling(w, scaling)
+			if err := h.WriteJSON(jsonPath, t, scaling); err != nil {
 				return err
 			}
 			fmt.Fprintf(w, "wrote %s\n", jsonPath)
 		}
+		return nil
+	}
+	runScaling := func() error {
+		h, err := mk(false)
+		if err != nil {
+			return err
+		}
+		rows, err := h.RunScaling(nil, nil)
+		if err != nil {
+			return err
+		}
+		bench.PrintScaling(w, rows)
 		return nil
 	}
 	runTable3 := func() error {
@@ -142,6 +163,8 @@ func run(sf float64, seed uint64, dop, reps int, exp, jsonPath string) error {
 		return runMAE()
 	case "ablation":
 		return runAblation()
+	case "scaling":
+		return runScaling()
 	case "all":
 		for _, f := range []func() error{runTable2, runTable3,
 			func() error { return runFig(12, "Figure 1 — Q12") },

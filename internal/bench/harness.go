@@ -187,6 +187,36 @@ type Row struct {
 	MAECBO         float64
 }
 
+// PipelineCell is the machine-readable form of one executed pipeline's
+// timings, including the breaker finish phases (merge/sort/build/bloom).
+type PipelineCell struct {
+	ID      int     `json:"id"`
+	Label   string  `json:"label"`
+	Workers int     `json:"workers"`
+	Rows    int64   `json:"rows"`
+	WallMS  float64 `json:"wall_ms"`
+	// FinishMS is the sink's finish (breaker) time within WallMS.
+	FinishMS float64 `json:"finish_ms"`
+	MergeMS  float64 `json:"merge_ms,omitempty"`
+	SortMS   float64 `json:"sort_ms,omitempty"`
+	BuildMS  float64 `json:"build_ms,omitempty"`
+	BloomMS  float64 `json:"bloom_ms,omitempty"`
+}
+
+func pipelineCells(stats []exec.PipelineStat) []PipelineCell {
+	out := make([]PipelineCell, 0, len(stats))
+	ms := func(d time.Duration) float64 { return d.Seconds() * 1000 }
+	for _, ps := range stats {
+		out = append(out, PipelineCell{
+			ID: ps.ID, Label: ps.Label, Workers: ps.Workers, Rows: ps.Rows,
+			WallMS: ms(ps.Wall), FinishMS: ms(ps.FinishWall),
+			MergeMS: ms(ps.Phases.Merge), SortMS: ms(ps.Phases.Sort),
+			BuildMS: ms(ps.Phases.Build), BloomMS: ms(ps.Phases.Bloom),
+		})
+	}
+	return out
+}
+
 // Cell is one raw (query, mode) measurement kept alongside the normalized
 // Table 2 rows, for machine-readable reports.
 type Cell struct {
@@ -198,6 +228,9 @@ type Cell struct {
 	Rows      int     `json:"rows"`
 	MAE       float64 `json:"mae"`
 	JoinOrder string  `json:"join_order"`
+	// Pipelines reports the measured run's pipeline schedule with
+	// per-breaker phase timings.
+	Pipelines []PipelineCell `json:"pipelines,omitempty"`
 }
 
 // Table2 reproduces the paper's Table 2 (and Fig. 5): normalized latencies
@@ -248,6 +281,7 @@ func (h *Harness) RunTable2(queries []int) (*Table2, error) {
 				Rows:      qr.OutputRows,
 				MAE:       qr.MAE,
 				JoinOrder: qr.JoinOrderSig,
+				Pipelines: pipelineCells(qr.Pipelines),
 			})
 		}
 		base := noBF.Latency.Seconds()
@@ -349,6 +383,107 @@ func (h *Harness) printActuals(w io.Writer, n plan.Node, qr *QueryRun, depth int
 		fmt.Fprintf(w, "%s %-11s %12.0f -> %12.0f\n", t.Method, "("+t.Streaming.String()+")", t.EstRows(), qr.Actuals.ActualFor(n))
 		h.printActuals(w, t.Outer, qr, depth+1)
 		h.printActuals(w, t.Inner, qr, depth+1)
+	}
+}
+
+// ScalingRow is one (query, DOP) cell of the executor scaling experiment:
+// the same BF-CBO plan executed at varying DOP through the DAG-scheduled
+// pipelined executor, with the breaker finish phases broken out so the
+// parallel-sink speedup is measurable.
+type ScalingRow struct {
+	Query  int     `json:"query"`
+	DOP    int     `json:"dop"`
+	ExecMS float64 `json:"exec_ms"`
+	// FinishMS sums the breaker finish walls across pipelines; the phase
+	// columns split it by breaker kind. Pipelines are DAG-scheduled, so
+	// concurrent finishes overlap: the sum can exceed ExecMS's share and
+	// individual walls inflate under core contention — ExecMS is the
+	// ground truth for scaling.
+	FinishMS float64 `json:"finish_ms"`
+	MergeMS  float64 `json:"merge_ms"`
+	SortMS   float64 `json:"sort_ms"`
+	BuildMS  float64 `json:"build_ms"`
+	BloomMS  float64 `json:"bloom_ms"`
+	Rows     int     `json:"rows"`
+}
+
+// DefaultScalingQueries are Bloom-heavy join queries where breaker work
+// dominates: the paper's Q12 plan analysis, the wide Bloom-rich joins Q5
+// and Q21 (big hash builds + Bloom population), and Q8/Q9 whose BF-CBO
+// plans pick merge joins (exercising the parallel sort breaker).
+func DefaultScalingQueries() []int { return []int{5, 8, 9, 12, 21} }
+
+// RunScaling plans each query once under BF-CBO and executes the plan at
+// each DOP, recording the median executor latency and per-breaker phase
+// times of the measured run.
+func (h *Harness) RunScaling(queries []int, dops []int) ([]ScalingRow, error) {
+	if len(queries) == 0 {
+		queries = DefaultScalingQueries()
+	}
+	if len(dops) == 0 {
+		dops = []int{1, 2, 4, 8}
+	}
+	var out []ScalingRow
+	for _, num := range queries {
+		q, ok := tpch.Get(num)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown TPC-H query %d", num)
+		}
+		block := q.Build(h.ds.Schema)
+		res, err := optimizer.Optimize(block, h.options(optimizer.BFCBO))
+		if err != nil {
+			return nil, fmt.Errorf("bench: scaling Q%d: %w", num, err)
+		}
+		for _, dop := range dops {
+			// Keep each rep's Result so the phase columns come from the
+			// same run as the reported median latency.
+			type sample struct {
+				d time.Duration
+				r *exec.Result
+			}
+			var samples []sample
+			for rep := 0; rep < h.cfg.Reps; rep++ {
+				runtime.GC()
+				start := time.Now()
+				r, err := exec.Run(h.ds.DB, block, res.Plan, exec.Options{DOP: dop})
+				elapsed := time.Since(start)
+				if err != nil {
+					return nil, fmt.Errorf("bench: scaling Q%d dop %d: %w", num, dop, err)
+				}
+				if h.cfg.Reps > 1 && rep == 0 {
+					continue
+				}
+				samples = append(samples, sample{d: elapsed, r: r})
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i].d < samples[j].d })
+			med := samples[len(samples)/2]
+			row := ScalingRow{
+				Query: num, DOP: dop,
+				ExecMS: med.d.Seconds() * 1000,
+				Rows:   med.r.Rows,
+			}
+			for _, ps := range med.r.Pipelines {
+				ms := func(d time.Duration) float64 { return d.Seconds() * 1000 }
+				row.FinishMS += ms(ps.FinishWall)
+				row.MergeMS += ms(ps.Phases.Merge)
+				row.SortMS += ms(ps.Phases.Sort)
+				row.BuildMS += ms(ps.Phases.Build)
+				row.BloomMS += ms(ps.Phases.Bloom)
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// PrintScaling renders the DOP scaling table.
+func PrintScaling(w io.Writer, rows []ScalingRow) {
+	fmt.Fprintf(w, "executor DOP scaling, BF-CBO plans (exec / breaker-finish ms)\n")
+	fmt.Fprintf(w, "%-4s %4s %9s %9s %8s %8s %8s %8s\n",
+		"Q#", "DOP", "exec-ms", "finish", "merge", "sort", "build", "bloom")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-4d %4d %9.3f %9.3f %8.3f %8.3f %8.3f %8.3f\n",
+			r.Query, r.DOP, r.ExecMS, r.FinishMS, r.MergeMS, r.SortMS, r.BuildMS, r.BloomMS)
 	}
 }
 

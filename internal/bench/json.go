@@ -19,6 +19,10 @@ type JSONReport struct {
 
 	Cells []Cell `json:"cells"`
 
+	// Scaling is the DOP {1,2,4,8} executor scaling table over Bloom-heavy
+	// queries, with per-breaker phase timings (empty unless attached).
+	Scaling []ScalingRow `json:"scaling,omitempty"`
+
 	Summary struct {
 		TotalNormPost     float64 `json:"total_norm_post"`
 		TotalNormCBO      float64 `json:"total_norm_cbo"`
@@ -49,9 +53,12 @@ func (h *Harness) JSONReport(t *Table2) *JSONReport {
 	return r
 }
 
-// WriteJSON writes the report to path, indented for diffability.
-func (h *Harness) WriteJSON(path string, t *Table2) error {
-	data, err := json.MarshalIndent(h.JSONReport(t), "", "  ")
+// WriteJSON writes the report to path, indented for diffability. scaling
+// may be nil when no scaling run was performed.
+func (h *Harness) WriteJSON(path string, t *Table2, scaling []ScalingRow) error {
+	r := h.JSONReport(t)
+	r.Scaling = scaling
+	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err
 	}

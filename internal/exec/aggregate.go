@@ -250,6 +250,10 @@ func (ex *executor) newAggSink(rels query.RelSet, workers int) (sink, error) {
 	return s, nil
 }
 
+// phases: streaming aggregation has no materializing breaker phases — the
+// partial merge in finish is O(groups), not O(rows).
+func (s *aggSink) phases() BreakerPhases { return BreakerPhases{} }
+
 func (s *aggSink) consume(w int, b *RowSet) {
 	s.rowsSeen[w] += int64(b.Len())
 	for i := range s.cols {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"bfcbo/internal/bloom"
 	"bfcbo/internal/cost"
@@ -101,6 +102,37 @@ type executor struct {
 
 	mu      sync.Mutex
 	actuals []NodeActual
+
+	// DAG-scheduling state. Pipelines run concurrently once their
+	// dependencies complete, so the breaker-output maps above, the filter
+	// maps, and the stat registries are written by concurrent finishes —
+	// smu guards them all. stop is the run-wide cancellation flag set by
+	// the first worker error and checked by every morsel source. slots is
+	// the global worker budget: every pipeline worker holds one slot while
+	// it runs, capping total running workers at DOP across all concurrent
+	// pipelines.
+	smu       sync.Mutex
+	firstErr  error
+	stop      atomic.Bool
+	slots     chan struct{}
+	pipeStats map[int][]*opStats
+	injectOp  func(pl *plan.Pipeline, worker int, op PhysicalOperator) PhysicalOperator
+}
+
+// filter returns a built Bloom filter handle and its runtime record.
+func (ex *executor) filter(id int) (bloomHandle, *BloomRuntime, bool) {
+	ex.smu.Lock()
+	defer ex.smu.Unlock()
+	h, ok := ex.filters[id]
+	return h, ex.fstats[id], ok
+}
+
+// setFilter publishes a built filter; called by concurrent build sinks.
+func (ex *executor) setFilter(id int, h bloomHandle, st *BloomRuntime) {
+	ex.smu.Lock()
+	ex.filters[id] = h
+	ex.fstats[id] = st
+	ex.smu.Unlock()
 }
 
 // Options configure execution.
@@ -128,6 +160,11 @@ type Options struct {
 	// Result.Aggregates holds one value per spec. The legacy executor
 	// computes the same values post-hoc from its materialized output.
 	Aggregates []AggSpec
+
+	// injectOp, when set (tests only), wraps each worker's operator chain
+	// of every pipeline — the failure-injection hook for cancellation and
+	// error-propagation tests.
+	injectOp func(pl *plan.Pipeline, worker int, op PhysicalOperator) PhysicalOperator
 }
 
 // Run executes a physical plan over the database and returns the final row
@@ -146,14 +183,16 @@ func Run(db *storage.Database, block *query.Block, p *plan.Plan, opts Options) (
 	}
 	ex := &executor{
 		db: db, block: block, dop: dop, satLimit: opts.SaturationLimit,
-		morsel:   morsel,
-		filters:  make(map[int]bloomHandle),
-		fstats:   make(map[int]*BloomRuntime),
-		specs:    make(map[int]plan.BloomSpec),
-		builds:   make(map[*plan.Join]*hashTable),
-		sorted:   make(map[*plan.Join]*mergePair),
-		mats:     make(map[*plan.Join]*nlInner),
-		aggSpecs: opts.Aggregates,
+		morsel:    morsel,
+		filters:   make(map[int]bloomHandle),
+		fstats:    make(map[int]*BloomRuntime),
+		specs:     make(map[int]plan.BloomSpec),
+		builds:    make(map[*plan.Join]*hashTable),
+		sorted:    make(map[*plan.Join]*mergePair),
+		mats:      make(map[*plan.Join]*nlInner),
+		aggSpecs:  opts.Aggregates,
+		injectOp:  opts.injectOp,
+		pipeStats: make(map[int][]*opStats),
 	}
 	for _, s := range p.Blooms {
 		ex.specs[s.ID] = s
@@ -242,7 +281,7 @@ func (ex *executor) scan(s *plan.Scan) (*RowSet, error) {
 	}
 	var bfs []bf
 	for _, id := range s.ApplyBlooms {
-		h, ok := ex.filters[id]
+		h, st, ok := ex.filter(id)
 		if !ok {
 			return nil, fmt.Errorf("exec: scan of %s requires Bloom filter %d which was never built (plan bug)", s.Alias, id)
 		}
@@ -251,7 +290,7 @@ func (ex *executor) scan(s *plan.Scan) (*RowSet, error) {
 		if err != nil {
 			return nil, fmt.Errorf("exec: bloom %d: %w", id, err)
 		}
-		entry := bf{h: h, vals: col.Ints, st: ex.fstats[id]}
+		entry := bf{h: h, vals: col.Ints, st: st}
 		if spec.ApplyCol2 != "" {
 			col2, err := tbl.Column(spec.ApplyCol2)
 			if err != nil {
@@ -389,17 +428,21 @@ func (ex *executor) buildBlooms(j *plan.Join, inner *RowSet) error {
 		var handle bloomHandle
 		switch {
 		case ex.dop <= 1:
-			f := bloom.NewForNDV(ndv)
-			for _, rid := range ids {
-				f.Add(keyOf(rid))
+			f, err := bloomFromIDs(ids, keyOf, ndv, 1)
+			if err != nil {
+				return err
 			}
 			handle, st.Strategy, st.Inserted, st.Saturation = f, "single", f.Inserted(), f.Saturation()
 		case j.Streaming == cost.BroadcastInner:
-			// Build-side broadcast: the n copies are redundant; build one
-			// filter from one copy (§3.9 strategy 1).
-			f := bloom.NewForNDV(ndv)
-			for _, rid := range ids {
-				f.Add(keyOf(rid))
+			// Build-side broadcast: the n logical copies are redundant; one
+			// filter is built from one copy (§3.9 strategy 1). The one copy
+			// is still populated from per-worker partials unioned at the
+			// end — strategy 1 constrains which data is inserted, not how
+			// many local threads insert it, and the bit-vector union yields
+			// the identical filter.
+			f, err := bloomFromIDs(ids, keyOf, ndv, ex.dop)
+			if err != nil {
+				return err
 			}
 			handle, st.Strategy, st.Inserted, st.Saturation = f, "single", f.Inserted(), f.Saturation()
 		case j.Streaming == cost.BroadcastOuter:
@@ -407,28 +450,11 @@ func (ex *executor) buildBlooms(j *plan.Join, inner *RowSet) error {
 			// redundant — each builds a partial filter over its local
 			// slice and the partials are merged by bit-vector union
 			// (§3.9 strategy 2).
-			partials := make([]*bloom.Filter, ex.dop)
-			var wg sync.WaitGroup
-			n := len(ids)
-			for c := 0; c < ex.dop; c++ {
-				partials[c] = bloom.NewForNDV(ndv)
-				lo, hi := c*n/ex.dop, (c+1)*n/ex.dop
-				wg.Add(1)
-				go func(f *bloom.Filter, lo, hi int) {
-					defer wg.Done()
-					for _, rid := range ids[lo:hi] {
-						f.Add(keyOf(rid))
-					}
-				}(partials[c], lo, hi)
+			f, err := bloomFromIDs(ids, keyOf, ndv, ex.dop)
+			if err != nil {
+				return err
 			}
-			wg.Wait()
-			merged := partials[0]
-			for _, f := range partials[1:] {
-				if err := merged.Union(f); err != nil {
-					return err
-				}
-			}
-			handle, st.Strategy, st.Inserted, st.Saturation = merged, "merged", merged.Inserted(), merged.Saturation()
+			handle, st.Strategy, st.Inserted, st.Saturation = f, "merged", f.Inserted(), f.Saturation()
 		default:
 			// Redistributed build: n partial filters, one per partition,
 			// built in parallel; probes use distributed lookup (§3.9
@@ -480,14 +506,49 @@ func (ex *executor) buildBlooms(j *plan.Join, inner *RowSet) error {
 		// side's NDV was underestimated).
 		if ex.satLimit > 0 && ex.satLimit < 1 && st.Saturation > ex.satLimit {
 			st.Strategy = "skipped"
-			ex.filters[id] = passAllFilter{}
-			ex.fstats[id] = st
+			ex.setFilter(id, passAllFilter{}, st)
 			continue
 		}
-		ex.filters[id] = handle
-		ex.fstats[id] = st
+		ex.setFilter(id, handle, st)
 	}
 	return nil
+}
+
+// bloomFromIDs populates one filter from the build-side row ids using dop
+// per-worker partial filters merged by bit-vector union. The union of
+// equally sized partials is bit-identical to a serial build (OR is
+// commutative) and Inserted counts sum, so runtime stats stay deterministic
+// across DOP.
+func bloomFromIDs(ids []int32, keyOf func(int32) int64, ndv uint64, dop int) (*bloom.Filter, error) {
+	n := len(ids)
+	if dop <= 1 || n < 4096 {
+		f := bloom.NewForNDV(ndv)
+		for _, rid := range ids {
+			f.Add(keyOf(rid))
+		}
+		return f, nil
+	}
+	partials := make([]*bloom.Filter, dop)
+	var wg sync.WaitGroup
+	for c := 0; c < dop; c++ {
+		partials[c] = bloom.NewForNDV(ndv)
+		lo, hi := c*n/dop, (c+1)*n/dop
+		wg.Add(1)
+		go func(f *bloom.Filter, lo, hi int) {
+			defer wg.Done()
+			for _, rid := range ids[lo:hi] {
+				f.Add(keyOf(rid))
+			}
+		}(partials[c], lo, hi)
+	}
+	wg.Wait()
+	merged := partials[0]
+	for _, f := range partials[1:] {
+		if err := merged.Union(f); err != nil {
+			return nil, err
+		}
+	}
+	return merged, nil
 }
 
 // passAllFilter stands in for a skipped (over-saturated) Bloom filter.

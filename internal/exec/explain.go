@@ -20,13 +20,41 @@ func (r *Result) ExplainAnalyze(p *plan.Plan) string {
 	if len(r.Pipelines) > 0 {
 		fmt.Fprintf(&b, "pipelines (%d):\n", len(r.Pipelines))
 		for _, ps := range r.Pipelines {
-			fmt.Fprintf(&b, "  %s  workers=%d rows=%d wall=%s\n",
-				ps.Label, ps.Workers, ps.Rows, ps.Wall.Round(time.Microsecond))
+			fmt.Fprintf(&b, "  %s  workers=%d rows=%d wall=%s%s\n",
+				ps.Label, ps.Workers, ps.Rows, ps.Wall.Round(time.Microsecond), breakerSuffix(ps))
 		}
 	}
 	for _, bs := range r.BloomStats {
 		fmt.Fprintf(&b, "  BF#%d [%s] inserted=%d tested=%d passed=%d saturation=%.3f\n",
 			bs.ID, bs.Strategy, bs.Inserted, bs.Tested, bs.Passed, bs.Saturation)
+	}
+	return b.String()
+}
+
+// breakerSuffix renders the breaker finish phases of one pipeline, e.g.
+// " finish=1.2ms [merge=300µs sort=900µs]"; empty when the finish was
+// immeasurably small.
+func breakerSuffix(ps PipelineStat) string {
+	if ps.FinishWall == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, " finish=%s", ps.FinishWall.Round(time.Microsecond))
+	type phase struct {
+		name string
+		d    time.Duration
+	}
+	var parts []string
+	for _, p := range []phase{
+		{"merge", ps.Phases.Merge}, {"sort", ps.Phases.Sort},
+		{"build", ps.Phases.Build}, {"bloom", ps.Phases.Bloom},
+	} {
+		if p.d > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%s", p.name, p.d.Round(time.Microsecond)))
+		}
+	}
+	if len(parts) > 0 {
+		fmt.Fprintf(&b, " [%s]", strings.Join(parts, " "))
 	}
 	return b.String()
 }

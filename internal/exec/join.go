@@ -65,8 +65,17 @@ func (ex *executor) hashJoin(j *plan.Join, outer, inner *RowSet) (*RowSet, error
 			wg.Add(1)
 			go func(p int) {
 				defer wg.Done()
+				// partitionIdx leaves untouched partitions nil; that must
+				// stay "no rows", not joinPartition's nil-means-all.
+				oIdx, iIdx := outerParts[p], innerParts[p]
+				if oIdx == nil {
+					oIdx = emptyIdx
+				}
+				if iIdx == nil {
+					iIdx = emptyIdx
+				}
 				parts[p], errs[p] = joinPartition(j.JoinType, out, outer, inner,
-					outerKeys, innerKeys, outerParts[p], innerParts[p], match)
+					outerKeys, innerKeys, oIdx, iIdx, match)
 			}(p)
 		}
 		wg.Wait()
@@ -78,16 +87,14 @@ func (ex *executor) hashJoin(j *plan.Join, outer, inner *RowSet) (*RowSet, error
 		return concat(out, parts), nil
 	}
 
-	all := make([]int, 0, outer.Len())
-	for i := 0; i < outer.Len(); i++ {
-		all = append(all, i)
-	}
-	allInner := make([]int, 0, inner.Len())
-	for i := 0; i < inner.Len(); i++ {
-		allInner = append(allInner, i)
-	}
-	return joinPartition(j.JoinType, out, outer, inner, outerKeys, innerKeys, all, allInner, match)
+	// Single-threaded path: nil index slices mean "all rows" — no point
+	// materializing every row id just to iterate it.
+	return joinPartition(j.JoinType, out, outer, inner, outerKeys, innerKeys, nil, nil, match)
 }
+
+// emptyIdx is a non-nil empty index slice: "no rows", where a nil slice
+// passed to joinPartition means "all rows".
+var emptyIdx = []int{}
 
 // partitionIdx groups row indices by key-hash modulo dop.
 func partitionIdx(keys []int64, dop int) [][]int {
@@ -99,18 +106,35 @@ func partitionIdx(keys []int64, dop int) [][]int {
 	return parts
 }
 
-// joinPartition joins one aligned partition of the two inputs.
+// joinPartition joins one aligned partition of the two inputs. A nil oIdx
+// or iIdx means "every row of that side" (the single-threaded path), so
+// callers need not materialize full index slices.
 func joinPartition(jt query.JoinType, out query.RelSet, outer, inner *RowSet,
 	outerKeys, innerKeys []int64, oIdx, iIdx []int, match func(oi, ii int) bool) (*RowSet, error) {
 
-	ht := make(map[int64][]int, len(iIdx))
-	for _, ii := range iIdx {
+	oLen, iLen := len(oIdx), len(iIdx)
+	if oIdx == nil {
+		oLen = outer.Len()
+	}
+	if iIdx == nil {
+		iLen = inner.Len()
+	}
+	at := func(idx []int, i int) int {
+		if idx == nil {
+			return i
+		}
+		return idx[i]
+	}
+	ht := make(map[int64][]int, iLen)
+	for x := 0; x < iLen; x++ {
+		ii := at(iIdx, x)
 		ht[innerKeys[ii]] = append(ht[innerKeys[ii]], ii)
 	}
-	res := NewRowSetCap(out, len(oIdx))
+	res := NewRowSetCap(out, oLen)
 	switch jt {
 	case query.Inner:
-		for _, oi := range oIdx {
+		for x := 0; x < oLen; x++ {
+			oi := at(oIdx, x)
 			for _, ii := range ht[outerKeys[oi]] {
 				if match(oi, ii) {
 					res.appendJoined(outer, oi, inner, ii)
@@ -118,7 +142,8 @@ func joinPartition(jt query.JoinType, out query.RelSet, outer, inner *RowSet,
 			}
 		}
 	case query.Semi:
-		for _, oi := range oIdx {
+		for x := 0; x < oLen; x++ {
+			oi := at(oIdx, x)
 			for _, ii := range ht[outerKeys[oi]] {
 				if match(oi, ii) {
 					res.appendJoined(outer, oi, inner, ii)
@@ -127,7 +152,8 @@ func joinPartition(jt query.JoinType, out query.RelSet, outer, inner *RowSet,
 			}
 		}
 	case query.Anti:
-		for _, oi := range oIdx {
+		for x := 0; x < oLen; x++ {
+			oi := at(oIdx, x)
 			found := false
 			for _, ii := range ht[outerKeys[oi]] {
 				if match(oi, ii) {
@@ -140,7 +166,8 @@ func joinPartition(jt query.JoinType, out query.RelSet, outer, inner *RowSet,
 			}
 		}
 	case query.Left:
-		for _, oi := range oIdx {
+		for x := 0; x < oLen; x++ {
+			oi := at(oIdx, x)
 			emitted := false
 			for _, ii := range ht[outerKeys[oi]] {
 				if match(oi, ii) {

@@ -73,6 +73,22 @@ func (s *opStats) snapshot() OpStat {
 	}
 }
 
+// BreakerPhases breaks a pipeline breaker's finish work into its parallel
+// phases. A field is zero when the sink has no such phase; all four are the
+// wall time of the phase itself (already parallel internally), so their sum
+// approximates the pipeline's serial tail under Amdahl's law.
+type BreakerPhases struct {
+	// Merge is the time combining per-worker parts into one row set.
+	Merge time.Duration
+	// Sort is the time sorting merge-join inputs: per-worker sorted runs
+	// plus the parallel multiway merge.
+	Sort time.Duration
+	// Build is the partitioned hash-table construction time.
+	Build time.Duration
+	// Bloom is the Bloom-filter population time (per-worker partials).
+	Bloom time.Duration
+}
+
 // PipelineStat reports one executed pipeline.
 type PipelineStat struct {
 	ID int
@@ -84,4 +100,9 @@ type PipelineStat struct {
 	Wall time.Duration
 	// Rows is the number of rows the pipeline delivered to its sink.
 	Rows int64
+	// FinishWall is the elapsed time of the sink's finish (the pipeline
+	// breaker work after the last worker batch).
+	FinishWall time.Duration
+	// Phases splits FinishWall into the breaker's measured phases.
+	Phases BreakerPhases
 }

@@ -37,6 +37,11 @@ type scanSource struct {
 	morsel int
 	cursor atomic.Int64
 	stats  *opStats
+	// stop is the run-wide cancellation flag: once set (first worker
+	// error), the source hands out no further morsels, so sibling workers
+	// and concurrently scheduled pipelines wind down promptly instead of
+	// draining the table.
+	stop *atomic.Bool
 }
 
 func (ex *executor) newScanSource(s *plan.Scan, stats *opStats) (*scanSource, error) {
@@ -44,9 +49,10 @@ func (ex *executor) newScanSource(s *plan.Scan, stats *opStats) (*scanSource, er
 	src := &scanSource{
 		s: s, tbl: tbl, pred: s.Pred,
 		n: tbl.NumRows(), morsel: ex.morsel, stats: stats,
+		stop: &ex.stop,
 	}
 	for _, id := range s.ApplyBlooms {
-		h, ok := ex.filters[id]
+		h, st, ok := ex.filter(id)
 		if !ok {
 			return nil, fmt.Errorf("exec: scan of %s requires Bloom filter %d which was never built (plan bug)", s.Alias, id)
 		}
@@ -55,7 +61,7 @@ func (ex *executor) newScanSource(s *plan.Scan, stats *opStats) (*scanSource, er
 		if err != nil {
 			return nil, fmt.Errorf("exec: bloom %d: %w", id, err)
 		}
-		entry := &scanBloom{h: h, vals: col.Ints, st: ex.fstats[id]}
+		entry := &scanBloom{h: h, vals: col.Ints, st: st}
 		if spec.ApplyCol2 != "" {
 			col2, err := tbl.Column(spec.ApplyCol2)
 			if err != nil {
@@ -79,19 +85,29 @@ func (src *scanSource) flushBloomStats() {
 	}
 }
 
-// scanOp is the per-worker operator over a shared scanSource.
+// scanOp is the per-worker operator over a shared scanSource. The Bloom
+// tally scratch lives on the operator (allocated once in Open), not per
+// NextBatch call.
 type scanOp struct {
-	src *scanSource
+	src         *scanSource
+	localTested []int64
+	localPassed []int64
 }
 
-func (o *scanOp) Open() error  { return nil }
+func (o *scanOp) Open() error {
+	o.localTested = make([]int64, len(o.src.bfs))
+	o.localPassed = make([]int64, len(o.src.bfs))
+	return nil
+}
 func (o *scanOp) Close() error { return nil }
 
 func (o *scanOp) NextBatch() (*RowSet, error) {
 	src := o.src
-	localTested := make([]int64, len(src.bfs))
-	localPassed := make([]int64, len(src.bfs))
+	localTested, localPassed := o.localTested, o.localPassed
 	for {
+		if src.stop != nil && src.stop.Load() {
+			return nil, nil
+		}
 		lo := int(src.cursor.Add(int64(src.morsel))) - src.morsel
 		if lo >= src.n {
 			return nil, nil
@@ -155,7 +171,10 @@ func (ht *hashTable) lookup(key int64) []int32 {
 }
 
 // buildHashTable partitions the build side by key hash and builds one map
-// per partition in parallel.
+// per partition. Every O(n) phase is parallel across dop workers: the key
+// gather, the partition shuffle (per-worker chunks, radix-exchange style),
+// and the per-partition map inserts — so the breaker's finish time scales
+// with DOP instead of being the executor's serial tail.
 func buildHashTable(ex *executor, j *plan.Join, inner *RowSet) (*hashTable, error) {
 	if len(j.Conds) == 0 {
 		return nil, fmt.Errorf("exec: hash join with no conditions")
@@ -166,29 +185,70 @@ func buildHashTable(ex *executor, j *plan.Join, inner *RowSet) (*hashTable, erro
 		return nil, fmt.Errorf("exec: unsupported hash join type %s", j.JoinType)
 	}
 	c0 := j.Conds[0]
-	ht := &hashTable{
-		inner:     inner,
-		innerKeys: keyColumn(inner, ex.tables[c0.InnerRel], c0.InnerRel, c0.InnerCol),
-	}
-	for _, c := range j.Conds[1:] {
-		ht.innerExtras = append(ht.innerExtras,
-			keyColumn(inner, ex.tables[c.InnerRel], c.InnerRel, c.InnerCol))
-	}
 	nparts := ex.dop
 	if nparts < 1 {
 		nparts = 1
 	}
-	idx := partitionIdx(ht.innerKeys, nparts)
+	ht := &hashTable{
+		inner:     inner,
+		innerKeys: keyColumnPar(inner, ex.tables[c0.InnerRel], c0.InnerRel, c0.InnerCol, nparts),
+	}
+	for _, c := range j.Conds[1:] {
+		ht.innerExtras = append(ht.innerExtras,
+			keyColumnPar(inner, ex.tables[c.InnerRel], c.InnerRel, c.InnerCol, nparts))
+	}
+	n := len(ht.innerKeys)
 	ht.parts = make([]map[int64][]int32, nparts)
+	if nparts == 1 || n < 4096 {
+		m := make(map[int64][]int32, n)
+		for ii, k := range ht.innerKeys {
+			m[k] = append(m[k], int32(ii))
+		}
+		if nparts == 1 {
+			ht.parts[0] = m
+			return ht, nil
+		}
+		// Small build sides are not worth the shuffle: split the one map by
+		// partition serially.
+		for p := range ht.parts {
+			ht.parts[p] = make(map[int64][]int32)
+		}
+		for k, ids := range m {
+			ht.parts[int(hashKey(k)%uint64(nparts))][k] = ids
+		}
+		return ht, nil
+	}
+	// Producer phase: each worker chunks its row range by target partition.
+	chunks := make([][][]int32, nparts) // producer -> partition -> row ids
 	var wg sync.WaitGroup
+	for c := 0; c < nparts; c++ {
+		lo, hi := c*n/nparts, (c+1)*n/nparts
+		chunks[c] = make([][]int32, nparts)
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			for ii := lo; ii < hi; ii++ {
+				p := int(hashKey(ht.innerKeys[ii]) % uint64(nparts))
+				chunks[c][p] = append(chunks[c][p], int32(ii))
+			}
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	// Consumer phase: each partition owner inserts its shuffled row ids.
 	for p := 0; p < nparts; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			m := make(map[int64][]int32, len(idx[p]))
-			for _, ii := range idx[p] {
-				k := ht.innerKeys[ii]
-				m[k] = append(m[k], int32(ii))
+			total := 0
+			for c := 0; c < nparts; c++ {
+				total += len(chunks[c][p])
+			}
+			m := make(map[int64][]int32, total)
+			for c := 0; c < nparts; c++ {
+				for _, ii := range chunks[c][p] {
+					k := ht.innerKeys[ii]
+					m[k] = append(m[k], ii)
+				}
 			}
 			ht.parts[p] = m
 		}(p)
@@ -419,6 +479,7 @@ type mergeSource struct {
 	outRels query.RelSet
 	morsel  int
 	stats   *opStats
+	stop    *atomic.Bool
 
 	mu           sync.Mutex
 	outer, inner *sortedInput
@@ -438,7 +499,7 @@ func (ex *executor) newMergeSource(j *plan.Join, outer, inner *sortedInput, stat
 	}
 	return &mergeSource{
 		j: j, outRels: j.Rels(), morsel: ex.morsel, stats: stats,
-		outer: outer, inner: inner,
+		outer: outer, inner: inner, stop: &ex.stop,
 	}, nil
 }
 
@@ -451,7 +512,7 @@ func (o *mergeSourceOp) NextBatch() (*RowSet, error) {
 	m := o.src
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.done {
+	if m.done || (m.stop != nil && m.stop.Load()) {
 		return nil, nil
 	}
 	start := time.Now()

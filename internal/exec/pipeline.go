@@ -1,7 +1,9 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -10,26 +12,56 @@ import (
 )
 
 // This file is the morsel-driven pipeline driver. Pipelines (decomposed by
-// internal/plan) run sequentially in execution order; within a pipeline,
-// DOP workers each own a private operator chain rooted at a shared morsel
-// source and push their batches into a thread-safe sink. Sinks are the
-// pipeline breakers: hash-table build (+ Bloom filter population), sort
-// for merge join, nested-loop materialization, result collection, and
-// streaming aggregation.
+// internal/plan) form a DAG: a probe pipeline depends on its build / sort /
+// materialize producers and on the hash-build pipelines that populate the
+// Bloom filters its source scan applies — and nothing else. The scheduler
+// runs every ready pipeline concurrently under a global worker budget of
+// DOP slots shared across pipelines. Within a pipeline, workers each own a
+// private operator chain rooted at a shared morsel source and push batches
+// into a thread-safe sink. Sinks are the pipeline breakers — hash-table
+// build (+ Bloom filter population), sort for merge join, nested-loop
+// materialization, result collection, streaming aggregation — and their
+// finish phases are themselves parallel, so the executor has no
+// single-threaded breaker tail (the Amdahl bottleneck §3.9's parallel
+// build strategies are designed to avoid).
+
+// errCanceled marks a pipeline that wound down because another pipeline's
+// failure set the run-wide stop flag; it is never surfaced to callers.
+var errCanceled = errors.New("exec: run canceled by concurrent pipeline failure")
+
+// fail records the run's first real error and cancels every morsel source.
+func (ex *executor) fail(err error) {
+	ex.smu.Lock()
+	if ex.firstErr == nil {
+		ex.firstErr = err
+	}
+	ex.smu.Unlock()
+	ex.stop.Store(true)
+}
+
+// runErr returns the first recorded error of the run.
+func (ex *executor) runErr() error {
+	ex.smu.Lock()
+	defer ex.smu.Unlock()
+	return ex.firstErr
+}
 
 // sink consumes a pipeline's output batches. consume is called
 // concurrently by workers (disjoint worker indices); finish runs once
-// after all workers complete.
+// after all workers complete; phases reports the breaker's measured
+// finish-phase wall times after finish.
 type sink interface {
 	consume(worker int, b *RowSet)
 	finish() error
+	phases() BreakerPhases
 }
 
 // partsSink accumulates per-worker row sets, merged on demand. It backs
-// every materializing sink.
+// every materializing sink and carries the breaker phase timings.
 type partsSink struct {
 	rels  query.RelSet
 	parts []*RowSet
+	ph    BreakerPhases
 }
 
 func newPartsSink(rels query.RelSet, workers int) partsSink {
@@ -43,14 +75,15 @@ func (s *partsSink) consume(w int, b *RowSet) {
 	s.parts[w].appendBatch(b)
 }
 
-func (s *partsSink) merged() *RowSet {
-	live := make([]*RowSet, 0, len(s.parts))
-	for _, p := range s.parts {
-		if p != nil {
-			live = append(live, p)
-		}
-	}
-	return concat(s.rels, live)
+func (s *partsSink) phases() BreakerPhases { return s.ph }
+
+// mergedPar combines the per-worker parts in parallel (recording the merge
+// phase); a lone live part is returned directly without copying.
+func (s *partsSink) mergedPar(dop int) *RowSet {
+	start := time.Now()
+	rs := concatPar(s.rels, s.parts, dop)
+	s.ph.Merge = time.Since(start)
+	return rs
 }
 
 // resultSink collects the final query output.
@@ -60,14 +93,16 @@ type resultSink struct {
 }
 
 func (s *resultSink) finish() error {
-	s.ex.out = s.merged()
+	s.ex.out = s.mergedPar(s.ex.dop)
 	s.ex.rows = s.ex.out.Len()
 	return nil
 }
 
 // hashBuildSink materializes a hash join's build side, populates its Bloom
 // filters (reusing the §3.9 strategy selection), and builds the shared
-// hash table the probe pipeline reads.
+// hash table the probe pipeline reads. Every finish phase — the part
+// merge, the Bloom population, the hash-table build — runs across DOP
+// workers; there is no intermediate serial merged() copy.
 type hashBuildSink struct {
 	partsSink
 	ex *executor
@@ -75,17 +110,23 @@ type hashBuildSink struct {
 }
 
 func (s *hashBuildSink) finish() error {
-	inner := s.merged()
+	inner := s.mergedPar(s.ex.dop)
 	if len(s.j.BuildBlooms) > 0 {
+		start := time.Now()
 		if err := s.ex.buildBlooms(s.j, inner); err != nil {
 			return err
 		}
+		s.ph.Bloom = time.Since(start)
 	}
+	start := time.Now()
 	ht, err := buildHashTable(s.ex, s.j, inner)
 	if err != nil {
 		return err
 	}
+	s.ph.Build = time.Since(start)
+	s.ex.smu.Lock()
 	s.ex.builds[s.j] = ht
+	s.ex.smu.Unlock()
 	return nil
 }
 
@@ -95,7 +136,10 @@ type mergePair struct {
 }
 
 // sortSink materializes and sorts one merge-join input on its first join
-// condition — the sort is the pipeline breaker.
+// condition — the sort is the pipeline breaker. Each worker's part is a
+// contiguous range of the merged input, sorted as an independent run, and
+// the runs are combined by a parallel multiway merge — replacing the
+// single-threaded sortByKey tail.
 type sortSink struct {
 	partsSink
 	ex      *executor
@@ -113,21 +157,29 @@ func (s *sortSink) finish() error {
 	if len(s.j.Conds) == 0 {
 		return fmt.Errorf("exec: merge join with no conditions")
 	}
-	rs := s.merged()
+	dop := s.ex.dop
+	_, offs := partOffsets(s.parts)
+	rs := s.mergedPar(dop)
+
+	start := time.Now()
 	in := &sortedInput{rs: rs}
 	for i, c := range s.j.Conds {
 		rel, col := c.OuterRel, c.OuterCol
 		if s.isInner {
 			rel, col = c.InnerRel, c.InnerCol
 		}
-		keys := keyColumn(rs, s.ex.tables[rel], rel, col)
+		keys := keyColumnPar(rs, s.ex.tables[rel], rel, col, dop)
 		if i == 0 {
 			in.keys = keys
-			in.idx = sortByKey(keys)
+			bounds := append(append(make([]int, 0, len(offs)+1), offs...), rs.Len())
+			in.idx = sortByKeyPar(keys, bounds, dop)
 		} else {
 			in.extras = append(in.extras, keys)
 		}
 	}
+	s.ph.Sort = time.Since(start)
+
+	s.ex.smu.Lock()
 	pair := s.ex.sorted[s.j]
 	if pair == nil {
 		pair = &mergePair{}
@@ -138,6 +190,7 @@ func (s *sortSink) finish() error {
 	} else {
 		pair.outer = in
 	}
+	s.ex.smu.Unlock()
 	return nil
 }
 
@@ -153,45 +206,117 @@ func (s *materializeSink) finish() error {
 	if len(s.j.BuildBlooms) > 0 {
 		return fmt.Errorf("exec: Bloom filters can only be built at hash joins, got %s", s.j.Method)
 	}
-	rs := s.merged()
+	rs := s.mergedPar(s.ex.dop)
 	mat := &nlInner{rs: rs}
 	for _, c := range s.j.Conds {
 		mat.keys = append(mat.keys,
 			keyColumn(rs, s.ex.tables[c.InnerRel], c.InnerRel, c.InnerCol))
 	}
+	s.ex.smu.Lock()
 	s.ex.mats[s.j] = mat
+	s.ex.smu.Unlock()
 	return nil
 }
 
-// registerStats allocates (and indexes) the shared counters for one plan
-// operator position.
-func (ex *executor) registerStats(label string, n plan.Node) *opStats {
-	st := &opStats{label: label, node: n}
-	ex.stats = append(ex.stats, st)
-	return st
-}
-
-// runPipelined executes the whole plan via pipeline decomposition.
+// runPipelined executes the whole plan: decompose into the pipeline DAG,
+// schedule it, then assemble the stat registries in pipeline-ID order so
+// reports stay deterministic regardless of the concurrent schedule.
 func (ex *executor) runPipelined(p *plan.Plan) error {
 	pipes, err := plan.Decompose(p)
 	if err != nil {
 		return err
 	}
+	budget := ex.dop
+	if budget < 1 {
+		budget = 1
+	}
+	ex.slots = make(chan struct{}, budget)
+	if err := ex.runDAG(pipes); err != nil {
+		return err
+	}
+	sort.Slice(ex.pipes, func(i, j int) bool { return ex.pipes[i].ID < ex.pipes[j].ID })
 	for _, pl := range pipes {
-		if err := ex.runPipeline(pl); err != nil {
-			return err
-		}
+		ex.stats = append(ex.stats, ex.pipeStats[pl.ID]...)
 	}
 	return nil
 }
 
+// runDAG schedules the pipelines: every pipeline whose dependencies have
+// completed starts immediately and runs concurrently with its peers (two
+// hash-build sides of independent joins, the two sort sides of one merge
+// join, ...). The first real error cancels the run — in-flight pipelines
+// stop at the next morsel, queued pipelines never start — and is the one
+// surfaced to the caller; cancellation casualties are not.
+func (ex *executor) runDAG(pipes []*plan.Pipeline) error {
+	n := len(pipes)
+	children := make([][]int, n)
+	pending := make([]int, n)
+	for i, pl := range pipes {
+		if pl.ID != i {
+			return fmt.Errorf("exec: pipeline ID %d at position %d (plan bug)", pl.ID, i)
+		}
+		for _, d := range pl.Deps {
+			if d < 0 || d >= i {
+				return fmt.Errorf("exec: pipeline P%d depends on P%d, not topological (plan bug)", i, d)
+			}
+			children[d] = append(children[d], i)
+			pending[i]++
+		}
+	}
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	var launch func(id int)
+	launch = func(id int) { // caller holds mu
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := ex.runPipeline(pipes[id])
+			if err != nil && err != errCanceled {
+				// Setup/finish errors bypass the worker loop's fail();
+				// record them here so the run cancels and surfaces them.
+				ex.fail(err)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				return // children of a failed pipeline never start
+			}
+			for _, c := range children[id] {
+				if pending[c]--; pending[c] == 0 && !ex.stop.Load() {
+					launch(c)
+				}
+			}
+		}()
+	}
+	mu.Lock()
+	for i := range pipes {
+		if pending[i] == 0 {
+			launch(i)
+		}
+	}
+	mu.Unlock()
+	wg.Wait()
+	return ex.runErr()
+}
+
 // runPipeline schedules one pipeline across DOP workers pulling morsels
 // from the shared source, then finalizes its sink and records actuals.
+// Each worker holds one global budget slot while it runs, so concurrently
+// scheduled pipelines share DOP workers instead of multiplying them.
 func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 	start := time.Now()
 	workers := ex.dop
 	if workers < 1 {
 		workers = 1
+	}
+
+	var pstats []*opStats
+	reg := func(label string, n plan.Node) *opStats {
+		st := &opStats{label: label, node: n}
+		pstats = append(pstats, st)
+		return st
 	}
 
 	// Shared source state + per-worker source factory.
@@ -200,7 +325,7 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 	var srcStats *opStats
 	switch t := pl.Source.(type) {
 	case *plan.Scan:
-		srcStats = ex.registerStats(fmt.Sprintf("Scan %s", t.Alias), t)
+		srcStats = reg(fmt.Sprintf("Scan %s", t.Alias), t)
 		src, err := ex.newScanSource(t, srcStats)
 		if err != nil {
 			return err
@@ -211,11 +336,13 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 		if t.Method != plan.MergeJoin {
 			return fmt.Errorf("exec: join %s cannot source a pipeline (plan bug)", t.Method)
 		}
+		ex.smu.Lock()
 		pair := ex.sorted[t]
+		ex.smu.Unlock()
 		if pair == nil || pair.outer == nil || pair.inner == nil {
 			return fmt.Errorf("exec: merge join inputs were never sorted (plan bug)")
 		}
-		srcStats = ex.registerStats(fmt.Sprintf("MergeJoin(%s) merge", t.JoinType), t)
+		srcStats = reg(fmt.Sprintf("MergeJoin(%s) merge", t.JoinType), t)
 		src, err := ex.newMergeSource(t, pair.outer, pair.inner, srcStats)
 		if err != nil {
 			return err
@@ -233,11 +360,13 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 	for _, j := range pl.Ops {
 		switch j.Method {
 		case plan.HashJoin:
+			ex.smu.Lock()
 			ht := ex.builds[j]
+			ex.smu.Unlock()
 			if ht == nil {
 				return fmt.Errorf("exec: hash table for %s was never built (plan bug)", j.Method)
 			}
-			st := ex.registerStats(fmt.Sprintf("HashJoin(%s) probe", j.JoinType), j)
+			st := reg(fmt.Sprintf("HashJoin(%s) probe", j.JoinType), j)
 			sh, err := ex.newProbeShared(j, ht, inRels, st)
 			if err != nil {
 				return err
@@ -248,11 +377,13 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 			opStatsList = append(opStatsList, st)
 			inRels = sh.outRels
 		case plan.NestLoopJoin:
+			ex.smu.Lock()
 			mat := ex.mats[j]
+			ex.smu.Unlock()
 			if mat == nil {
 				return fmt.Errorf("exec: nested-loop inner was never materialized (plan bug)")
 			}
-			st := ex.registerStats(fmt.Sprintf("NestLoop(%s) probe", j.JoinType), j)
+			st := reg(fmt.Sprintf("NestLoop(%s) probe", j.JoinType), j)
 			sh, err := ex.newNLShared(j, mat, inRels, st)
 			if err != nil {
 				return err
@@ -278,26 +409,47 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			ex.slots <- struct{}{} // acquire one global worker slot
+			defer func() { <-ex.slots }()
 			op := newSource()
 			for _, f := range factories {
 				op = f(op)
 			}
-			if err := op.Open(); err != nil {
+			if ex.injectOp != nil {
+				op = ex.injectOp(pl, w, op)
+			}
+			fail := func(err error) {
 				errs[w] = err
+				ex.fail(err)
+			}
+			// Open and Close always pair: a chain operator that opened its
+			// child must release it even when Open itself failed, a batch
+			// errored, or the run was canceled mid-stream.
+			if err := op.Open(); err != nil {
+				fail(err)
+				op.Close()
 				return
 			}
-			for {
+			defer func() {
+				if err := op.Close(); err != nil && errs[w] == nil {
+					fail(err)
+				}
+			}()
+			// The stop check makes the first error — anywhere in the run —
+			// cancel sibling workers between batches; the morsel sources
+			// check it too, so a worker inside NextBatch stops claiming
+			// morsels instead of draining the source.
+			for !ex.stop.Load() {
 				b, err := op.NextBatch()
 				if err != nil {
-					errs[w] = err
+					fail(err)
 					return
 				}
 				if b == nil {
-					break
+					return
 				}
 				snk.consume(w, b)
 			}
-			errs[w] = op.Close()
 		}(w)
 	}
 	wg.Wait()
@@ -306,12 +458,17 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 			return err
 		}
 	}
+	if ex.stop.Load() {
+		return errCanceled
+	}
 	if scanSrc != nil {
 		scanSrc.flushBloomStats()
 	}
+	finishStart := time.Now()
 	if err := snk.finish(); err != nil {
 		return err
 	}
+	finishWall := time.Since(finishStart)
 
 	// Per-node actuals: every plan node appears in exactly one pipeline
 	// position (scans and merge joins as sources, other joins as ops), so
@@ -322,13 +479,18 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 		ex.record(j, int(opStatsList[i].rowsOut.Load()))
 		last = opStatsList[i]
 	}
+	ex.smu.Lock()
+	ex.pipeStats[pl.ID] = pstats
 	ex.pipes = append(ex.pipes, PipelineStat{
-		ID:      pl.ID,
-		Label:   pl.Describe(),
-		Workers: workers,
-		Wall:    time.Since(start),
-		Rows:    last.rowsOut.Load(),
+		ID:         pl.ID,
+		Label:      pl.Describe(),
+		Workers:    workers,
+		Wall:       time.Since(start),
+		Rows:       last.rowsOut.Load(),
+		FinishWall: finishWall,
+		Phases:     snk.phases(),
 	})
+	ex.smu.Unlock()
 	return nil
 }
 

@@ -9,6 +9,8 @@ package exec
 import (
 	"fmt"
 	"slices"
+	"sort"
+	"sync"
 
 	"bfcbo/internal/query"
 	"bfcbo/internal/storage"
@@ -106,7 +108,12 @@ func (rs *RowSet) appendBatch(b *RowSet) {
 }
 
 // concat merges parts (all covering the same relations) into one row set.
+// When exactly one part holds rows — the common case at low DOP and for
+// small build sides — that part is returned directly instead of copied.
 func concat(rels query.RelSet, parts []*RowSet) *RowSet {
+	if lone := loneLivePart(parts); lone != nil {
+		return lone
+	}
 	out := NewRowSet(rels)
 	total := 0
 	for _, p := range parts {
@@ -122,6 +129,76 @@ func concat(rels query.RelSet, parts []*RowSet) *RowSet {
 	return out
 }
 
+// loneLivePart returns the single part holding rows, or nil when zero or
+// several do (callers then need a real merge; zero live parts must still
+// produce a fresh empty set covering the requested relations).
+func loneLivePart(parts []*RowSet) *RowSet {
+	var live *RowSet
+	for _, p := range parts {
+		if p == nil || p.Len() == 0 {
+			continue
+		}
+		if live != nil {
+			return nil
+		}
+		live = p
+	}
+	return live
+}
+
+// concatPar merges parts into one row set, copying every (relation, part)
+// column slice concurrently under the given parallelism. It is the breaker
+// sinks' merge phase: unlike the sequential concat it copies each part
+// directly into its final offset, so there is no intermediate grown buffer
+// and the copies proceed in parallel.
+func concatPar(rels query.RelSet, parts []*RowSet, dop int) *RowSet {
+	if lone := loneLivePart(parts); lone != nil {
+		return lone
+	}
+	live, offs := partOffsets(parts)
+	total := 0
+	for _, p := range live {
+		total += p.Len()
+	}
+	if dop < 2 || total < 4096 {
+		return concat(rels, live)
+	}
+	out := NewRowSet(rels)
+	for pos := range out.cols {
+		out.cols[pos] = make([]int32, total)
+	}
+	sem := make(chan struct{}, dop)
+	var wg sync.WaitGroup
+	for rel, pos := range out.relPos {
+		for i, p := range live {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(dst []int32, src []int32) {
+				defer wg.Done()
+				copy(dst, src)
+				<-sem
+			}(out.cols[pos][offs[i]:], p.Col(rel))
+		}
+	}
+	wg.Wait()
+	return out
+}
+
+// partOffsets returns the starting row of each live part in their
+// concatenation, parallel to the returned live slice.
+func partOffsets(parts []*RowSet) (live []*RowSet, offs []int) {
+	total := 0
+	for _, p := range parts {
+		if p == nil || p.Len() == 0 {
+			continue
+		}
+		live = append(live, p)
+		offs = append(offs, total)
+		total += p.Len()
+	}
+	return live, offs
+}
+
 // keyColumn materializes the int64 join-key values of rel.col for every row.
 func keyColumn(rs *RowSet, tbl *storage.Table, rel int, col string) []int64 {
 	ids := rs.Col(rel)
@@ -130,6 +207,35 @@ func keyColumn(rs *RowSet, tbl *storage.Table, rel int, col string) []int64 {
 	for i, id := range ids {
 		out[i] = vals[id]
 	}
+	return out
+}
+
+// keyColumnPar is keyColumn with the gather split across dop goroutines —
+// the breaker sinks materialize keys for millions of rows in their finish
+// phase, where this gather would otherwise be serial tail time.
+func keyColumnPar(rs *RowSet, tbl *storage.Table, rel int, col string, dop int) []int64 {
+	ids := rs.Col(rel)
+	n := len(ids)
+	if dop < 2 || n < 4096 {
+		return keyColumn(rs, tbl, rel, col)
+	}
+	vals := tbl.MustColumn(col).Ints
+	out := make([]int64, n)
+	var wg sync.WaitGroup
+	for c := 0; c < dop; c++ {
+		lo, hi := c*n/dop, (c+1)*n/dop
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = vals[ids[i]]
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 	return out
 }
 
@@ -147,9 +253,16 @@ type keyIdx struct {
 // of sorting an index permutation in place. Ties break by row index, which
 // also makes the order fully deterministic.
 func sortByKey(keys []int64) []int {
-	pairs := make([]keyIdx, len(keys))
-	for i, k := range keys {
-		pairs[i] = keyIdx{key: k, idx: int32(i)}
+	return sortKeyRange(keys, 0, len(keys))
+}
+
+// sortKeyRange sorts the row indices [lo, hi) by key, returning global
+// indices. It is one sorted run of the parallel sort: each worker's part of
+// a breaker input occupies a contiguous index range, sorted independently.
+func sortKeyRange(keys []int64, lo, hi int) []int {
+	pairs := make([]keyIdx, hi-lo)
+	for i := lo; i < hi; i++ {
+		pairs[i-lo] = keyIdx{key: keys[i], idx: int32(i)}
 	}
 	slices.SortFunc(pairs, func(a, b keyIdx) int {
 		switch {
@@ -165,9 +278,151 @@ func sortByKey(keys []int64) []int {
 			return 0
 		}
 	})
-	idx := make([]int, len(keys))
+	idx := make([]int, len(pairs))
 	for i, p := range pairs {
 		idx[i] = int(p.idx)
 	}
 	return idx
+}
+
+// sortByKeyPar produces the same index order as sortByKey using per-range
+// sorted runs merged by mergeRuns. bounds are the run boundaries (len+1
+// monotone offsets, e.g. per-worker part offsets plus the total).
+func sortByKeyPar(keys []int64, bounds []int, dop int) []int {
+	nruns := len(bounds) - 1
+	if nruns <= 1 || dop < 2 {
+		return sortByKey(keys)
+	}
+	runs := make([][]int, nruns)
+	var wg sync.WaitGroup
+	for r := 0; r < nruns; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			runs[r] = sortKeyRange(keys, bounds[r], bounds[r+1])
+		}(r)
+	}
+	wg.Wait()
+	return mergeRuns(keys, runs, dop)
+}
+
+// mergeRuns merges sorted runs of row indices into one fully sorted index,
+// in parallel: the key domain is split at sampled splitters, each output
+// segment k-way-merges its slice of every run independently, and segments
+// write into disjoint ranges of the output. Ties across runs resolve to the
+// lower run, which — because runs cover ascending disjoint index ranges —
+// reproduces exactly sortByKey's break-ties-by-row-index order.
+func mergeRuns(keys []int64, runs [][]int, dop int) []int {
+	live := runs[:0:len(runs)]
+	for _, r := range runs {
+		if len(r) > 0 {
+			live = append(live, r)
+		}
+	}
+	runs = live
+	if len(runs) == 0 {
+		return nil
+	}
+	if len(runs) == 1 {
+		return runs[0]
+	}
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]int, total)
+	nseg := dop
+	if nseg < 2 || total < 4096 {
+		mergeSegment(keys, runs, nil, nil, out)
+		return out
+	}
+
+	// Sample candidate splitters evenly from every run, then take segment
+	// quantiles of the sorted sample. Duplicates just yield empty segments.
+	var cands []int64
+	for _, r := range runs {
+		for s := 1; s < nseg; s++ {
+			cands = append(cands, keys[r[s*len(r)/nseg]])
+		}
+	}
+	slices.Sort(cands)
+	splits := make([]int64, nseg-1)
+	for s := 1; s < nseg; s++ {
+		splits[s-1] = cands[s*len(cands)/nseg]
+	}
+
+	// Per-run segment boundaries: bound[r][s] is the first position in run r
+	// whose key >= splits[s]; rows with key equal to a splitter land wholly
+	// in the segment the splitter opens, consistently across runs.
+	bound := make([][]int, len(runs))
+	for r, run := range runs {
+		b := make([]int, nseg+1)
+		b[nseg] = len(run)
+		for s, sp := range splits {
+			b[s+1] = sort.Search(len(run), func(i int) bool { return keys[run[i]] >= sp })
+		}
+		// Equal splitter values can make boundaries non-monotone only via
+		// Search ties; enforce monotonicity defensively.
+		for s := 1; s <= nseg; s++ {
+			if b[s] < b[s-1] {
+				b[s] = b[s-1]
+			}
+		}
+		bound[r] = b
+	}
+	segOff := make([]int, nseg+1)
+	for s := 1; s <= nseg; s++ {
+		segOff[s] = segOff[s-1]
+		for r := range runs {
+			segOff[s] += bound[r][s] - bound[r][s-1]
+		}
+	}
+
+	var wg sync.WaitGroup
+	for s := 0; s < nseg; s++ {
+		if segOff[s] == segOff[s+1] {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			lo := make([]int, len(runs))
+			hi := make([]int, len(runs))
+			for r := range runs {
+				lo[r], hi[r] = bound[r][s], bound[r][s+1]
+			}
+			mergeSegment(keys, runs, lo, hi, out[segOff[s]:segOff[s+1]])
+		}(s)
+	}
+	wg.Wait()
+	return out
+}
+
+// mergeSegment k-way-merges runs[r][lo[r]:hi[r]] into dst (nil lo/hi mean
+// whole runs). With at most DOP runs a linear min scan beats a heap.
+func mergeSegment(keys []int64, runs [][]int, lo, hi []int, dst []int) {
+	pos := make([]int, len(runs))
+	end := make([]int, len(runs))
+	for r := range runs {
+		if lo != nil {
+			pos[r], end[r] = lo[r], hi[r]
+		} else {
+			pos[r], end[r] = 0, len(runs[r])
+		}
+	}
+	for i := range dst {
+		best := -1
+		var bestKey int64
+		for r := range runs {
+			if pos[r] == end[r] {
+				continue
+			}
+			k := keys[runs[r][pos[r]]]
+			if best < 0 || k < bestKey {
+				best, bestKey = r, k
+			}
+		}
+		dst[i] = runs[best][pos[best]]
+		pos[best]++
+	}
 }

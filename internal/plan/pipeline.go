@@ -66,8 +66,13 @@ type Pipeline struct {
 	// every kind except SinkResult.
 	Sink     SinkKind
 	SinkJoin *Join
-	// Deps are IDs of pipelines that must complete before this one starts
-	// (build/sort/materialize producers of this pipeline's source and ops).
+	// Deps are IDs of pipelines that must complete before this one starts:
+	// the build/sort/materialize producers of this pipeline's source and
+	// ops, plus the hash-build pipelines that populate any Bloom filter the
+	// source scan applies (§3.9: a scan waits for its filters). Every dep
+	// ID is smaller than the pipeline's own ID — pipelines are emitted in a
+	// topological order — which is what lets the executor schedule the DAG
+	// without cycle detection.
 	Deps []int
 }
 
@@ -90,7 +95,47 @@ func Decompose(p *Plan) ([]*Pipeline, error) {
 	}
 	last.Sink = SinkResult
 	d.emit(last)
+	d.addBloomDeps()
 	return d.out, nil
+}
+
+// addBloomDeps adds dependency edges from every pipeline whose source scan
+// applies a Bloom filter to the hash-build pipeline that populates it. The
+// probe pipeline of the resolving join already depends on the build via the
+// breaker edge, but a filter can be applied deeper: a sort/materialize
+// pipeline under the probe side sources its scan with no structural edge to
+// the sibling build pipeline, and only this edge keeps a concurrent DAG
+// schedule from starting the scan before its filter exists.
+func (d *decomposer) addBloomDeps() {
+	builder := make(map[int]int) // Bloom filter ID -> building pipeline ID
+	for _, pl := range d.out {
+		if pl.Sink == SinkHashBuild {
+			for _, id := range pl.SinkJoin.BuildBlooms {
+				builder[id] = pl.ID
+			}
+		}
+	}
+	for _, pl := range d.out {
+		s, ok := pl.Source.(*Scan)
+		if !ok {
+			continue
+		}
+		for _, id := range s.ApplyBlooms {
+			if b, ok := builder[id]; ok && b != pl.ID {
+				pl.Deps = addDep(pl.Deps, b)
+			}
+		}
+	}
+}
+
+// addDep appends id unless already present.
+func addDep(deps []int, id int) []int {
+	for _, d := range deps {
+		if d == id {
+			return deps
+		}
+	}
+	return append(deps, id)
 }
 
 type decomposer struct {
