@@ -21,6 +21,7 @@ import (
 
 	"bfcbo/internal/datagen"
 	"bfcbo/internal/exec"
+	"bfcbo/internal/mem"
 	"bfcbo/internal/optimizer"
 	"bfcbo/internal/query"
 	"bfcbo/internal/sqlparser"
@@ -53,12 +54,24 @@ type Config struct {
 	// executor instead of the default morsel-driven pipelined one. It
 	// exists for A/B comparisons; the pipelined executor is the default.
 	LegacyExecutor bool
+	// MemBudget bounds the bytes of operator state the executor holds in
+	// RAM (0 = unlimited). Joins and sorts whose memory grants are denied
+	// spill to temp files (grace hash join / external merge sort) and
+	// still return exact results; spill activity is reported in
+	// Output.Spill and EXPLAIN ANALYZE. All queries of one engine draw
+	// from a single shared broker, so concurrent Run calls share the
+	// budget. Ignored by the legacy executor.
+	MemBudget int64
+	// SpillDir is the parent directory for spill files ("" = os.TempDir()).
+	// Every run removes its own spill subdirectory, even on error.
+	SpillDir string
 }
 
 // Engine bundles a generated database with planner and executor.
 type Engine struct {
-	cfg Config
-	ds  *datagen.Dataset
+	cfg    Config
+	ds     *datagen.Dataset
+	broker *mem.Broker
 }
 
 // Open generates the TPC-H dataset and returns a ready engine.
@@ -73,8 +86,12 @@ func Open(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, ds: ds}, nil
+	return &Engine{cfg: cfg, ds: ds, broker: mem.NewBroker(cfg.MemBudget)}, nil
 }
+
+// MemoryBroker exposes the engine's process-wide memory broker (budget,
+// current/peak usage, denial counts) for monitoring.
+func (e *Engine) MemoryBroker() *mem.Broker { return e.broker }
 
 // Dataset gives access to the underlying schema and storage for advanced
 // use (building custom query blocks).
@@ -123,6 +140,9 @@ type Output struct {
 	// set). Pipelines are DAG-scheduled: entries with disjoint dependency
 	// chains ran concurrently, so their walls can overlap.
 	Pipelines []exec.PipelineStat
+	// Spill totals the run's spill activity under Config.MemBudget (all
+	// zero for unlimited-budget and legacy runs).
+	Spill exec.SpillStat
 }
 
 // Plan optimizes a block without executing it.
@@ -139,7 +159,10 @@ func (e *Engine) Run(b *query.Block, mode Mode) (*Output, error) {
 		return nil, err
 	}
 	start := time.Now()
-	r, err := exec.Run(e.ds.DB, b, res.Plan, exec.Options{DOP: e.cfg.DOP, Legacy: e.cfg.LegacyExecutor})
+	r, err := exec.Run(e.ds.DB, b, res.Plan, exec.Options{
+		DOP: e.cfg.DOP, Legacy: e.cfg.LegacyExecutor,
+		Broker: e.broker, SpillDir: e.cfg.SpillDir,
+	})
 	execTime := time.Since(start)
 	if err != nil {
 		return nil, err
@@ -156,6 +179,7 @@ func (e *Engine) Run(b *query.Block, mode Mode) (*Output, error) {
 		ExplainAnalyze: analyzed,
 		OpStats:        r.OpStats,
 		Pipelines:      r.Pipelines,
+		Spill:          r.TotalSpill(),
 	}, nil
 }
 

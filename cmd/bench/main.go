@@ -10,7 +10,12 @@
 //	bench -experiment mae      # Table 2's cardinality-MAE comparison
 //	bench -experiment ablation # per-heuristic ablation
 //	bench -experiment scaling  # DOP {1,2,4,8} executor scaling on Bloom-heavy queries
+//	bench -experiment memory   # memory-budget × DOP spill grid (BENCH_PR3.json)
 //	bench -experiment all      # everything
+//
+// A global -mem-budget (e.g. "64MB") constrains the executor in every
+// experiment; -validate <path> checks a BENCH_PR3-style memory report and
+// exits (the CI bench smoke).
 package main
 
 import (
@@ -19,29 +24,59 @@ import (
 	"os"
 
 	"bfcbo/internal/bench"
+	"bfcbo/internal/mem"
 )
 
 func main() {
 	var (
-		sf   = flag.Float64("sf", 0.02, "TPC-H scale factor")
-		seed = flag.Uint64("seed", 2025, "data generation seed")
-		dop  = flag.Int("dop", 8, "degree of parallelism")
-		reps = flag.Int("reps", 3, "repetitions per query (first is warm-up)")
-		exp  = flag.String("experiment", "all", "table2|table3|fig1|fig6|naive|mae|ablation|all")
-		jout = flag.String("json", "BENCH_PR2.json", "machine-readable Table 2 + scaling report path (empty disables)")
+		sf       = flag.Float64("sf", 0.02, "TPC-H scale factor")
+		seed     = flag.Uint64("seed", 2025, "data generation seed")
+		dop      = flag.Int("dop", 8, "degree of parallelism")
+		reps     = flag.Int("reps", 3, "repetitions per query (first is warm-up)")
+		exp      = flag.String("experiment", "all", "table2|table3|fig1|fig6|naive|mae|ablation|scaling|memory|all")
+		jout     = flag.String("json", "", "machine-readable report path (default: BENCH_PR2.json for table2, BENCH_PR3.json for memory; empty = default, \"-\" disables)")
+		budget   = flag.String("mem-budget", "", `executor memory budget for all experiments, e.g. "64MB" (empty = unlimited)`)
+		validate = flag.String("validate", "", "validate a BENCH_PR3-style memory report at this path and exit")
 	)
 	flag.Parse()
-	if err := run(*sf, *seed, *dop, *reps, *exp, *jout); err != nil {
+	if *validate != "" {
+		if err := bench.ValidateMemoryJSON(*validate); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: well-formed memory report\n", *validate)
+		return
+	}
+	if err := run(*sf, *seed, *dop, *reps, *exp, *jout, *budget); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sf float64, seed uint64, dop, reps int, exp, jsonPath string) error {
+func run(sf float64, seed uint64, dop, reps int, exp, jsonPath, budget string) error {
+	memBudget, err := mem.ParseBytes(budget)
+	if err != nil {
+		return err
+	}
 	mk := func(h7 bool) (*bench.Harness, error) {
 		return bench.NewHarness(bench.Config{
 			ScaleFactor: sf, Seed: seed, DOP: dop, Reps: reps, Heuristic7: h7,
+			MemBudget: memBudget,
 		})
+	}
+	// Per-experiment default report paths; "-" disables JSON output. Under
+	// -experiment all every report keeps its default path — a single
+	// explicit -json would make table2 and memory clobber each other.
+	allMode := exp == "all"
+	pathFor := func(def string) string {
+		switch {
+		case jsonPath == "-":
+			return ""
+		case jsonPath == "" || allMode:
+			return def
+		default:
+			return jsonPath
+		}
 	}
 	w := os.Stdout
 
@@ -56,7 +91,7 @@ func run(sf float64, seed uint64, dop, reps int, exp, jsonPath string) error {
 		}
 		t.Print(w, fmt.Sprintf("Table 2 / Figure 5 — normalized TPC-H latencies (SF %g, DOP %d)", sf, dop))
 		var scaling []bench.ScalingRow
-		if jsonPath != "" {
+		if out := pathFor("BENCH_PR2.json"); out != "" {
 			// The JSON report carries the DOP scaling table alongside the
 			// Table 2 cells so one file tracks the PR's perf trajectory.
 			scaling, err = h.RunScaling(nil, nil)
@@ -64,10 +99,34 @@ func run(sf float64, seed uint64, dop, reps int, exp, jsonPath string) error {
 				return err
 			}
 			bench.PrintScaling(w, scaling)
-			if err := h.WriteJSON(jsonPath, t, scaling); err != nil {
+			if err := h.WriteJSON(out, t, scaling); err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "wrote %s\n", jsonPath)
+			fmt.Fprintf(w, "wrote %s\n", out)
+		}
+		return nil
+	}
+	runMemory := func() error {
+		h, err := mk(false)
+		if err != nil {
+			return err
+		}
+		// A global -mem-budget narrows the grid to {unlimited, that budget}
+		// instead of the default budget sweep.
+		var budgets []int64
+		if memBudget > 0 {
+			budgets = []int64{0, memBudget}
+		}
+		rows, err := h.RunMemory(nil, nil, budgets)
+		if err != nil {
+			return err
+		}
+		bench.PrintMemory(w, rows)
+		if out := pathFor("BENCH_PR3.json"); out != "" {
+			if err := h.WriteMemoryJSON(out, rows); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", out)
 		}
 		return nil
 	}
@@ -165,11 +224,14 @@ func run(sf float64, seed uint64, dop, reps int, exp, jsonPath string) error {
 		return runAblation()
 	case "scaling":
 		return runScaling()
+	case "memory":
+		return runMemory()
 	case "all":
+		// runTable2 already covers the DOP scaling table in its JSON report.
 		for _, f := range []func() error{runTable2, runTable3,
 			func() error { return runFig(12, "Figure 1 — Q12") },
 			func() error { return runFig(7, "Figure 6 — Q7") },
-			runNaive, runMAE, runAblation} {
+			runNaive, runMAE, runAblation, runMemory} {
 			if err := f(); err != nil {
 				return err
 			}

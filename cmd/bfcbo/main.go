@@ -16,30 +16,36 @@ import (
 	"strings"
 
 	"bfcbo"
+	"bfcbo/internal/mem"
 )
 
 func main() {
 	var (
-		sf    = flag.Float64("sf", 0.01, "TPC-H scale factor")
-		seed  = flag.Uint64("seed", 0, "data generation seed (0 = default)")
-		dop   = flag.Int("dop", 8, "degree of parallelism")
-		qnum  = flag.Int("q", 0, "TPC-H query number (1-22)")
-		sql   = flag.String("sql", "", "SQL text (overrides -q)")
-		modeS = flag.String("mode", "bfcbo", "optimizer mode: nobf | bfpost | bfcbo | naive")
+		sf     = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		seed   = flag.Uint64("seed", 0, "data generation seed (0 = default)")
+		dop    = flag.Int("dop", 8, "degree of parallelism")
+		qnum   = flag.Int("q", 0, "TPC-H query number (1-22)")
+		sql    = flag.String("sql", "", "SQL text (overrides -q)")
+		modeS  = flag.String("mode", "bfcbo", "optimizer mode: nobf | bfpost | bfcbo | naive")
+		budget = flag.String("mem-budget", "", `executor memory budget, e.g. "64MB" (empty = unlimited); joins and sorts over budget spill to temp files`)
 	)
 	flag.Parse()
-	if err := run(*sf, *seed, *dop, *qnum, *sql, *modeS); err != nil {
+	if err := run(*sf, *seed, *dop, *qnum, *sql, *modeS, *budget); err != nil {
 		fmt.Fprintln(os.Stderr, "bfcbo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sf float64, seed uint64, dop, qnum int, sql, modeS string) error {
+func run(sf float64, seed uint64, dop, qnum int, sql, modeS, budget string) error {
 	mode, err := parseMode(modeS)
 	if err != nil {
 		return err
 	}
-	eng, err := bfcbo.Open(bfcbo.Config{ScaleFactor: sf, Seed: seed, DOP: dop})
+	memBudget, err := mem.ParseBytes(budget)
+	if err != nil {
+		return err
+	}
+	eng, err := bfcbo.Open(bfcbo.Config{ScaleFactor: sf, Seed: seed, DOP: dop, MemBudget: memBudget})
 	if err != nil {
 		return err
 	}
@@ -63,6 +69,11 @@ func run(sf float64, seed uint64, dop, qnum int, sql, modeS string) error {
 	fmt.Printf("join order: %s\n", out.JoinOrder)
 	fmt.Printf("rows=%d  blooms=%d  plan=%s  exec=%s\n",
 		out.Rows, out.Blooms, out.PlanningTime, out.ExecTime)
+	if out.Spill.Spilled() {
+		fmt.Printf("spilled %s across %d partition/run files (recursion depth %d, peak memory %s)\n",
+			mem.FormatBytes(out.Spill.Bytes), out.Spill.Partitions, out.Spill.Depth,
+			mem.FormatBytes(eng.MemoryBroker().Peak()))
+	}
 	for _, bs := range out.BloomStats {
 		fmt.Printf("BF#%d [%s] inserted=%d tested=%d passed=%d saturation=%.3f\n",
 			bs.ID, bs.Strategy, bs.Inserted, bs.Tested, bs.Passed, bs.Saturation)

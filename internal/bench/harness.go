@@ -33,6 +33,10 @@ type Config struct {
 	Reps int
 	// Heuristic7 enables the sub-plan cap of Table 3.
 	Heuristic7 bool
+	// MemBudget bounds executor memory (0 = unlimited); joins and sorts
+	// over budget spill to temp files under SpillDir.
+	MemBudget int64
+	SpillDir  string
 }
 
 // DefaultConfig is sized to finish in seconds on a laptop.
@@ -113,7 +117,9 @@ func (h *Harness) RunQuery(num int, mode optimizer.Mode) (*QueryRun, error) {
 	for rep := 0; rep < h.cfg.Reps; rep++ {
 		runtime.GC() // keep allocator noise out of the measurement
 		start := time.Now()
-		r, err = exec.Run(h.ds.DB, block, res.Plan, exec.Options{DOP: h.cfg.DOP})
+		r, err = exec.Run(h.ds.DB, block, res.Plan, exec.Options{
+			DOP: h.cfg.DOP, MemBudget: h.cfg.MemBudget, SpillDir: h.cfg.SpillDir,
+		})
 		elapsed := time.Since(start)
 		if err != nil {
 			return nil, fmt.Errorf("bench: Q%d %s exec: %w", num, mode, err)
@@ -188,7 +194,8 @@ type Row struct {
 }
 
 // PipelineCell is the machine-readable form of one executed pipeline's
-// timings, including the breaker finish phases (merge/sort/build/bloom).
+// timings, including the breaker finish phases (merge/sort/build/bloom)
+// and any spill activity under a memory budget.
 type PipelineCell struct {
 	ID      int     `json:"id"`
 	Label   string  `json:"label"`
@@ -196,11 +203,14 @@ type PipelineCell struct {
 	Rows    int64   `json:"rows"`
 	WallMS  float64 `json:"wall_ms"`
 	// FinishMS is the sink's finish (breaker) time within WallMS.
-	FinishMS float64 `json:"finish_ms"`
-	MergeMS  float64 `json:"merge_ms,omitempty"`
-	SortMS   float64 `json:"sort_ms,omitempty"`
-	BuildMS  float64 `json:"build_ms,omitempty"`
-	BloomMS  float64 `json:"bloom_ms,omitempty"`
+	FinishMS   float64 `json:"finish_ms"`
+	MergeMS    float64 `json:"merge_ms,omitempty"`
+	SortMS     float64 `json:"sort_ms,omitempty"`
+	BuildMS    float64 `json:"build_ms,omitempty"`
+	BloomMS    float64 `json:"bloom_ms,omitempty"`
+	SpillBytes int64   `json:"spill_bytes,omitempty"`
+	SpillParts int     `json:"spill_partitions,omitempty"`
+	SpillDepth int     `json:"spill_depth,omitempty"`
 }
 
 func pipelineCells(stats []exec.PipelineStat) []PipelineCell {
@@ -212,6 +222,8 @@ func pipelineCells(stats []exec.PipelineStat) []PipelineCell {
 			WallMS: ms(ps.Wall), FinishMS: ms(ps.FinishWall),
 			MergeMS: ms(ps.Phases.Merge), SortMS: ms(ps.Phases.Sort),
 			BuildMS: ms(ps.Phases.Build), BloomMS: ms(ps.Phases.Bloom),
+			SpillBytes: ps.Spill.Bytes, SpillParts: ps.Spill.Partitions,
+			SpillDepth: ps.Spill.Depth,
 		})
 	}
 	return out
@@ -445,7 +457,9 @@ func (h *Harness) RunScaling(queries []int, dops []int) ([]ScalingRow, error) {
 			for rep := 0; rep < h.cfg.Reps; rep++ {
 				runtime.GC()
 				start := time.Now()
-				r, err := exec.Run(h.ds.DB, block, res.Plan, exec.Options{DOP: dop})
+				r, err := exec.Run(h.ds.DB, block, res.Plan, exec.Options{
+					DOP: dop, MemBudget: h.cfg.MemBudget, SpillDir: h.cfg.SpillDir,
+				})
 				elapsed := time.Since(start)
 				if err != nil {
 					return nil, fmt.Errorf("bench: scaling Q%d dop %d: %w", num, dop, err)

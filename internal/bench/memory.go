@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"bfcbo/internal/exec"
+	"bfcbo/internal/mem"
+	"bfcbo/internal/optimizer"
+	"bfcbo/internal/tpch"
+)
+
+// The memory-budget experiment: the same BF-CBO plans executed over a
+// budget × DOP grid, measuring what bounded memory costs — executor
+// latency with and without spilling, bytes spilled, partition counts and
+// grace-recursion depth, plus the broker's peak reservation. Its report is
+// BENCH_PR3.json, the machine-readable artifact tracking the spill
+// subsystem's overhead across PRs.
+
+// MemoryRow is one (query, DOP, budget) cell of the memory experiment.
+type MemoryRow struct {
+	Query int `json:"query"`
+	DOP   int `json:"dop"`
+	// BudgetBytes is the executor memory budget (0 = unlimited).
+	BudgetBytes int64   `json:"budget_bytes"`
+	ExecMS      float64 `json:"exec_ms"`
+	Rows        int     `json:"rows"`
+	// SpillBytes / SpillParts / SpillDepth total the run's spill files.
+	SpillBytes int64 `json:"spill_bytes"`
+	SpillParts int   `json:"spill_partitions"`
+	SpillDepth int   `json:"spill_depth"`
+	// PeakBytes is the memory broker's high-water mark for the run.
+	PeakBytes int64 `json:"peak_bytes"`
+}
+
+// DefaultMemoryBudgets spans unlimited down to spill-everything at the
+// default bench scale factors.
+func DefaultMemoryBudgets() []int64 { return []int64{0, 1 << 20, 64 << 10} }
+
+// RunMemory executes each query's BF-CBO plan over the budget × DOP grid,
+// reporting the median executor latency and the measured run's spill
+// counters. Budgeted runs must return the same row counts as unlimited
+// runs — a mismatch is an executor bug and fails the experiment.
+func (h *Harness) RunMemory(queries []int, dops []int, budgets []int64) ([]MemoryRow, error) {
+	if len(queries) == 0 {
+		queries = DefaultScalingQueries()
+	}
+	if len(dops) == 0 {
+		dops = []int{1, 4, 8}
+	}
+	if len(budgets) == 0 {
+		budgets = DefaultMemoryBudgets()
+	}
+	var out []MemoryRow
+	for _, num := range queries {
+		q, ok := tpch.Get(num)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown TPC-H query %d", num)
+		}
+		block := q.Build(h.ds.Schema)
+		res, err := optimizer.Optimize(block, h.options(optimizer.BFCBO))
+		if err != nil {
+			return nil, fmt.Errorf("bench: memory Q%d: %w", num, err)
+		}
+		unlimitedRows := -1
+		for _, dop := range dops {
+			for _, budget := range budgets {
+				type sample struct {
+					d    time.Duration
+					r    *exec.Result
+					peak int64
+				}
+				var samples []sample
+				for rep := 0; rep < h.cfg.Reps; rep++ {
+					runtime.GC()
+					// A fresh broker per rep isolates the peak measurement.
+					broker := mem.NewBroker(budget)
+					start := time.Now()
+					r, err := exec.Run(h.ds.DB, block, res.Plan, exec.Options{
+						DOP: dop, Broker: broker, SpillDir: h.cfg.SpillDir,
+					})
+					elapsed := time.Since(start)
+					if err != nil {
+						return nil, fmt.Errorf("bench: memory Q%d dop %d budget %d: %w", num, dop, budget, err)
+					}
+					if h.cfg.Reps > 1 && rep == 0 {
+						continue
+					}
+					samples = append(samples, sample{d: elapsed, r: r, peak: broker.Peak()})
+				}
+				sort.Slice(samples, func(i, j int) bool { return samples[i].d < samples[j].d })
+				// Lower median: with the default Reps=3 (warm-up dropped,
+				// two samples kept) len/2 would report the *worse* run and
+				// bias the cross-PR trajectory upward.
+				med := samples[(len(samples)-1)/2]
+				if budget == 0 && unlimitedRows < 0 {
+					unlimitedRows = med.r.Rows
+				}
+				if unlimitedRows >= 0 && med.r.Rows != unlimitedRows {
+					return nil, fmt.Errorf("bench: memory Q%d dop %d budget %d: rows %d != unlimited %d",
+						num, dop, budget, med.r.Rows, unlimitedRows)
+				}
+				s := med.r.TotalSpill()
+				out = append(out, MemoryRow{
+					Query: num, DOP: dop, BudgetBytes: budget,
+					ExecMS: med.d.Seconds() * 1000, Rows: med.r.Rows,
+					SpillBytes: s.Bytes, SpillParts: s.Partitions, SpillDepth: s.Depth,
+					PeakBytes: med.peak,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// PrintMemory renders the budget × DOP grid.
+func PrintMemory(w io.Writer, rows []MemoryRow) {
+	fmt.Fprintf(w, "memory-budget grid, BF-CBO plans (budget 0 = unlimited)\n")
+	fmt.Fprintf(w, "%-4s %4s %10s %9s %10s %6s %6s %10s\n",
+		"Q#", "DOP", "budget", "exec-ms", "spilled", "parts", "depth", "peak")
+	for _, r := range rows {
+		budget := "unlim"
+		if r.BudgetBytes > 0 {
+			budget = mem.FormatBytes(r.BudgetBytes)
+		}
+		fmt.Fprintf(w, "%-4d %4d %10s %9.3f %10s %6d %6d %10s\n",
+			r.Query, r.DOP, budget, r.ExecMS,
+			mem.FormatBytes(r.SpillBytes), r.SpillParts, r.SpillDepth,
+			mem.FormatBytes(r.PeakBytes))
+	}
+}
+
+// MemoryReport is the machine-readable memory experiment (BENCH_PR3.json).
+type MemoryReport struct {
+	ScaleFactor float64     `json:"scale_factor"`
+	Seed        uint64      `json:"seed"`
+	Reps        int         `json:"reps"`
+	Memory      []MemoryRow `json:"memory"`
+}
+
+// WriteMemoryJSON writes the memory experiment report to path.
+func (h *Harness) WriteMemoryJSON(path string, rows []MemoryRow) error {
+	r := &MemoryReport{
+		ScaleFactor: h.cfg.ScaleFactor,
+		Seed:        h.cfg.Seed,
+		Reps:        h.cfg.Reps,
+		Memory:      rows,
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ValidateMemoryJSON checks that a memory report is well-formed: it
+// parses, covers both unlimited and constrained budgets, reports positive
+// latencies, spills under every constrained budget cell that has joins,
+// and keeps row counts constant across budgets per (query, DOP). The CI
+// bench smoke runs this against BENCH_PR3.json.
+func ValidateMemoryJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r MemoryReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Memory) == 0 {
+		return fmt.Errorf("%s: no memory rows", path)
+	}
+	sawUnlimited, sawBudgeted, sawSpill := false, false, false
+	rowsAt := map[[2]int]int{} // (query, dop) -> rows
+	for i, m := range r.Memory {
+		if m.ExecMS <= 0 {
+			return fmt.Errorf("%s: row %d has non-positive exec_ms", path, i)
+		}
+		key := [2]int{m.Query, m.DOP}
+		if prev, ok := rowsAt[key]; ok && prev != m.Rows {
+			return fmt.Errorf("%s: Q%d dop %d rows vary across budgets (%d vs %d)",
+				path, m.Query, m.DOP, prev, m.Rows)
+		}
+		rowsAt[key] = m.Rows
+		if m.BudgetBytes == 0 {
+			sawUnlimited = true
+			if m.SpillBytes > 0 {
+				return fmt.Errorf("%s: unlimited-budget row %d spilled", path, i)
+			}
+		} else {
+			sawBudgeted = true
+			if m.SpillBytes > 0 {
+				sawSpill = true
+			}
+		}
+	}
+	if !sawUnlimited || !sawBudgeted {
+		return fmt.Errorf("%s: grid must cover unlimited and constrained budgets", path)
+	}
+	if !sawSpill {
+		return fmt.Errorf("%s: no constrained cell ever spilled", path)
+	}
+	return nil
+}

@@ -2,6 +2,8 @@ package exec
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"bfcbo/internal/query"
 	"bfcbo/internal/storage"
@@ -223,12 +225,16 @@ func (a *aggCols) fold(p *aggPartial, b *RowSet) {
 }
 
 // aggSink is the streaming-aggregation result sink: partials per (worker,
-// spec), merged in finish.
+// spec), merged in finish. The group-aggregate merge is shared-nothing:
+// per-worker maps are sharded by group hash and the shards merge in
+// parallel, so high-cardinality GROUP BYs finish across DOP workers like
+// the other breakers.
 type aggSink struct {
 	ex       *executor
 	cols     []aggCols
 	partials [][]aggPartial // [worker][spec]
 	rowsSeen []int64        // per worker
+	ph       BreakerPhases
 }
 
 func (ex *executor) newAggSink(rels query.RelSet, workers int) (sink, error) {
@@ -250,9 +256,9 @@ func (ex *executor) newAggSink(rels query.RelSet, workers int) (sink, error) {
 	return s, nil
 }
 
-// phases: streaming aggregation has no materializing breaker phases — the
-// partial merge in finish is O(groups), not O(rows).
-func (s *aggSink) phases() BreakerPhases { return BreakerPhases{} }
+// phases: the partial merge in finish is O(groups), not O(rows); its wall
+// time is reported as the Merge phase.
+func (s *aggSink) phases() BreakerPhases { return s.ph }
 
 func (s *aggSink) consume(w int, b *RowSet) {
 	s.rowsSeen[w] += int64(b.Len())
@@ -262,6 +268,8 @@ func (s *aggSink) consume(w int, b *RowSet) {
 }
 
 func (s *aggSink) finish() error {
+	start := time.Now()
+	dop := s.ex.dop
 	out := make([]AggValue, len(s.cols))
 	for i := range s.cols {
 		v := &out[i]
@@ -269,20 +277,23 @@ func (s *aggSink) finish() error {
 			p := &s.partials[w][i]
 			v.Count += p.count
 			v.Sum += p.sum
-			for k, n := range p.groups {
-				if v.Groups == nil {
-					v.Groups = make(map[string]int)
-				}
-				v.Groups[k] += n
+		}
+		switch s.cols[i].spec.Kind {
+		case AggGroupCount:
+			parts := make([]map[string]int, len(s.partials))
+			for w := range s.partials {
+				parts[w] = s.partials[w][i].groups
 			}
-			for k, x := range p.groupSums {
-				if v.GroupSums == nil {
-					v.GroupSums = make(map[string]float64)
-				}
-				v.GroupSums[k] += x
+			v.Groups = mergeGroupsPar(parts, dop)
+		case AggGroupRevenue:
+			parts := make([]map[string]float64, len(s.partials))
+			for w := range s.partials {
+				parts[w] = s.partials[w][i].groupSums
 			}
+			v.GroupSums = mergeGroupsPar(parts, dop)
 		}
 	}
+	s.ph.Merge = time.Since(start)
 	s.ex.aggs = out
 	var rows int64
 	for _, n := range s.rowsSeen {
@@ -290,6 +301,86 @@ func (s *aggSink) finish() error {
 	}
 	s.ex.rows = int(rows)
 	return nil
+}
+
+// hashShard assigns a group key to one of n merge shards (FNV-1a).
+func hashShard(s string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
+
+// mergeGroupsPar merges per-worker group maps. Small merges stay serial;
+// above the breaker fan-out threshold the merge is shared-nothing: each
+// worker's map is sharded by group hash (parallel over workers), each
+// shard merges across workers in ascending worker order (parallel over
+// shards), and the disjoint shards assemble into the result. Per key, the
+// addition order is ascending worker — exactly the serial order — so
+// float results are bit-identical to the serial merge.
+func mergeGroupsPar[T int | float64](parts []map[string]T, dop int) map[string]T {
+	total := 0
+	for _, m := range parts {
+		total += len(m)
+	}
+	if total == 0 {
+		return nil
+	}
+	// Weight 8: hashing plus a map insert per group entry.
+	if !parallelFinishThreshold(total, 8, dop) {
+		out := make(map[string]T, total)
+		for _, m := range parts {
+			for k, v := range m {
+				out[k] += v
+			}
+		}
+		return out
+	}
+	nsh := dop
+	sub := make([][]map[string]T, len(parts)) // [worker][shard]
+	var wg sync.WaitGroup
+	for w, m := range parts {
+		sub[w] = make([]map[string]T, nsh)
+		if len(m) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh []map[string]T, m map[string]T) {
+			defer wg.Done()
+			for k, v := range m {
+				i := hashShard(k, nsh)
+				if sh[i] == nil {
+					sh[i] = make(map[string]T)
+				}
+				sh[i][k] = v // keys are unique within one worker's map
+			}
+		}(sub[w], m)
+	}
+	wg.Wait()
+	shards := make([]map[string]T, nsh)
+	for i := 0; i < nsh; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out := make(map[string]T)
+			for w := range sub {
+				for k, v := range sub[w][i] {
+					out[k] += v
+				}
+			}
+			shards[i] = out
+		}(i)
+	}
+	wg.Wait()
+	out := make(map[string]T, total)
+	for _, m := range shards {
+		for k, v := range m {
+			out[k] = v
+		}
+	}
+	return out
 }
 
 // aggregateRowSet computes the same aggregates post-hoc from a

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -77,6 +78,46 @@ func TestGroupCount(t *testing.T) {
 	// Non-string column rejected.
 	if _, err := GroupCount(rs, items, 0, "price"); err == nil {
 		t.Fatal("GroupCount on float column should error")
+	}
+}
+
+// The sharded group merge must produce exactly the serial merge's result —
+// including bit-identical float sums, since per-key addition order is
+// ascending worker in both paths.
+func TestMergeGroupsParMatchesSerial(t *testing.T) {
+	const workers, keys = 8, 40_000
+	parts := make([]map[string]float64, workers)
+	for w := range parts {
+		parts[w] = make(map[string]float64)
+		for k := 0; k < keys; k++ {
+			if (k+w)%3 == 0 {
+				continue // uneven coverage across workers
+			}
+			parts[w][fmt.Sprintf("key-%d", k)] = 0.1*float64(k) + float64(w)*1e-7
+		}
+	}
+	serial := make(map[string]float64)
+	for _, m := range parts {
+		for k, v := range m {
+			serial[k] += v
+		}
+	}
+	got := mergeGroupsPar(parts, 8)
+	if len(got) != len(serial) {
+		t.Fatalf("merged %d keys, want %d", len(got), len(serial))
+	}
+	for k, v := range serial {
+		if got[k] != v {
+			t.Fatalf("key %s = %v, want %v (float order must match serial)", k, got[k], v)
+		}
+	}
+	// The serial small-map path and the nil/empty cases.
+	if mergeGroupsPar([]map[string]int{nil, {}}, 8) != nil {
+		t.Fatal("empty partials should merge to nil")
+	}
+	small := mergeGroupsPar([]map[string]int{{"a": 1}, {"a": 2, "b": 3}}, 8)
+	if small["a"] != 3 || small["b"] != 3 {
+		t.Fatalf("small merge = %v", small)
 	}
 }
 

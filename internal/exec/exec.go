@@ -8,8 +8,10 @@ import (
 
 	"bfcbo/internal/bloom"
 	"bfcbo/internal/cost"
+	"bfcbo/internal/mem"
 	"bfcbo/internal/plan"
 	"bfcbo/internal/query"
+	"bfcbo/internal/spill"
 	"bfcbo/internal/storage"
 )
 
@@ -61,6 +63,16 @@ func (r *Result) StatFor(n plan.Node) *OpStat {
 	return nil
 }
 
+// TotalSpill sums the spill activity across the run's pipelines (zero for
+// unlimited-budget and legacy runs).
+func (r *Result) TotalSpill() SpillStat {
+	var s SpillStat
+	for _, p := range r.Pipelines {
+		s = s.add(p.Spill)
+	}
+	return s
+}
+
 // ActualFor returns the observed cardinality for a node (or -1).
 func (r *Result) ActualFor(n plan.Node) float64 {
 	for _, a := range r.Actuals {
@@ -93,12 +105,22 @@ type executor struct {
 	builds   map[*plan.Join]*hashTable
 	sorted   map[*plan.Join]*mergePair
 	mats     map[*plan.Join]*nlInner
+	graces   map[*plan.Join]*graceHashJoin
 	stats    []*opStats
 	pipes    []PipelineStat
 	aggSpecs []AggSpec
 	aggs     []AggValue
 	out      *RowSet
 	rows     int
+
+	// Memory-budget state: the per-query account on the memory broker, the
+	// configured budget (for partition sizing), and the run's lazily
+	// created spill directory, removed unconditionally when Run returns.
+	memq        *mem.Query
+	budget      int64
+	spillParent string
+	spillMu     sync.Mutex
+	spillDir    *spill.Dir
 
 	mu      sync.Mutex
 	actuals []NodeActual
@@ -160,6 +182,21 @@ type Options struct {
 	// Result.Aggregates holds one value per spec. The legacy executor
 	// computes the same values post-hoc from its materialized output.
 	Aggregates []AggSpec
+	// MemBudget bounds the bytes of operator state the pipelined executor
+	// materializes in RAM (0 = unlimited). When a breaker's grant is
+	// denied, it spills: hash joins run as grace hash joins over partition
+	// files, sorts as external merge sorts over sorted runs. The final
+	// result (and other mandatory allocations) are accounted but never
+	// denied. The legacy interpreter ignores the budget.
+	MemBudget int64
+	// SpillDir is the parent directory for the run's spill files
+	// ("" = os.TempDir()). Each run creates — and always removes — its own
+	// subdirectory, even on error or cancellation.
+	SpillDir string
+	// Broker, when non-nil, is a shared process-wide memory broker the
+	// run's per-query reservation draws from (several concurrent queries
+	// can then share one budget). It overrides MemBudget.
+	Broker *mem.Broker
 
 	// injectOp, when set (tests only), wraps each worker's operator chain
 	// of every pipeline — the failure-injection hook for cancellation and
@@ -181,19 +218,32 @@ func Run(db *storage.Database, block *query.Block, p *plan.Plan, opts Options) (
 	if morsel <= 0 {
 		morsel = DefaultMorselSize
 	}
+	broker := opts.Broker
+	if broker == nil {
+		broker = mem.NewBroker(opts.MemBudget)
+	}
 	ex := &executor{
 		db: db, block: block, dop: dop, satLimit: opts.SaturationLimit,
-		morsel:    morsel,
-		filters:   make(map[int]bloomHandle),
-		fstats:    make(map[int]*BloomRuntime),
-		specs:     make(map[int]plan.BloomSpec),
-		builds:    make(map[*plan.Join]*hashTable),
-		sorted:    make(map[*plan.Join]*mergePair),
-		mats:      make(map[*plan.Join]*nlInner),
-		aggSpecs:  opts.Aggregates,
-		injectOp:  opts.injectOp,
-		pipeStats: make(map[int][]*opStats),
+		morsel:      morsel,
+		filters:     make(map[int]bloomHandle),
+		fstats:      make(map[int]*BloomRuntime),
+		specs:       make(map[int]plan.BloomSpec),
+		builds:      make(map[*plan.Join]*hashTable),
+		sorted:      make(map[*plan.Join]*mergePair),
+		mats:        make(map[*plan.Join]*nlInner),
+		graces:      make(map[*plan.Join]*graceHashJoin),
+		aggSpecs:    opts.Aggregates,
+		injectOp:    opts.injectOp,
+		pipeStats:   make(map[int][]*opStats),
+		memq:        broker.NewQuery(block.Name),
+		budget:      broker.Budget(),
+		spillParent: opts.SpillDir,
 	}
+	// The query account and any spill files are torn down no matter how the
+	// run ends — success, error, or cancellation — so a budgeted run can
+	// never leak reserved bytes or temp files.
+	defer ex.memq.Close()
+	defer ex.cleanupSpill()
 	for _, s := range p.Blooms {
 		ex.specs[s.ID] = s
 	}
@@ -521,7 +571,8 @@ func (ex *executor) buildBlooms(j *plan.Join, inner *RowSet) error {
 // across DOP.
 func bloomFromIDs(ids []int32, keyOf func(int32) int64, ndv uint64, dop int) (*bloom.Filter, error) {
 	n := len(ids)
-	if dop <= 1 || n < 4096 {
+	// Weight 4: two hashes and two bit sets per row, plus the final union.
+	if dop <= 1 || !parallelFinishThreshold(n, 4, dop) {
 		f := bloom.NewForNDV(ndv)
 		for _, rid := range ids {
 			f.Add(keyOf(rid))
@@ -555,3 +606,10 @@ func bloomFromIDs(ids []int32, keyOf func(int32) int64, ndv uint64, dop int) (*b
 type passAllFilter struct{}
 
 func (passAllFilter) MayContain(int64) bool { return true }
+
+// yieldSlot releases the caller's global worker slot; acquireSlot takes it
+// back. Operators that block on other workers of their pipeline (the grace
+// join's writer barrier) bracket the wait with these so blocked workers
+// never starve the workers they wait for out of the slot pool.
+func (ex *executor) yieldSlot()   { <-ex.slots }
+func (ex *executor) acquireSlot() { ex.slots <- struct{}{} }

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"bfcbo/internal/mem"
 	"bfcbo/internal/plan"
 )
 
@@ -32,29 +33,36 @@ func (r *Result) ExplainAnalyze(p *plan.Plan) string {
 }
 
 // breakerSuffix renders the breaker finish phases of one pipeline, e.g.
-// " finish=1.2ms [merge=300µs sort=900µs]"; empty when the finish was
-// immeasurably small.
+// " finish=1.2ms [merge=300µs sort=900µs]", plus any spill activity, e.g.
+// " spill[bytes=1.2MB parts=64 depth=1]"; empty when the finish was
+// immeasurably small and nothing spilled.
 func breakerSuffix(ps PipelineStat) string {
-	if ps.FinishWall == 0 {
-		return ""
-	}
 	var b strings.Builder
-	fmt.Fprintf(&b, " finish=%s", ps.FinishWall.Round(time.Microsecond))
-	type phase struct {
-		name string
-		d    time.Duration
-	}
-	var parts []string
-	for _, p := range []phase{
-		{"merge", ps.Phases.Merge}, {"sort", ps.Phases.Sort},
-		{"build", ps.Phases.Build}, {"bloom", ps.Phases.Bloom},
-	} {
-		if p.d > 0 {
-			parts = append(parts, fmt.Sprintf("%s=%s", p.name, p.d.Round(time.Microsecond)))
+	if ps.FinishWall > 0 {
+		fmt.Fprintf(&b, " finish=%s", ps.FinishWall.Round(time.Microsecond))
+		type phase struct {
+			name string
+			d    time.Duration
+		}
+		var parts []string
+		for _, p := range []phase{
+			{"merge", ps.Phases.Merge}, {"sort", ps.Phases.Sort},
+			{"build", ps.Phases.Build}, {"bloom", ps.Phases.Bloom},
+		} {
+			if p.d > 0 {
+				parts = append(parts, fmt.Sprintf("%s=%s", p.name, p.d.Round(time.Microsecond)))
+			}
+		}
+		if len(parts) > 0 {
+			fmt.Fprintf(&b, " [%s]", strings.Join(parts, " "))
 		}
 	}
-	if len(parts) > 0 {
-		fmt.Fprintf(&b, " [%s]", strings.Join(parts, " "))
+	if ps.Spill.Spilled() {
+		fmt.Fprintf(&b, " spill[bytes=%s parts=%d", mem.FormatBytes(ps.Spill.Bytes), ps.Spill.Partitions)
+		if ps.Spill.Depth > 0 {
+			fmt.Fprintf(&b, " depth=%d", ps.Spill.Depth)
+		}
+		b.WriteString("]")
 	}
 	return b.String()
 }

@@ -89,6 +89,33 @@ type BreakerPhases struct {
 	Bloom time.Duration
 }
 
+// SpillStat reports one pipeline's spill activity under a memory budget.
+// All zero when the pipeline's reservations were never denied.
+type SpillStat struct {
+	// Bytes is the encoded bytes written to spill files (build/probe
+	// partitions, sorted runs, recursive repartition passes).
+	Bytes int64
+	// Partitions counts the spill files created: grace-join partition
+	// files (both sides, all levels) or external-sort runs.
+	Partitions int
+	// Depth is the maximum grace-join repartition recursion depth (0 when
+	// no partition pair needed a second split).
+	Depth int
+}
+
+// Spilled reports whether the pipeline wrote any spill files.
+func (s SpillStat) Spilled() bool { return s.Bytes > 0 || s.Partitions > 0 }
+
+// add accumulates another pipeline's counters (for run-level totals).
+func (s SpillStat) add(o SpillStat) SpillStat {
+	s.Bytes += o.Bytes
+	s.Partitions += o.Partitions
+	if o.Depth > s.Depth {
+		s.Depth = o.Depth
+	}
+	return s
+}
+
 // PipelineStat reports one executed pipeline.
 type PipelineStat struct {
 	ID int
@@ -105,4 +132,6 @@ type PipelineStat struct {
 	FinishWall time.Duration
 	// Phases splits FinishWall into the breaker's measured phases.
 	Phases BreakerPhases
+	// Spill reports the pipeline's spill activity under a memory budget.
+	Spill SpillStat
 }

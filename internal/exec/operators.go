@@ -199,7 +199,9 @@ func buildHashTable(ex *executor, j *plan.Join, inner *RowSet) (*hashTable, erro
 	}
 	n := len(ht.innerKeys)
 	ht.parts = make([]map[int64][]int32, nparts)
-	if nparts == 1 || n < 4096 {
+	// Weight 12: map inserts dominate; the shuffle only pays off once per-
+	// partition insert work amortizes the two goroutine fan-outs.
+	if nparts == 1 || !parallelFinishThreshold(n, 12, nparts) {
 		m := make(map[int64][]int32, n)
 		for ii, k := range ht.innerKeys {
 			m[k] = append(m[k], int32(ii))
@@ -257,10 +259,13 @@ func buildHashTable(ex *executor, j *plan.Join, inner *RowSet) (*hashTable, erro
 	return ht, nil
 }
 
-// probeShared is the per-pipeline state of one hash-probe operator.
+// probeShared is the per-pipeline state of one hash-probe operator. In
+// grace mode (the build side spilled) ht is nil and grace carries the
+// partition state instead.
 type probeShared struct {
 	j       *plan.Join
 	ht      *hashTable
+	grace   *graceHashJoin
 	outRels query.RelSet
 	// outerVals[e] maps a base-table row id of the outer key relation to
 	// its key value; e=0 is the hash condition, the rest verify extras.
@@ -269,7 +274,8 @@ type probeShared struct {
 	stats     *opStats
 }
 
-func (ex *executor) newProbeShared(j *plan.Join, ht *hashTable, inRels query.RelSet, stats *opStats) (*probeShared, error) {
+func (ex *executor) newProbeShared(j *plan.Join, ht *hashTable, g *graceHashJoin,
+	inRels query.RelSet, stats *opStats, workers int, rec *spillCounters) (*probeShared, error) {
 	sh := &probeShared{
 		j: j, ht: ht,
 		outRels: inRels.Union(j.Inner.Rels()),
@@ -283,29 +289,120 @@ func (ex *executor) newProbeShared(j *plan.Join, ht *hashTable, inRels query.Rel
 		sh.outerVals = append(sh.outerVals, col.Ints)
 		sh.outerRels = append(sh.outerRels, c.OuterRel)
 	}
+	if g != nil {
+		res := ex.memq.Reserve(fmt.Sprintf("grace drain %s", j.Method))
+		if err := g.initProbe(inRels, sh.outerRels[0], sh.outerVals[0], workers, rec, res); err != nil {
+			return nil, err
+		}
+		sh.grace = g
+	}
 	return sh, nil
 }
 
-// probeOp streams batches from child through the hash table.
+// probeOp streams batches from child through the hash table (or, in grace
+// mode, through the partition files — see graceNext).
 type probeOp struct {
 	sh    *probeShared
 	child PhysicalOperator
+	gw    *graceProbeWorker
 }
 
-func (o *probeOp) Open() error  { return o.child.Open() }
-func (o *probeOp) Close() error { return o.child.Close() }
+func (o *probeOp) Open() error {
+	if o.sh.grace != nil {
+		o.gw = newGraceProbeWorker(o.sh.grace)
+	}
+	return o.child.Open()
+}
 
-// match verifies the extra (non-hash) conditions for one candidate pair.
-func (sh *probeShared) match(outerIDs [][]int32, oi int, ii int32) bool {
+func (o *probeOp) Close() error {
+	if o.gw != nil {
+		// An erroring or cancelled worker must still retire from the
+		// writer barrier, or sibling workers would wait forever — and
+		// must release its streaming pair's read handle.
+		o.gw.finishWriting()
+		o.gw.closeActive()
+	}
+	return o.child.Close()
+}
+
+// matchIn verifies the extra (non-hash) conditions for one candidate pair
+// against the given hash table (grace mode probes per-partition tables,
+// so the table is a parameter rather than sh.ht).
+func (sh *probeShared) matchIn(ht *hashTable, outerIDs [][]int32, oi int, ii int32) bool {
 	for e := 1; e < len(sh.outerVals); e++ {
-		if sh.outerVals[e][outerIDs[e][oi]] != sh.ht.innerExtras[e-1][ii] {
+		if sh.outerVals[e][outerIDs[e][oi]] != ht.innerExtras[e-1][ii] {
 			return false
 		}
 	}
 	return true
 }
 
+// probeBatch is the probe kernel: it joins one input batch against ht and
+// returns the output rows. It is shared by the streaming NextBatch path
+// and the grace drain, which probes reloaded partition chunks through the
+// same code so every join type and extra condition behaves identically.
+func (sh *probeShared) probeBatch(ht *hashTable, in *RowSet) *RowSet {
+	n := in.Len()
+	out := NewRowSetCap(sh.outRels, n)
+	// Row-id column of the outer key relation per condition, resolved
+	// once per batch.
+	outerIDs := make([][]int32, len(sh.outerRels))
+	for e, rel := range sh.outerRels {
+		outerIDs[e] = in.Col(rel)
+	}
+	keyIDs, keyVals := outerIDs[0], sh.outerVals[0]
+	switch sh.j.JoinType {
+	case query.Inner:
+		for oi := 0; oi < n; oi++ {
+			for _, ii := range ht.lookup(keyVals[keyIDs[oi]]) {
+				if sh.matchIn(ht, outerIDs, oi, ii) {
+					out.appendJoined(in, oi, ht.inner, int(ii))
+				}
+			}
+		}
+	case query.Semi:
+		for oi := 0; oi < n; oi++ {
+			for _, ii := range ht.lookup(keyVals[keyIDs[oi]]) {
+				if sh.matchIn(ht, outerIDs, oi, ii) {
+					out.appendJoined(in, oi, ht.inner, int(ii))
+					break
+				}
+			}
+		}
+	case query.Anti:
+		for oi := 0; oi < n; oi++ {
+			found := false
+			for _, ii := range ht.lookup(keyVals[keyIDs[oi]]) {
+				if sh.matchIn(ht, outerIDs, oi, ii) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				out.appendJoined(in, oi, ht.inner, -1)
+			}
+		}
+	case query.Left:
+		for oi := 0; oi < n; oi++ {
+			emitted := false
+			for _, ii := range ht.lookup(keyVals[keyIDs[oi]]) {
+				if sh.matchIn(ht, outerIDs, oi, ii) {
+					out.appendJoined(in, oi, ht.inner, int(ii))
+					emitted = true
+				}
+			}
+			if !emitted {
+				out.appendJoined(in, oi, ht.inner, -1)
+			}
+		}
+	}
+	return out
+}
+
 func (o *probeOp) NextBatch() (*RowSet, error) {
+	if o.gw != nil {
+		return o.graceNext()
+	}
 	sh := o.sh
 	for {
 		in, err := o.child.NextBatch()
@@ -313,62 +410,8 @@ func (o *probeOp) NextBatch() (*RowSet, error) {
 			return nil, err
 		}
 		start := time.Now()
-		n := in.Len()
-		out := NewRowSetCap(sh.outRels, n)
-		// Row-id column of the outer key relation per condition, resolved
-		// once per batch.
-		outerIDs := make([][]int32, len(sh.outerRels))
-		for e, rel := range sh.outerRels {
-			outerIDs[e] = in.Col(rel)
-		}
-		keyIDs, keyVals := outerIDs[0], sh.outerVals[0]
-		ht := sh.ht
-		switch sh.j.JoinType {
-		case query.Inner:
-			for oi := 0; oi < n; oi++ {
-				for _, ii := range ht.lookup(keyVals[keyIDs[oi]]) {
-					if sh.match(outerIDs, oi, ii) {
-						out.appendJoined(in, oi, ht.inner, int(ii))
-					}
-				}
-			}
-		case query.Semi:
-			for oi := 0; oi < n; oi++ {
-				for _, ii := range ht.lookup(keyVals[keyIDs[oi]]) {
-					if sh.match(outerIDs, oi, ii) {
-						out.appendJoined(in, oi, ht.inner, int(ii))
-						break
-					}
-				}
-			}
-		case query.Anti:
-			for oi := 0; oi < n; oi++ {
-				found := false
-				for _, ii := range ht.lookup(keyVals[keyIDs[oi]]) {
-					if sh.match(outerIDs, oi, ii) {
-						found = true
-						break
-					}
-				}
-				if !found {
-					out.appendJoined(in, oi, ht.inner, -1)
-				}
-			}
-		case query.Left:
-			for oi := 0; oi < n; oi++ {
-				emitted := false
-				for _, ii := range ht.lookup(keyVals[keyIDs[oi]]) {
-					if sh.match(outerIDs, oi, ii) {
-						out.appendJoined(in, oi, ht.inner, int(ii))
-						emitted = true
-					}
-				}
-				if !emitted {
-					out.appendJoined(in, oi, ht.inner, -1)
-				}
-			}
-		}
-		sh.stats.observe(n, out.Len(), time.Since(start))
+		out := sh.probeBatch(sh.ht, in)
+		sh.stats.observe(in.Len(), out.Len(), time.Since(start))
 		if out.Len() > 0 {
 			return out, nil
 		}

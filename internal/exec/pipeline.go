@@ -7,8 +7,10 @@ import (
 	"sync"
 	"time"
 
+	"bfcbo/internal/mem"
 	"bfcbo/internal/plan"
 	"bfcbo/internal/query"
+	"bfcbo/internal/spill"
 )
 
 // This file is the morsel-driven pipeline driver. Pipelines (decomposed by
@@ -57,11 +59,16 @@ type sink interface {
 }
 
 // partsSink accumulates per-worker row sets, merged on demand. It backs
-// every materializing sink and carries the breaker phase timings.
+// every materializing sink and carries the breaker phase timings. When
+// forceRes is set (result and nested-loop materialize sinks, whose output
+// cannot spill), consumed bytes are force-accounted against the memory
+// budget so reports stay honest; budget-aware sinks override consume and
+// leave forceRes nil.
 type partsSink struct {
-	rels  query.RelSet
-	parts []*RowSet
-	ph    BreakerPhases
+	rels     query.RelSet
+	parts    []*RowSet
+	ph       BreakerPhases
+	forceRes *mem.Reservation
 }
 
 func newPartsSink(rels query.RelSet, workers int) partsSink {
@@ -69,6 +76,9 @@ func newPartsSink(rels query.RelSet, workers int) partsSink {
 }
 
 func (s *partsSink) consume(w int, b *RowSet) {
+	if s.forceRes != nil {
+		s.forceRes.Force(batchBytes(b))
+	}
 	if s.parts[w] == nil {
 		s.parts[w] = NewRowSet(s.rels)
 	}
@@ -103,29 +113,150 @@ func (s *resultSink) finish() error {
 // hash table the probe pipeline reads. Every finish phase — the part
 // merge, the Bloom population, the hash-table build — runs across DOP
 // workers; there is no intermediate serial merged() copy.
+//
+// Under a memory budget the sink is the grace hash join's entry point:
+// when a grant is denied, the worker's buffered part spills to hash
+// partition files and the join switches to grace mode — finish then
+// streams the Bloom filters from the spill files and publishes the
+// partition state for the probe pipeline instead of building a table.
 type hashBuildSink struct {
 	partsSink
-	ex *executor
-	j  *plan.Join
+	ex      *executor
+	j       *plan.Join
+	estRows float64
+	res     *mem.Reservation
+	rec     *spillCounters
+
+	mu       sync.Mutex
+	g        *graceHashJoin
+	spillErr onceErr
+}
+
+// grace returns the grace-join state, creating the partition files on
+// first use. A setup failure (disk trouble) fails the run.
+func (s *hashBuildSink) grace() *graceHashJoin {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.g == nil && s.spillErr.get() == nil {
+		g, err := s.ex.newGraceBuild(s.j, s.estRows, s.rec)
+		if err != nil {
+			s.spillErr.set(err)
+			s.ex.fail(err)
+			return nil
+		}
+		s.g = g
+	}
+	return s.g
+}
+
+// spillWorker routes worker w's buffered part to the spill partitions and
+// releases its bytes; it is the sink's spill callback, invoked on the
+// worker's own goroutine when its grant is denied.
+func (s *hashBuildSink) spillWorker(w int) int64 {
+	g := s.grace()
+	if g == nil {
+		return 0
+	}
+	part := s.parts[w]
+	if part == nil || part.Len() == 0 {
+		return 0
+	}
+	if err := g.routeBuild(part); err != nil {
+		s.spillErr.set(err)
+		s.ex.fail(err)
+		return 0
+	}
+	freed := batchBytes(part)
+	s.parts[w] = nil
+	s.res.Release(freed)
+	return freed
+}
+
+func (s *hashBuildSink) consume(w int, b *RowSet) {
+	delta := batchBytes(b)
+	if s.res.Grow(delta, func(int64) int64 { return s.spillWorker(w) }) {
+		s.partsSink.consume(w, b)
+		return
+	}
+	// Even with this worker's part spilled the batch does not fit: route
+	// it straight to the partitions.
+	g := s.grace()
+	if g == nil {
+		return // spill setup failed; the run is being cancelled
+	}
+	if err := g.routeBuild(b); err != nil {
+		s.spillErr.set(err)
+		s.ex.fail(err)
+	}
 }
 
 func (s *hashBuildSink) finish() error {
-	inner := s.mergedPar(s.ex.dop)
+	if err := s.spillErr.get(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	g := s.g
+	s.mu.Unlock()
+	if g == nil {
+		totalRows := 0
+		for _, p := range s.parts {
+			if p != nil {
+				totalRows += p.Len()
+			}
+		}
+		// The finish phase allocates the merged copy plus the hash table;
+		// grant it up front, or spill the parts and go grace instead of
+		// blowing the budget on the table build. Empty build sides never
+		// spill — there is nothing to save.
+		extra := rowSetBytes(totalRows, s.rels.Count()) + int64(totalRows)*hashEntryBytes
+		if totalRows == 0 || s.res.Grow(extra, nil) {
+			if totalRows == 0 {
+				s.res.Force(extra)
+			}
+			inner := s.mergedPar(s.ex.dop)
+			if len(s.j.BuildBlooms) > 0 {
+				start := time.Now()
+				if err := s.ex.buildBlooms(s.j, inner); err != nil {
+					return err
+				}
+				s.ph.Bloom = time.Since(start)
+			}
+			start := time.Now()
+			ht, err := buildHashTable(s.ex, s.j, inner)
+			if err != nil {
+				return err
+			}
+			s.ph.Build = time.Since(start)
+			s.ex.smu.Lock()
+			s.ex.builds[s.j] = ht
+			s.ex.smu.Unlock()
+			return nil
+		}
+		if g = s.grace(); g == nil {
+			return s.spillErr.get()
+		}
+	}
+	// Grace finish: flush any parts still in memory, stream the Bloom
+	// filters from the partition files, and publish the partition state
+	// for the probe pipeline.
+	for w := range s.parts {
+		s.spillWorker(w)
+	}
+	if err := s.spillErr.get(); err != nil {
+		return err
+	}
+	if err := g.finishBuild(); err != nil {
+		return err
+	}
 	if len(s.j.BuildBlooms) > 0 {
 		start := time.Now()
-		if err := s.ex.buildBlooms(s.j, inner); err != nil {
+		if err := s.ex.buildBloomsSpilled(s.j, g); err != nil {
 			return err
 		}
 		s.ph.Bloom = time.Since(start)
 	}
-	start := time.Now()
-	ht, err := buildHashTable(s.ex, s.j, inner)
-	if err != nil {
-		return err
-	}
-	s.ph.Build = time.Since(start)
 	s.ex.smu.Lock()
-	s.ex.builds[s.j] = ht
+	s.ex.graces[s.j] = g
 	s.ex.smu.Unlock()
 	return nil
 }
@@ -140,11 +271,107 @@ type mergePair struct {
 // contiguous range of the merged input, sorted as an independent run, and
 // the runs are combined by a parallel multiway merge — replacing the
 // single-threaded sortByKey tail.
+//
+// Under a memory budget the sink is an external merge sort: a worker
+// whose grant is denied sorts its buffered part and spills it as a sorted
+// run; finish reads the runs back and feeds them — they are contiguous
+// presorted ranges — to the same splitter-partitioned multiway merge the
+// in-memory path uses.
 type sortSink struct {
 	partsSink
 	ex      *executor
 	j       *plan.Join
 	isInner bool
+	res     *mem.Reservation
+	rec     *spillCounters
+	keyVals []int64 // base-table key column of this side's first condition
+
+	mu       sync.Mutex
+	runs     []*spill.Writer
+	spillErr onceErr
+}
+
+// sortKeyVals resolves the base-table key column this sink sorts on. It
+// is resolved eagerly at sink construction (so concurrent spillRun calls
+// only read it); the lazy path remains for the no-conditions error case.
+func (s *sortSink) sortKeyVals() ([]int64, error) {
+	if s.keyVals != nil {
+		return s.keyVals, nil
+	}
+	if len(s.j.Conds) == 0 {
+		return nil, fmt.Errorf("exec: merge join with no conditions")
+	}
+	c := s.j.Conds[0]
+	rel, col := c.OuterRel, c.OuterCol
+	if s.isInner {
+		rel, col = c.InnerRel, c.InnerCol
+	}
+	cc, err := s.ex.tables[rel].Column(col)
+	if err != nil {
+		return nil, fmt.Errorf("exec: sort key column: %w", err)
+	}
+	s.keyVals = cc.Ints
+	return s.keyVals, nil
+}
+
+// spillRun sorts worker w's buffered part by key and spills it as one
+// sorted run, releasing its bytes; the sink's spill callback.
+func (s *sortSink) spillRun(w int) int64 {
+	part := s.parts[w]
+	if part == nil || part.Len() == 0 {
+		return 0
+	}
+	vals, err := s.sortKeyVals()
+	if err != nil {
+		s.spillErr.set(err)
+		s.ex.fail(err)
+		return 0
+	}
+	rel := s.j.Conds[0].OuterRel
+	if s.isInner {
+		rel = s.j.Conds[0].InnerRel
+	}
+	ids := part.Col(rel)
+	keys := make([]int64, len(ids))
+	for i, id := range ids {
+		keys[i] = vals[id]
+	}
+	idx := sortByKey(keys)
+	dir, err := s.ex.spillFiles()
+	if err == nil {
+		var wtr *spill.Writer
+		if wtr, err = dir.NewWriter("run", s.rels.Count()); err == nil {
+			var written int64
+			if written, err = spillSorted(part, idx, wtr); err == nil {
+				err = wtr.Finish()
+				s.rec.addBytes(written)
+				s.rec.addParts(1)
+				s.mu.Lock()
+				s.runs = append(s.runs, wtr)
+				s.mu.Unlock()
+			}
+		}
+	}
+	if err != nil {
+		s.spillErr.set(err)
+		s.ex.fail(err)
+		return 0
+	}
+	freed := batchBytes(part)
+	s.parts[w] = nil
+	s.res.Release(freed)
+	return freed
+}
+
+func (s *sortSink) consume(w int, b *RowSet) {
+	delta := batchBytes(b)
+	if !s.res.Grow(delta, func(int64) int64 { return s.spillRun(w) }) {
+		// Even an empty buffer cannot make room: the batch itself exceeds
+		// the remaining budget. Take the overage — the rows will be
+		// spilled as a run at the next denial or at finish.
+		s.res.Force(delta)
+	}
+	s.partsSink.consume(w, b)
 }
 
 func (s *sortSink) finish() error {
@@ -157,27 +384,41 @@ func (s *sortSink) finish() error {
 	if len(s.j.Conds) == 0 {
 		return fmt.Errorf("exec: merge join with no conditions")
 	}
+	if err := s.spillErr.get(); err != nil {
+		return err
+	}
 	dop := s.ex.dop
-	_, offs := partOffsets(s.parts)
-	rs := s.mergedPar(dop)
+	var in *sortedInput
+	if len(s.runs) == 0 {
+		// In-memory path: per-worker ranges of the merged input sorted as
+		// independent runs, combined by the parallel multiway merge.
+		_, offs := partOffsets(s.parts)
+		rs := s.mergedPar(dop)
+		s.res.Force(batchBytes(rs) + 8*int64(rs.Len())) // merged copy + keys
 
-	start := time.Now()
-	in := &sortedInput{rs: rs}
-	for i, c := range s.j.Conds {
-		rel, col := c.OuterRel, c.OuterCol
-		if s.isInner {
-			rel, col = c.InnerRel, c.InnerCol
+		start := time.Now()
+		in = &sortedInput{rs: rs}
+		for i, c := range s.j.Conds {
+			rel, col := c.OuterRel, c.OuterCol
+			if s.isInner {
+				rel, col = c.InnerRel, c.InnerCol
+			}
+			keys := keyColumnPar(rs, s.ex.tables[rel], rel, col, dop)
+			if i == 0 {
+				in.keys = keys
+				bounds := append(append(make([]int, 0, len(offs)+1), offs...), rs.Len())
+				in.idx = sortByKeyPar(keys, bounds, dop)
+			} else {
+				in.extras = append(in.extras, keys)
+			}
 		}
-		keys := keyColumnPar(rs, s.ex.tables[rel], rel, col, dop)
-		if i == 0 {
-			in.keys = keys
-			bounds := append(append(make([]int, 0, len(offs)+1), offs...), rs.Len())
-			in.idx = sortByKeyPar(keys, bounds, dop)
-		} else {
-			in.extras = append(in.extras, keys)
+		s.ph.Sort = time.Since(start)
+	} else {
+		var err error
+		if in, err = s.finishExternal(); err != nil {
+			return err
 		}
 	}
-	s.ph.Sort = time.Since(start)
 
 	s.ex.smu.Lock()
 	pair := s.ex.sorted[s.j]
@@ -192,6 +433,83 @@ func (s *sortSink) finish() error {
 	}
 	s.ex.smu.Unlock()
 	return nil
+}
+
+// finishExternal completes a spilled sort: any leftover in-memory parts
+// spill as final sorted runs, then the runs are read back — each run a
+// contiguous presorted index range — and combined by the same
+// splitter-partitioned multiway merge as the in-memory path. The merged
+// input must materialize either way (the merge-join source random-accesses
+// it), so the read-back is force-accounted; what the external sort bounds
+// is the accumulate-and-sort phase, whose working set stays within budget.
+func (s *sortSink) finishExternal() (*sortedInput, error) {
+	start := time.Now()
+	for w := range s.parts {
+		s.spillRun(w)
+	}
+	if err := s.spillErr.get(); err != nil {
+		return nil, err
+	}
+	dop := s.ex.dop
+	total := 0
+	for _, r := range s.runs {
+		total += int(r.Rows())
+	}
+	// Merged row set + keys (8B) + merge index and run indices (2×8B).
+	s.res.Force(rowSetBytes(total, s.rels.Count()) + 24*int64(total))
+	rs := NewRowSetCap(s.rels, total)
+	keys := make([]int64, 0, total)
+	vals, err := s.sortKeyVals()
+	if err != nil {
+		return nil, err
+	}
+	keyRel := s.j.Conds[0].OuterRel
+	if s.isInner {
+		keyRel = s.j.Conds[0].InnerRel
+	}
+	keyPos := relColPos(s.rels, keyRel)
+	runsIdx := make([][]int, len(s.runs))
+	off := 0
+	for ri, w := range s.runs {
+		r, err := w.Reader()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			cols, err := r.Next()
+			if err != nil {
+				r.Close()
+				return nil, err
+			}
+			if cols == nil {
+				break
+			}
+			appendRawChunk(rs, cols)
+			for _, id := range cols[keyPos] {
+				keys = append(keys, vals[id])
+			}
+		}
+		r.Close()
+		w.Remove()
+		n := rs.Len() - off
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = off + i
+		}
+		runsIdx[ri] = idx
+		off = rs.Len()
+	}
+	in := &sortedInput{rs: rs, keys: keys}
+	in.idx = mergeRuns(keys, runsIdx, dop)
+	for _, c := range s.j.Conds[1:] {
+		rel, col := c.OuterRel, c.OuterCol
+		if s.isInner {
+			rel, col = c.InnerRel, c.InnerCol
+		}
+		in.extras = append(in.extras, keyColumnPar(rs, s.ex.tables[rel], rel, col, dop))
+	}
+	s.ph.Sort = time.Since(start)
+	return in, nil
 }
 
 // materializeSink materializes a nested-loop join's inner input with its
@@ -319,6 +637,10 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 		return st
 	}
 
+	// Per-pipeline spill counters, shared by the sink and any grace-mode
+	// probe operators, snapshotted into the pipeline's stat at the end.
+	rec := &spillCounters{}
+
 	// Shared source state + per-worker source factory.
 	var newSource func() PhysicalOperator
 	var scanSrc *scanSource
@@ -362,12 +684,13 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 		case plan.HashJoin:
 			ex.smu.Lock()
 			ht := ex.builds[j]
+			g := ex.graces[j]
 			ex.smu.Unlock()
-			if ht == nil {
+			if ht == nil && g == nil {
 				return fmt.Errorf("exec: hash table for %s was never built (plan bug)", j.Method)
 			}
 			st := reg(fmt.Sprintf("HashJoin(%s) probe", j.JoinType), j)
-			sh, err := ex.newProbeShared(j, ht, inRels, st)
+			sh, err := ex.newProbeShared(j, ht, g, inRels, st, workers, rec)
 			if err != nil {
 				return err
 			}
@@ -398,7 +721,7 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 		}
 	}
 
-	snk, err := ex.newSink(pl, inRels, workers)
+	snk, err := ex.newSink(pl, inRels, workers, rec)
 	if err != nil {
 		return err
 	}
@@ -489,26 +812,46 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 		Rows:       last.rowsOut.Load(),
 		FinishWall: finishWall,
 		Phases:     snk.phases(),
+		Spill:      rec.snapshot(),
 	})
 	ex.smu.Unlock()
 	return nil
 }
 
-// newSink builds the pipeline's sink for its breaker kind.
-func (ex *executor) newSink(pl *plan.Pipeline, rels query.RelSet, workers int) (sink, error) {
+// newSink builds the pipeline's sink for its breaker kind. Spillable
+// breakers (hash builds and sorts — see plan.SinkKind.Spillable) get a
+// memory reservation they check before growing state; the result and
+// materialize sinks force-account their bytes, since their output cannot
+// spill.
+func (ex *executor) newSink(pl *plan.Pipeline, rels query.RelSet, workers int, rec *spillCounters) (sink, error) {
 	base := newPartsSink(rels, workers)
+	if pl.Sink == plan.SinkResult && len(ex.aggSpecs) > 0 {
+		// The aggregation sink's state is O(groups), not O(rows): no
+		// reservation (see ROADMAP "spilling aggregation").
+		return ex.newAggSink(rels, workers)
+	}
+	res := ex.memq.Reserve(fmt.Sprintf("P%d %s", pl.ID, pl.Sink))
+	if !pl.Sink.Spillable() {
+		// Non-spillable breakers (plan.SinkKind.Spillable is the source of
+		// truth) force-account their bytes: their output must stay
+		// resident for random access.
+		base.forceRes = res
+	}
 	switch pl.Sink {
 	case plan.SinkResult:
-		if len(ex.aggSpecs) > 0 {
-			return ex.newAggSink(rels, workers)
-		}
 		return &resultSink{partsSink: base, ex: ex}, nil
 	case plan.SinkHashBuild:
-		return &hashBuildSink{partsSink: base, ex: ex, j: pl.SinkJoin}, nil
-	case plan.SinkSortOuter:
-		return &sortSink{partsSink: base, ex: ex, j: pl.SinkJoin, isInner: false}, nil
-	case plan.SinkSortInner:
-		return &sortSink{partsSink: base, ex: ex, j: pl.SinkJoin, isInner: true}, nil
+		return &hashBuildSink{partsSink: base, ex: ex, j: pl.SinkJoin,
+			estRows: pl.EstSinkRows(), res: res, rec: rec}, nil
+	case plan.SinkSortOuter, plan.SinkSortInner:
+		s := &sortSink{partsSink: base, ex: ex, j: pl.SinkJoin,
+			isInner: pl.Sink == plan.SinkSortInner, res: res, rec: rec}
+		if len(s.j.Conds) > 0 {
+			if _, err := s.sortKeyVals(); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
 	case plan.SinkMaterialize:
 		return &materializeSink{partsSink: base, ex: ex, j: pl.SinkJoin}, nil
 	default:

@@ -129,6 +129,22 @@ func concat(rels query.RelSet, parts []*RowSet) *RowSet {
 	return out
 }
 
+// parallelFinishThreshold is the cost model behind every breaker's
+// serial-vs-parallel finish decision, replacing the old hardcoded
+// 4096-row cutoffs. rows×cols approximates the phase's work in 4-byte
+// cell units (cols is the column count for copies/gathers, or a weight
+// for heavier per-row work like sorting or map inserts); fanning out
+// costs roughly one goroutine spawn+join per worker, worth ~2048 cells
+// each. Parallel pays off once the total work amortizes that overhead
+// across the dop workers the phase would start.
+func parallelFinishThreshold(rows, cols, dop int) bool {
+	const spawnCells = 2048
+	if dop < 2 {
+		return false
+	}
+	return rows*cols >= dop*spawnCells
+}
+
 // loneLivePart returns the single part holding rows, or nil when zero or
 // several do (callers then need a real merge; zero live parts must still
 // produce a fresh empty set covering the requested relations).
@@ -160,7 +176,7 @@ func concatPar(rels query.RelSet, parts []*RowSet, dop int) *RowSet {
 	for _, p := range live {
 		total += p.Len()
 	}
-	if dop < 2 || total < 4096 {
+	if !parallelFinishThreshold(total, rels.Count(), dop) {
 		return concat(rels, live)
 	}
 	out := NewRowSet(rels)
@@ -216,7 +232,8 @@ func keyColumn(rs *RowSet, tbl *storage.Table, rel int, col string) []int64 {
 func keyColumnPar(rs *RowSet, tbl *storage.Table, rel int, col string, dop int) []int64 {
 	ids := rs.Col(rel)
 	n := len(ids)
-	if dop < 2 || n < 4096 {
+	// Weight 2: the gather reads 4-byte ids but writes 8-byte keys.
+	if !parallelFinishThreshold(n, 2, dop) {
 		return keyColumn(rs, tbl, rel, col)
 	}
 	vals := tbl.MustColumn(col).Ints
@@ -290,7 +307,8 @@ func sortKeyRange(keys []int64, lo, hi int) []int {
 // monotone offsets, e.g. per-worker part offsets plus the total).
 func sortByKeyPar(keys []int64, bounds []int, dop int) []int {
 	nruns := len(bounds) - 1
-	if nruns <= 1 || dop < 2 {
+	// Weight 16: comparison sorting is far heavier per row than a copy.
+	if nruns <= 1 || !parallelFinishThreshold(len(keys), 16, dop) {
 		return sortByKey(keys)
 	}
 	runs := make([][]int, nruns)
@@ -332,7 +350,8 @@ func mergeRuns(keys []int64, runs [][]int, dop int) []int {
 	}
 	out := make([]int, total)
 	nseg := dop
-	if nseg < 2 || total < 4096 {
+	// Weight 8: each merged row pays a k-way min scan, not just a copy.
+	if !parallelFinishThreshold(total, 8, nseg) {
 		mergeSegment(keys, runs, nil, nil, out)
 		return out
 	}

@@ -1,0 +1,246 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"bfcbo/internal/query"
+	"bfcbo/internal/spill"
+)
+
+// This file is the executor-side glue over internal/spill: sizing
+// estimates the memory broker accounts in, the row-set <-> chunk
+// conversions (the spill format stores exactly the row-id columns of a
+// RowSet, in ascending relation order), partition routing by key hash, and
+// the per-pipeline spill counters that flow into PipelineStat and EXPLAIN
+// ANALYZE.
+
+const (
+	// spillChunkRows is the target rows per spill chunk: big enough for
+	// sequential I/O, small enough that read-back buffers stay cache-sized.
+	spillChunkRows = 4096
+	// graceMaxDepth caps grace-join repartition recursion; at the cap a
+	// partition is force-loaded (heavy key skew cannot be split by hashing).
+	graceMaxDepth = 6
+	// graceMinPartRows is the smallest partition worth repartitioning:
+	// below this the fixed cost of another spill pass exceeds any gain.
+	graceMinPartRows = 4096
+	// graceSubParts is the fan-out of one recursive repartition step.
+	graceSubParts = 8
+	// hashEntryBytes approximates the per-row overhead of the join hash
+	// table (map bucket + key + row-id slice entry) for grant sizing.
+	hashEntryBytes = 32
+)
+
+// rowSetBytes is the broker-visible footprint of rows×cols int32 cells.
+func rowSetBytes(rows, cols int) int64 { return int64(rows) * int64(cols) * 4 }
+
+// batchBytes is rowSetBytes for one row set.
+func batchBytes(b *RowSet) int64 { return rowSetBytes(b.Len(), len(b.cols)) }
+
+// spillHash mixes a join key with the grace-recursion level so every level
+// partitions on independent bits (splitmix64 finalizer); level 0 must also
+// stay independent of hashKey, which routes rows inside the in-memory
+// hash table.
+func spillHash(k int64, level int) uint64 {
+	x := uint64(k) + 0x9e3779b97f4a7c15*uint64(level+2)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// spillPartitionCount sizes a grace join's partition fan-out from the
+// planner's build-side estimate: enough partitions that each should fit
+// the budget with room for the probe side, clamped to [8, 64].
+func spillPartitionCount(estRows float64, cols int, budget int64) int {
+	n := 8
+	if budget > 0 {
+		est := rowSetBytes(int(estRows), cols) + int64(estRows)*hashEntryBytes
+		for n < 64 && est/int64(n) > budget/4 {
+			n *= 2
+		}
+	}
+	return n
+}
+
+// spillCounters are one pipeline's shared spill tallies, updated by
+// concurrent workers and snapshotted into PipelineStat.Spill.
+type spillCounters struct {
+	bytes atomic.Int64
+	parts atomic.Int64
+	depth atomic.Int32
+}
+
+func (c *spillCounters) addBytes(n int64) {
+	if n > 0 {
+		c.bytes.Add(n)
+	}
+}
+
+func (c *spillCounters) addParts(n int64) { c.parts.Add(n) }
+
+func (c *spillCounters) bumpDepth(d int) {
+	for {
+		cur := c.depth.Load()
+		if int32(d) <= cur || c.depth.CompareAndSwap(cur, int32(d)) {
+			return
+		}
+	}
+}
+
+func (c *spillCounters) snapshot() SpillStat {
+	return SpillStat{
+		Bytes:      c.bytes.Load(),
+		Partitions: int(c.parts.Load()),
+		Depth:      int(c.depth.Load()),
+	}
+}
+
+// spillDir lazily creates the run's spill directory; the executor removes
+// it unconditionally when the run ends (success, error, or cancel).
+func (ex *executor) spillFiles() (*spill.Dir, error) {
+	ex.spillMu.Lock()
+	defer ex.spillMu.Unlock()
+	if ex.spillDir == nil {
+		d, err := spill.NewDir(ex.spillParent)
+		if err != nil {
+			return nil, err
+		}
+		ex.spillDir = d
+	}
+	return ex.spillDir, nil
+}
+
+func (ex *executor) cleanupSpill() {
+	ex.spillMu.Lock()
+	d := ex.spillDir
+	ex.spillMu.Unlock()
+	if d != nil {
+		d.Cleanup()
+	}
+}
+
+// appendRawChunk appends one spill chunk (raw columns) to rs.
+func appendRawChunk(rs *RowSet, cols [][]int32) {
+	for c := range rs.cols {
+		rs.cols[c] = append(rs.cols[c], cols[c]...)
+	}
+}
+
+// readSpill materializes a whole spill file as one row set covering rels.
+func readSpill(w *spill.Writer, rels query.RelSet) (*RowSet, error) {
+	r, err := w.Reader()
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	rs := NewRowSetCap(rels, int(w.Rows()))
+	for {
+		cols, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if cols == nil {
+			return rs, nil
+		}
+		appendRawChunk(rs, cols)
+	}
+}
+
+// routeCols routes the rows of one chunk into per-partition writers by
+// key hash at the given level. keys is aligned with the chunk rows.
+// Returns the encoded bytes written.
+func routeCols(cols [][]int32, keys []int64, level int, ws []*spill.Writer) (int64, error) {
+	nparts := len(ws)
+	n := len(keys)
+	groups := make([][]int32, nparts) // partition -> row indices within cols
+	for i := 0; i < n; i++ {
+		p := int(spillHash(keys[i], level) % uint64(nparts))
+		groups[p] = append(groups[p], int32(i))
+	}
+	var written int64
+	out := make([][]int32, len(cols))
+	for p, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		for c := range cols {
+			col := make([]int32, len(idxs))
+			for j, i := range idxs {
+				col[j] = cols[c][i]
+			}
+			out[c] = col
+		}
+		if err := ws[p].AppendChunk(out); err != nil {
+			return written, err
+		}
+		written += int64(4 + 4*len(idxs)*len(cols))
+	}
+	return written, nil
+}
+
+// spillSorted writes the rows of rs in idx order to w as a sorted run,
+// chunked at spillChunkRows. Returns the encoded bytes written.
+func spillSorted(rs *RowSet, idx []int, w *spill.Writer) (int64, error) {
+	ncols := len(rs.cols)
+	var written int64
+	cols := make([][]int32, ncols)
+	for lo := 0; lo < len(idx); lo += spillChunkRows {
+		hi := lo + spillChunkRows
+		if hi > len(idx) {
+			hi = len(idx)
+		}
+		for c := 0; c < ncols; c++ {
+			col := make([]int32, hi-lo)
+			src := rs.cols[c]
+			for j, i := range idx[lo:hi] {
+				col[j] = src[i]
+			}
+			cols[c] = col
+		}
+		if err := w.AppendChunk(cols); err != nil {
+			return written, err
+		}
+		written += int64(4 + 4*(hi-lo)*ncols)
+	}
+	return written, nil
+}
+
+// partitionWriters creates one spill writer per partition.
+func partitionWriters(d *spill.Dir, name string, nparts, cols int) ([]*spill.Writer, error) {
+	ws := make([]*spill.Writer, nparts)
+	for p := range ws {
+		w, err := d.NewWriter(name, cols)
+		if err != nil {
+			return nil, err
+		}
+		ws[p] = w
+	}
+	return ws, nil
+}
+
+// onceErr latches the first error of a concurrent spill path.
+type onceErr struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (o *onceErr) set(err error) {
+	if err == nil {
+		return
+	}
+	o.mu.Lock()
+	if o.err == nil {
+		o.err = err
+	}
+	o.mu.Unlock()
+}
+
+func (o *onceErr) get() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.err
+}

@@ -35,6 +35,21 @@ const (
 	SinkMaterialize
 )
 
+// Spillable annotates the breaker kinds that materialize unbounded state
+// and therefore participate in the memory-budget/spill subsystem: hash
+// builds (grace hash join) and merge-join sorts (external merge sort).
+// Result collection and nested-loop materialization must stay resident —
+// their consumers random-access them — so the executor force-accounts them
+// instead.
+func (k SinkKind) Spillable() bool {
+	switch k {
+	case SinkHashBuild, SinkSortOuter, SinkSortInner:
+		return true
+	default:
+		return false
+	}
+}
+
 func (k SinkKind) String() string {
 	switch k {
 	case SinkResult:
@@ -82,6 +97,16 @@ func (pl *Pipeline) Rels() query.RelSet {
 		return pl.Ops[len(pl.Ops)-1].Rels()
 	}
 	return pl.Source.Rels()
+}
+
+// EstSinkRows is the planner's estimate of the rows this pipeline delivers
+// to its breaker — the sizing input for the executor's spill fan-out (how
+// many grace-join partitions a denied hash build splits into).
+func (pl *Pipeline) EstSinkRows() float64 {
+	if len(pl.Ops) > 0 {
+		return pl.Ops[len(pl.Ops)-1].EstRows()
+	}
+	return pl.Source.EstRows()
 }
 
 // Decompose splits a plan into pipelines in execution order. It never

@@ -1,0 +1,284 @@
+// Package spill is the executor's spill-file subsystem: columnar run files
+// whose format matches the executor's late-materialization row sets (a
+// fixed number of int32 row-id columns per file, written and read in
+// chunks), plus the temp-directory lifecycle that guarantees a run —
+// successful, failed, or cancelled — leaves no files behind.
+//
+// File format: a sequence of chunks, each
+//
+//	uint32  rows in the chunk (little-endian)
+//	int32 × cols × rows, column-major
+//
+// The column count is fixed per file and agreed between writer and reader
+// (it is the relation count of the spilled row set, in ascending relation
+// order). Keys are never stored — the engine's rows are base-table row ids,
+// so join keys and sort keys are re-derived from the columnar store on
+// read-back, which keeps spilled data at 4 bytes per (row, relation).
+package spill
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Dir owns one run's temp directory. It is created lazily on the first
+// spill and removed — with everything in it — by Cleanup, which the
+// executor defers unconditionally so cancel and error paths cannot leak
+// files.
+type Dir struct {
+	mu      sync.Mutex
+	path    string
+	seq     atomic.Int64
+	gone    bool
+	writers []*Writer
+}
+
+// NewDir creates a fresh spill directory under parent (""= os.TempDir()).
+func NewDir(parent string) (*Dir, error) {
+	if parent == "" {
+		parent = os.TempDir()
+	}
+	path, err := os.MkdirTemp(parent, "bfcbo-spill-*")
+	if err != nil {
+		return nil, fmt.Errorf("spill: create dir: %w", err)
+	}
+	return &Dir{path: path}, nil
+}
+
+// Path returns the directory path (for diagnostics and tests).
+func (d *Dir) Path() string { return d.path }
+
+// Cleanup removes the directory and every spill file in it, closing any
+// writer handles still open (a cancelled run abandons writers mid-route;
+// their descriptors must not linger until the GC finalizer). Idempotent;
+// safe after partial writes.
+func (d *Dir) Cleanup() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.gone {
+		return nil
+	}
+	d.gone = true
+	for _, w := range d.writers {
+		w.abandon()
+	}
+	d.writers = nil
+	return os.RemoveAll(d.path)
+}
+
+// NewWriter creates a spill file for chunks of cols columns. The name
+// fragment is embedded in the file name for debuggability.
+func (d *Dir) NewWriter(name string, cols int) (*Writer, error) {
+	if cols <= 0 {
+		return nil, fmt.Errorf("spill: writer needs at least one column, got %d", cols)
+	}
+	d.mu.Lock()
+	gone := d.gone
+	d.mu.Unlock()
+	if gone {
+		return nil, fmt.Errorf("spill: directory already cleaned up")
+	}
+	path := filepath.Join(d.path, fmt.Sprintf("%s-%d.spill", name, d.seq.Add(1)))
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("spill: create %s: %w", path, err)
+	}
+	w := &Writer{f: f, bw: bufio.NewWriterSize(f, 1<<16), cols: cols, path: path}
+	d.mu.Lock()
+	if d.gone { // lost a race with Cleanup
+		d.mu.Unlock()
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("spill: directory already cleaned up")
+	}
+	d.writers = append(d.writers, w)
+	d.mu.Unlock()
+	return w, nil
+}
+
+// Writer appends chunks to one spill file. AppendChunk is safe for
+// concurrent use — chunks are the atomic unit of the format, so workers of
+// one pipeline may interleave whole chunks into a shared partition file.
+type Writer struct {
+	mu      sync.Mutex
+	f       *os.File
+	bw      *bufio.Writer
+	cols    int
+	path    string
+	rows    int64
+	bytes   int64
+	chunks  int64
+	scratch []byte
+	closed  bool
+}
+
+// Cols returns the fixed column count of the file.
+func (w *Writer) Cols() int { return w.cols }
+
+// Rows returns the total rows appended so far.
+func (w *Writer) Rows() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rows
+}
+
+// Bytes returns the total encoded bytes appended so far.
+func (w *Writer) Bytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bytes
+}
+
+// Path returns the file path.
+func (w *Writer) Path() string { return w.path }
+
+// AppendChunk writes one chunk: cols column slices of equal length. Empty
+// chunks are skipped.
+func (w *Writer) AppendChunk(cols [][]int32) error {
+	if len(cols) != w.cols {
+		return fmt.Errorf("spill: chunk has %d columns, file %s has %d", len(cols), w.path, w.cols)
+	}
+	n := len(cols[0])
+	if n == 0 {
+		return nil
+	}
+	for _, c := range cols[1:] {
+		if len(c) != n {
+			return fmt.Errorf("spill: ragged chunk (%d vs %d rows) for %s", len(c), n, w.path)
+		}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("spill: append to closed writer %s", w.path)
+	}
+	if cap(w.scratch) < 4*n {
+		w.scratch = make([]byte, 4*n)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(n))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("spill: write %s: %w", w.path, err)
+	}
+	for _, c := range cols {
+		buf := w.scratch[:4*n]
+		for i, v := range c {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+		}
+		if _, err := w.bw.Write(buf); err != nil {
+			return fmt.Errorf("spill: write %s: %w", w.path, err)
+		}
+	}
+	w.rows += int64(n)
+	w.bytes += int64(4 + 4*n*w.cols)
+	w.chunks++
+	return nil
+}
+
+// Finish flushes and closes the write handle. The file stays on disk for
+// readers until the owning Dir is cleaned up (or Remove is called).
+func (w *Writer) Finish() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("spill: flush %s: %w", w.path, err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("spill: close %s: %w", w.path, err)
+	}
+	return nil
+}
+
+// Remove deletes the file (after Finish). Used to reclaim disk space as
+// soon as a partition or run has been consumed; Cleanup would get it
+// eventually anyway.
+func (w *Writer) Remove() error {
+	w.Finish()
+	return os.Remove(w.path)
+}
+
+// abandon closes the file handle without flushing — the file is about to
+// be deleted by Cleanup, only the descriptor matters.
+func (w *Writer) abandon() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.closed {
+		w.closed = true
+		w.f.Close()
+	}
+}
+
+// Reader streams the chunks of a finished spill file in write order.
+type Reader struct {
+	f       *os.File
+	br      *bufio.Reader
+	cols    int
+	path    string
+	scratch []byte
+	bufs    [][]int32
+}
+
+// Reader opens the writer's file for reading. Finish is implied.
+func (w *Writer) Reader() (*Reader, error) {
+	if err := w.Finish(); err != nil {
+		return nil, err
+	}
+	return OpenReader(w.path, w.cols)
+}
+
+// OpenReader opens a spill file holding chunks of cols columns.
+func OpenReader(path string, cols int) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("spill: open %s: %w", path, err)
+	}
+	return &Reader{f: f, br: bufio.NewReaderSize(f, 1<<16), cols: cols, path: path}, nil
+}
+
+// Next returns the columns of the next chunk, or (nil, nil) at end of
+// file. The returned slices are reused by the following Next call; callers
+// that retain rows must copy them out (appending into a RowSet copies).
+func (r *Reader) Next() ([][]int32, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("spill: read %s: %w", r.path, err)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if cap(r.scratch) < 4*n {
+		r.scratch = make([]byte, 4*n)
+	}
+	if r.bufs == nil {
+		r.bufs = make([][]int32, r.cols)
+	}
+	for c := 0; c < r.cols; c++ {
+		if cap(r.bufs[c]) < n {
+			r.bufs[c] = make([]int32, n)
+		}
+		r.bufs[c] = r.bufs[c][:n]
+		buf := r.scratch[:4*n]
+		if _, err := io.ReadFull(r.br, buf); err != nil {
+			return nil, fmt.Errorf("spill: read %s (truncated chunk): %w", r.path, err)
+		}
+		for i := range r.bufs[c] {
+			r.bufs[c][i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	}
+	return r.bufs, nil
+}
+
+// Close releases the read handle.
+func (r *Reader) Close() error { return r.f.Close() }
