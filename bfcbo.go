@@ -16,6 +16,7 @@
 package bfcbo
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"bfcbo/internal/mem"
 	"bfcbo/internal/optimizer"
 	"bfcbo/internal/query"
+	"bfcbo/internal/sched"
 	"bfcbo/internal/sqlparser"
 	"bfcbo/internal/tpch"
 )
@@ -53,6 +55,9 @@ type Config struct {
 	// LegacyExecutor selects the original operator-at-a-time materializing
 	// executor instead of the default morsel-driven pipelined one. It
 	// exists for A/B comparisons; the pipelined executor is the default.
+	// Legacy runs pass admission control but execute outside the
+	// worker-slot pool, so the DOP cap on total running workers holds
+	// per legacy query, not across them.
 	LegacyExecutor bool
 	// MemBudget bounds the bytes of operator state the executor holds in
 	// RAM (0 = unlimited). Joins and sorts whose memory grants are denied
@@ -63,15 +68,32 @@ type Config struct {
 	// budget. Ignored by the legacy executor.
 	MemBudget int64
 	// SpillDir is the parent directory for spill files ("" = os.TempDir()).
-	// Every run removes its own spill subdirectory, even on error.
+	// Every run owns — and removes — its own query-scoped spill
+	// subdirectory, even on error, so concurrent queries never touch each
+	// other's temp files.
 	SpillDir string
+	// MaxConcurrent caps the queries the engine admits at once; further
+	// RunContext calls queue FIFO behind them. 0 means unlimited admission
+	// (the DOP-sized worker-slot pool still bounds actual parallelism).
+	MaxConcurrent int
+	// QueueTimeout bounds how long a query may wait in the admission
+	// queue before failing with sched.ErrQueueTimeout; 0 means wait until
+	// the caller's context cancels.
+	QueueTimeout time.Duration
 }
 
-// Engine bundles a generated database with planner and executor.
+// SchedStat is the per-query scheduling report: admission queue wait,
+// worker-slot waits and occupancy, and preempted-slot handoffs. See
+// sched.Stat for field semantics.
+type SchedStat = sched.Stat
+
+// Engine bundles a generated database with planner, executor, and the
+// process-wide query scheduler all its runs are admitted through.
 type Engine struct {
 	cfg    Config
 	ds     *datagen.Dataset
 	broker *mem.Broker
+	sched  *sched.Scheduler
 }
 
 // Open generates the TPC-H dataset and returns a ready engine.
@@ -86,12 +108,25 @@ func Open(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, ds: ds, broker: mem.NewBroker(cfg.MemBudget)}, nil
+	broker := mem.NewBroker(cfg.MemBudget)
+	return &Engine{
+		cfg: cfg, ds: ds, broker: broker,
+		sched: sched.New(sched.Config{
+			Slots:         cfg.DOP,
+			MaxConcurrent: cfg.MaxConcurrent,
+			QueueTimeout:  cfg.QueueTimeout,
+			Broker:        broker,
+		}),
+	}, nil
 }
 
 // MemoryBroker exposes the engine's process-wide memory broker (budget,
 // current/peak usage, denial counts) for monitoring.
 func (e *Engine) MemoryBroker() *mem.Broker { return e.broker }
+
+// Scheduler exposes the engine's process-wide query scheduler (slot pool
+// occupancy, admitted and queued query counts) for monitoring.
+func (e *Engine) Scheduler() *sched.Scheduler { return e.sched }
 
 // Dataset gives access to the underlying schema and storage for advanced
 // use (building custom query blocks).
@@ -143,6 +178,10 @@ type Output struct {
 	// Spill totals the run's spill activity under Config.MemBudget (all
 	// zero for unlimited-budget and legacy runs).
 	Spill exec.SpillStat
+	// Sched reports the query's trip through the process-wide scheduler:
+	// admission queue wait, worker-slot wait and occupancy, and
+	// preempted-slot handoffs to concurrent queries.
+	Sched SchedStat
 }
 
 // Plan optimizes a block without executing it.
@@ -154,18 +193,37 @@ func (e *Engine) Plan(b *query.Block, mode Mode) (*optimizer.Result, error) {
 
 // Run optimizes and executes a block under the given mode.
 func (e *Engine) Run(b *query.Block, mode Mode) (*Output, error) {
+	return e.RunContext(context.Background(), b, mode)
+}
+
+// RunContext is Run with admission control and cancellation: the query is
+// admitted through the engine's process-wide scheduler — queueing behind
+// Config.MaxConcurrent and the memory-broker admission gate, subject to
+// Config.QueueTimeout — and ctx cancellation or deadline expiry (queued
+// or mid-run) stops every pipeline at the next morsel and surfaces
+// ctx.Err(). Any number of RunContext calls may execute concurrently on
+// one Engine; they share the DOP-sized worker-slot pool (legacy-executor
+// runs excepted — see Config.LegacyExecutor) and the memory budget, and
+// each gets its own spill subdirectory.
+func (e *Engine) RunContext(ctx context.Context, b *query.Block, mode Mode) (*Output, error) {
 	res, err := e.Plan(b, mode)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	r, err := exec.Run(e.ds.DB, b, res.Plan, exec.Options{
+	r, err := exec.RunContext(ctx, e.ds.DB, b, res.Plan, exec.Options{
 		DOP: e.cfg.DOP, Legacy: e.cfg.LegacyExecutor,
 		Broker: e.broker, SpillDir: e.cfg.SpillDir,
+		Sched: e.sched,
 	})
 	execTime := time.Since(start)
 	if err != nil {
 		return nil, err
+	}
+	// ExecTime reports execution, not admission: time queued behind other
+	// queries is broken out in Sched.QueueWait.
+	if execTime -= r.Sched.QueueWait; execTime < 0 {
+		execTime = 0
 	}
 	analyzed := r.ExplainAnalyze(res.Plan)
 	return &Output{
@@ -180,14 +238,21 @@ func (e *Engine) Run(b *query.Block, mode Mode) (*Output, error) {
 		OpStats:        r.OpStats,
 		Pipelines:      r.Pipelines,
 		Spill:          r.TotalSpill(),
+		Sched:          r.Sched,
 	}, nil
 }
 
 // RunSQL is the one-call convenience: parse, plan, execute.
 func (e *Engine) RunSQL(sql string, mode Mode) (*Output, error) {
+	return e.RunSQLContext(context.Background(), sql, mode)
+}
+
+// RunSQLContext is RunSQL with the RunContext admission and cancellation
+// semantics.
+func (e *Engine) RunSQLContext(ctx context.Context, sql string, mode Mode) (*Output, error) {
 	b, err := e.ParseSQL(sql)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(b, mode)
+	return e.RunContext(ctx, b, mode)
 }

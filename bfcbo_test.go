@@ -1,8 +1,12 @@
 package bfcbo
 
 import (
+	"context"
+	"errors"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func engine(t *testing.T) *Engine {
@@ -67,6 +71,66 @@ func TestTPCHAccess(t *testing.T) {
 	}
 	if _, err := e.TPCH(23); err == nil {
 		t.Fatal("TPCH(23) should fail")
+	}
+}
+
+// TestConcurrentEngineRuns drives one Engine from several goroutines
+// through RunContext: every stream must match the serial row count, the
+// scheduler must drain, and the Sched report must carry slot occupancy.
+func TestConcurrentEngineRuns(t *testing.T) {
+	e, err := Open(Config{ScaleFactor: 0.003, Seed: 9, DOP: 4, MaxConcurrent: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.TPCH(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := e.Run(b, BFCBO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const streams = 6
+	outs := make([]*Output, streams)
+	errs := make([]error, streams)
+	var wg sync.WaitGroup
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = e.RunContext(context.Background(), b, BFCBO)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < streams; i++ {
+		if errs[i] != nil {
+			t.Fatalf("stream %d: %v", i, errs[i])
+		}
+		if outs[i].Rows != serial.Rows {
+			t.Fatalf("stream %d: rows = %d, want %d", i, outs[i].Rows, serial.Rows)
+		}
+		if outs[i].Sched.SlotBusy <= 0 {
+			t.Fatalf("stream %d: no slot occupancy reported: %+v", i, outs[i].Sched)
+		}
+	}
+	if e.Scheduler().InUse() != 0 || e.Scheduler().Admitted() != 0 {
+		t.Fatalf("engine scheduler dirty: inUse=%d admitted=%d",
+			e.Scheduler().InUse(), e.Scheduler().Admitted())
+	}
+}
+
+// TestRunContextDeadline: an already-expired context must surface its
+// error instead of executing.
+func TestRunContextDeadline(t *testing.T) {
+	e := engine(t)
+	b, err := e.TPCH(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := e.RunContext(ctx, b, BFCBO); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want context.DeadlineExceeded", err)
 	}
 }
 

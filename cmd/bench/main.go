@@ -11,17 +11,21 @@
 //	bench -experiment ablation # per-heuristic ablation
 //	bench -experiment scaling  # DOP {1,2,4,8} executor scaling on Bloom-heavy queries
 //	bench -experiment memory   # memory-budget × DOP spill grid (BENCH_PR3.json)
+//	bench -experiment concurrency # multi-stream throughput grid (BENCH_PR4.json)
 //	bench -experiment all      # everything
 //
 // A global -mem-budget (e.g. "64MB") constrains the executor in every
-// experiment; -validate <path> checks a BENCH_PR3-style memory report and
-// exits (the CI bench smoke).
+// experiment; -validate <path> checks a BENCH_PR3-style memory report or
+// a BENCH_PR4-style concurrency report (dispatching on content) and exits
+// (the CI bench smoke). -streams narrows the concurrency grid.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"bfcbo/internal/bench"
 	"bfcbo/internal/mem"
@@ -33,27 +37,49 @@ func main() {
 		seed     = flag.Uint64("seed", 2025, "data generation seed")
 		dop      = flag.Int("dop", 8, "degree of parallelism")
 		reps     = flag.Int("reps", 3, "repetitions per query (first is warm-up)")
-		exp      = flag.String("experiment", "all", "table2|table3|fig1|fig6|naive|mae|ablation|scaling|memory|all")
-		jout     = flag.String("json", "", "machine-readable report path (default: BENCH_PR2.json for table2, BENCH_PR3.json for memory; empty = default, \"-\" disables)")
+		exp      = flag.String("experiment", "all", "table2|table3|fig1|fig6|naive|mae|ablation|scaling|memory|concurrency|all")
+		jout     = flag.String("json", "", "machine-readable report path (default: BENCH_PR2.json for table2, BENCH_PR3.json for memory, BENCH_PR4.json for concurrency; empty = default, \"-\" disables)")
 		budget   = flag.String("mem-budget", "", `executor memory budget for all experiments, e.g. "64MB" (empty = unlimited)`)
-		validate = flag.String("validate", "", "validate a BENCH_PR3-style memory report at this path and exit")
+		streams  = flag.String("streams", "", `concurrency experiment stream counts, e.g. "1,2,4,8" (empty = default; the streams=1 anchor and one multi-stream cell are always included)`)
+		iters    = flag.Int("iters", 0, "concurrency experiment queries per stream (0 = default)")
+		validate = flag.String("validate", "", "validate a memory or concurrency report at this path and exit")
 	)
 	flag.Parse()
 	if *validate != "" {
-		if err := bench.ValidateMemoryJSON(*validate); err != nil {
+		kind, check := "memory report", bench.ValidateMemoryJSON
+		if bench.IsConcurrencyReport(*validate) {
+			kind, check = "concurrency report", bench.ValidateConcurrencyJSON
+		}
+		if err := check(*validate); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("%s: well-formed memory report\n", *validate)
+		fmt.Printf("%s: well-formed %s\n", *validate, kind)
 		return
 	}
-	if err := run(*sf, *seed, *dop, *reps, *exp, *jout, *budget); err != nil {
+	if err := run(*sf, *seed, *dop, *reps, *exp, *jout, *budget, *streams, *iters); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sf float64, seed uint64, dop, reps int, exp, jsonPath, budget string) error {
+// parseInts parses a comma-separated int list ("" = nil).
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad int list %q", s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func run(sf float64, seed uint64, dop, reps int, exp, jsonPath, budget, streamsList string, iters int) error {
 	memBudget, err := mem.ParseBytes(budget)
 	if err != nil {
 		return err
@@ -124,6 +150,28 @@ func run(sf float64, seed uint64, dop, reps int, exp, jsonPath, budget string) e
 		bench.PrintMemory(w, rows)
 		if out := pathFor("BENCH_PR3.json"); out != "" {
 			if err := h.WriteMemoryJSON(out, rows); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", out)
+		}
+		return nil
+	}
+	runConcurrency := func() error {
+		h, err := mk(false)
+		if err != nil {
+			return err
+		}
+		streams, err := parseInts(streamsList)
+		if err != nil {
+			return err
+		}
+		rows, single, err := h.RunConcurrency(nil, streams, nil, iters)
+		if err != nil {
+			return err
+		}
+		bench.PrintConcurrency(w, rows)
+		if out := pathFor("BENCH_PR4.json"); out != "" {
+			if err := h.WriteConcurrencyJSON(out, rows, single); err != nil {
 				return err
 			}
 			fmt.Fprintf(w, "wrote %s\n", out)
@@ -226,12 +274,14 @@ func run(sf float64, seed uint64, dop, reps int, exp, jsonPath, budget string) e
 		return runScaling()
 	case "memory":
 		return runMemory()
+	case "concurrency":
+		return runConcurrency()
 	case "all":
 		// runTable2 already covers the DOP scaling table in its JSON report.
 		for _, f := range []func() error{runTable2, runTable3,
 			func() error { return runFig(12, "Figure 1 — Q12") },
 			func() error { return runFig(7, "Figure 6 — Q7") },
-			runNaive, runMAE, runAblation, runMemory} {
+			runNaive, runMAE, runAblation, runMemory, runConcurrency} {
 			if err := f(); err != nil {
 				return err
 			}

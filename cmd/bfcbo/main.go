@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	"bfcbo"
 	"bfcbo/internal/mem"
@@ -21,22 +24,26 @@ import (
 
 func main() {
 	var (
-		sf     = flag.Float64("sf", 0.01, "TPC-H scale factor")
-		seed   = flag.Uint64("seed", 0, "data generation seed (0 = default)")
-		dop    = flag.Int("dop", 8, "degree of parallelism")
-		qnum   = flag.Int("q", 0, "TPC-H query number (1-22)")
-		sql    = flag.String("sql", "", "SQL text (overrides -q)")
-		modeS  = flag.String("mode", "bfcbo", "optimizer mode: nobf | bfpost | bfcbo | naive")
-		budget = flag.String("mem-budget", "", `executor memory budget, e.g. "64MB" (empty = unlimited); joins and sorts over budget spill to temp files`)
+		sf      = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		seed    = flag.Uint64("seed", 0, "data generation seed (0 = default)")
+		dop     = flag.Int("dop", 8, "degree of parallelism")
+		qnum    = flag.Int("q", 0, "TPC-H query number (1-22)")
+		sql     = flag.String("sql", "", "SQL text (overrides -q)")
+		modeS   = flag.String("mode", "bfcbo", "optimizer mode: nobf | bfpost | bfcbo | naive")
+		budget  = flag.String("mem-budget", "", `executor memory budget, e.g. "64MB" (empty = unlimited); joins and sorts over budget spill to temp files`)
+		timeout = flag.Duration("timeout", 0, "per-query deadline (0 = none); expiry cancels the run mid-pipeline")
+		streams = flag.Int("streams", 1, "run the query this many times concurrently through the engine scheduler")
+		maxConc = flag.Int("max-concurrent", 0, "admission cap on concurrent queries (0 = unlimited)")
 	)
 	flag.Parse()
-	if err := run(*sf, *seed, *dop, *qnum, *sql, *modeS, *budget); err != nil {
+	if err := run(*sf, *seed, *dop, *qnum, *sql, *modeS, *budget, *timeout, *streams, *maxConc); err != nil {
 		fmt.Fprintln(os.Stderr, "bfcbo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sf float64, seed uint64, dop, qnum int, sql, modeS, budget string) error {
+func run(sf float64, seed uint64, dop, qnum int, sql, modeS, budget string,
+	timeout time.Duration, streams, maxConc int) error {
 	mode, err := parseMode(modeS)
 	if err != nil {
 		return err
@@ -45,24 +52,64 @@ func run(sf float64, seed uint64, dop, qnum int, sql, modeS, budget string) erro
 	if err != nil {
 		return err
 	}
-	eng, err := bfcbo.Open(bfcbo.Config{ScaleFactor: sf, Seed: seed, DOP: dop, MemBudget: memBudget})
+	eng, err := bfcbo.Open(bfcbo.Config{
+		ScaleFactor: sf, Seed: seed, DOP: dop, MemBudget: memBudget,
+		MaxConcurrent: maxConc,
+	})
 	if err != nil {
 		return err
 	}
-	var out *bfcbo.Output
-	switch {
-	case sql != "":
-		out, err = eng.RunSQL(sql, mode)
-	case qnum >= 1 && qnum <= 22:
-		b, berr := eng.TPCH(qnum)
-		if berr != nil {
-			return berr
+	runOne := func() (*bfcbo.Output, error) {
+		ctx := context.Background()
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
 		}
-		out, err = eng.Run(b, mode)
-	default:
-		return fmt.Errorf("pass -q 1..22 or -sql (see -h)")
+		if sql != "" {
+			return eng.RunSQLContext(ctx, sql, mode)
+		}
+		if qnum >= 1 && qnum <= 22 {
+			b, err := eng.TPCH(qnum)
+			if err != nil {
+				return nil, err
+			}
+			return eng.RunContext(ctx, b, mode)
+		}
+		return nil, fmt.Errorf("pass -q 1..22 or -sql (see -h)")
 	}
-	if err != nil {
+	var out *bfcbo.Output
+	if streams > 1 {
+		// Concurrency demo: the same query on every stream, sharing the
+		// engine's worker-slot pool and memory budget.
+		outs := make([]*bfcbo.Output, streams)
+		errs := make([]error, streams)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < streams; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				outs[i], errs[i] = runOne()
+			}(i)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		for i, o := range outs {
+			fmt.Printf("stream %d: rows=%d exec=%s queue-wait=%s slot-busy=%s handoffs=%d\n",
+				i, o.Rows, o.ExecTime.Round(time.Microsecond),
+				o.Sched.QueueWait.Round(time.Microsecond),
+				o.Sched.SlotBusy.Round(time.Microsecond), o.Sched.Handoffs)
+		}
+		fmt.Printf("%d streams in %s (%.1f queries/s)\n",
+			streams, wall.Round(time.Microsecond), float64(streams)/wall.Seconds())
+		out = outs[0]
+	} else if out, err = runOne(); err != nil {
 		return err
 	}
 	fmt.Print(out.Explain)

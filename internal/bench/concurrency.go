@@ -1,0 +1,360 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"bfcbo/internal/exec"
+	"bfcbo/internal/mem"
+	"bfcbo/internal/optimizer"
+	"bfcbo/internal/plan"
+	"bfcbo/internal/query"
+	"bfcbo/internal/sched"
+	"bfcbo/internal/tpch"
+)
+
+// The concurrency experiment: the same BF-CBO plans executed by N
+// concurrent streams through one process-wide scheduler sharing a
+// DOP-sized worker-slot pool, measuring multi-stream throughput (QPS) and
+// the latency distribution (p50/p95) per streams × DOP cell. Its report
+// is BENCH_PR4.json; the single_stream section carries per-query medians
+// at streams=1 so the numbers stay comparable to BENCH_PR3's DOP-8
+// unlimited cells across PRs.
+
+// ConcurrencyRow is one (streams, dop) cell of the throughput grid.
+type ConcurrencyRow struct {
+	Streams int `json:"streams"`
+	// DOP is both the scheduler's slot capacity and each query's requested
+	// worker count.
+	DOP     int     `json:"dop"`
+	Queries int     `json:"queries"`
+	WallMS  float64 `json:"wall_ms"`
+	QPS     float64 `json:"qps"`
+	P50MS   float64 `json:"p50_ms"`
+	P95MS   float64 `json:"p95_ms"`
+	// AvgQueueWaitMS / AvgSlotWaitMS average the scheduler's admission and
+	// slot waits per query; Handoffs totals preempted-slot handoffs.
+	AvgQueueWaitMS float64 `json:"avg_queue_wait_ms"`
+	AvgSlotWaitMS  float64 `json:"avg_slot_wait_ms"`
+	Handoffs       int64   `json:"handoffs"`
+}
+
+// SingleStreamRow is one query's median latency at streams=1 — the
+// cross-PR comparison anchor against BENCH_PR3's unlimited DOP-8 cells.
+type SingleStreamRow struct {
+	Query  int     `json:"query"`
+	DOP    int     `json:"dop"`
+	ExecMS float64 `json:"exec_ms"`
+	Rows   int     `json:"rows"`
+}
+
+// ConcurrencyReport is the machine-readable experiment (BENCH_PR4.json).
+// Admission is unlimited in this experiment — the slot pool alone bounds
+// parallelism, so throughput measures scheduling, not queueing policy.
+type ConcurrencyReport struct {
+	ScaleFactor  float64           `json:"scale_factor"`
+	Seed         uint64            `json:"seed"`
+	Reps         int               `json:"reps"`
+	Concurrency  []ConcurrencyRow  `json:"concurrency"`
+	SingleStream []SingleStreamRow `json:"single_stream"`
+}
+
+// concPlanned is one pre-optimized query of the concurrency mix.
+type concPlanned struct {
+	num   int
+	block *query.Block
+	plan  *plan.Plan
+	rows  int // serial baseline row count, checked on every concurrent run
+}
+
+func (h *Harness) concPlan(queries []int) ([]concPlanned, error) {
+	var out []concPlanned
+	for _, num := range queries {
+		q, ok := tpch.Get(num)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown TPC-H query %d", num)
+		}
+		block := q.Build(h.ds.Schema)
+		res, err := optimizer.Optimize(block, h.options(optimizer.BFCBO))
+		if err != nil {
+			return nil, fmt.Errorf("bench: concurrency Q%d: %w", num, err)
+		}
+		r, err := exec.Run(h.ds.DB, block, res.Plan, exec.Options{DOP: h.cfg.DOP})
+		if err != nil {
+			return nil, fmt.Errorf("bench: concurrency Q%d baseline: %w", num, err)
+		}
+		out = append(out, concPlanned{num: num, block: block, plan: res.Plan, rows: r.Rows})
+	}
+	return out, nil
+}
+
+// RunConcurrency executes the query mix over the streams × DOP grid. For
+// each cell one scheduler (slot capacity = dop) and one broker are shared
+// by all streams; each stream runs perStream queries round-robin through
+// the mix, offset by its stream index so concurrent queries are mixed,
+// not phase-locked. Per cell the best-throughput repetition of cfg.Reps
+// is reported (the first is warm-up when Reps > 1). Row counts are
+// checked against serial baselines on every run.
+func (h *Harness) RunConcurrency(queries, streams, dops []int, perStream int) ([]ConcurrencyRow, []SingleStreamRow, error) {
+	if len(queries) == 0 {
+		queries = DefaultScalingQueries()
+	}
+	if len(streams) == 0 {
+		streams = []int{1, 2, 4, 8}
+	}
+	streams = normalizeStreams(streams)
+	if len(dops) == 0 {
+		dops = []int{h.cfg.DOP}
+	}
+	if perStream <= 0 {
+		perStream = 2 * len(queries)
+	}
+	planned, err := h.concPlan(queries)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var rows []ConcurrencyRow
+	for _, dop := range dops {
+		for _, S := range streams {
+			var best *ConcurrencyRow
+			for rep := 0; rep < h.cfg.Reps; rep++ {
+				runtime.GC()
+				row, err := h.runConcCell(planned, S, dop, perStream)
+				if err != nil {
+					return nil, nil, err
+				}
+				if h.cfg.Reps > 1 && rep == 0 {
+					continue // warm-up
+				}
+				if best == nil || row.QPS > best.QPS {
+					best = row
+				}
+			}
+			rows = append(rows, *best)
+		}
+	}
+
+	// Single-stream per-query medians (streams=1 through the scheduler) at
+	// the first grid DOP — the BENCH_PR3 comparison anchor.
+	var single []SingleStreamRow
+	dop := dops[0]
+	scheduler := sched.New(sched.Config{Slots: dop})
+	broker := mem.NewBroker(h.cfg.MemBudget)
+	for _, pq := range planned {
+		var samples []time.Duration
+		lastRows := 0
+		for rep := 0; rep < h.cfg.Reps; rep++ {
+			runtime.GC()
+			start := time.Now()
+			r, err := exec.RunContext(context.Background(), h.ds.DB, pq.block, pq.plan, exec.Options{
+				DOP: dop, Sched: scheduler, Broker: broker, SpillDir: h.cfg.SpillDir,
+			})
+			elapsed := time.Since(start)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bench: concurrency Q%d single-stream: %w", pq.num, err)
+			}
+			lastRows = r.Rows
+			if h.cfg.Reps > 1 && rep == 0 {
+				continue
+			}
+			samples = append(samples, elapsed)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		med := samples[(len(samples)-1)/2]
+		single = append(single, SingleStreamRow{
+			Query: pq.num, DOP: dop, ExecMS: med.Seconds() * 1000, Rows: lastRows,
+		})
+	}
+	return rows, single, nil
+}
+
+// normalizeStreams sorts and dedupes the stream counts and guarantees
+// the grid covers the streams=1 anchor and at least one multi-stream
+// cell — the invariants ValidateConcurrencyJSON enforces — so a narrowed
+// -streams list can never produce a report the validator rejects.
+func normalizeStreams(streams []int) []int {
+	seen := map[int]bool{1: true}
+	out := []int{1}
+	multi := false
+	for _, s := range streams {
+		if s > 1 {
+			multi = true
+		}
+		if s >= 1 && !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	if !multi {
+		out = append(out, 2)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// runConcCell measures one (streams, dop) cell.
+func (h *Harness) runConcCell(planned []concPlanned, S, dop, perStream int) (*ConcurrencyRow, error) {
+	scheduler := sched.New(sched.Config{Slots: dop})
+	broker := mem.NewBroker(h.cfg.MemBudget)
+	type streamResult struct {
+		lats      []time.Duration
+		queueWait time.Duration
+		slotWait  time.Duration
+		handoffs  int64
+		err       error
+	}
+	results := make([]streamResult, S)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for s := 0; s < S; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			res := &results[s]
+			for k := 0; k < perStream; k++ {
+				pq := planned[(s+k)%len(planned)]
+				t0 := time.Now()
+				r, err := exec.RunContext(context.Background(), h.ds.DB, pq.block, pq.plan, exec.Options{
+					DOP: dop, Sched: scheduler, Broker: broker, SpillDir: h.cfg.SpillDir,
+				})
+				if err != nil {
+					res.err = fmt.Errorf("stream %d Q%d: %w", s, pq.num, err)
+					return
+				}
+				if r.Rows != pq.rows {
+					res.err = fmt.Errorf("stream %d Q%d: rows %d != serial %d", s, pq.num, r.Rows, pq.rows)
+					return
+				}
+				res.lats = append(res.lats, time.Since(t0))
+				res.queueWait += r.Sched.QueueWait
+				res.slotWait += r.Sched.SlotWait
+				res.handoffs += r.Sched.Handoffs
+			}
+		}(s)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	row := &ConcurrencyRow{Streams: S, DOP: dop}
+	var lats []time.Duration
+	var queueWait, slotWait time.Duration
+	for s := range results {
+		if results[s].err != nil {
+			return nil, fmt.Errorf("bench: concurrency: %w", results[s].err)
+		}
+		lats = append(lats, results[s].lats...)
+		queueWait += results[s].queueWait
+		slotWait += results[s].slotWait
+		row.Handoffs += results[s].handoffs
+	}
+	if scheduler.InUse() != 0 || broker.Used() != 0 {
+		return nil, fmt.Errorf("bench: concurrency: accounting dirty after cell (slots=%d, bytes=%d)",
+			scheduler.InUse(), broker.Used())
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	n := len(lats)
+	row.Queries = n
+	row.WallMS = wall.Seconds() * 1000
+	row.QPS = float64(n) / wall.Seconds()
+	row.P50MS = lats[n/2].Seconds() * 1000
+	row.P95MS = lats[(n*95)/100].Seconds() * 1000
+	row.AvgQueueWaitMS = queueWait.Seconds() * 1000 / float64(n)
+	row.AvgSlotWaitMS = slotWait.Seconds() * 1000 / float64(n)
+	return row, nil
+}
+
+// PrintConcurrency renders the throughput grid.
+func PrintConcurrency(w io.Writer, rows []ConcurrencyRow) {
+	fmt.Fprintf(w, "concurrent-query throughput, BF-CBO plans (shared worker-slot pool)\n")
+	fmt.Fprintf(w, "%-8s %4s %8s %9s %9s %9s %11s %10s %9s\n",
+		"streams", "dop", "queries", "qps", "p50-ms", "p95-ms", "queue-wait", "slot-wait", "handoffs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8d %4d %8d %9.1f %9.3f %9.3f %11.3f %10.3f %9d\n",
+			r.Streams, r.DOP, r.Queries, r.QPS, r.P50MS, r.P95MS,
+			r.AvgQueueWaitMS, r.AvgSlotWaitMS, r.Handoffs)
+	}
+}
+
+// WriteConcurrencyJSON writes the experiment report to path.
+func (h *Harness) WriteConcurrencyJSON(path string, rows []ConcurrencyRow, single []SingleStreamRow) error {
+	r := &ConcurrencyReport{
+		ScaleFactor:  h.cfg.ScaleFactor,
+		Seed:         h.cfg.Seed,
+		Reps:         h.cfg.Reps,
+		Concurrency:  rows,
+		SingleStream: single,
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ValidateConcurrencyJSON checks that a concurrency report is well-formed:
+// it parses, covers streams=1 and at least one multi-stream cell, every
+// cell ran queries with positive throughput and ordered percentiles, and
+// the single-stream anchor rows are present with positive latencies. The
+// CI bench smoke runs this against the generated report.
+func ValidateConcurrencyJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r ConcurrencyReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Concurrency) == 0 {
+		return fmt.Errorf("%s: no concurrency rows", path)
+	}
+	sawSingle, sawMulti := false, false
+	for i, c := range r.Concurrency {
+		if c.Queries <= 0 || c.QPS <= 0 {
+			return fmt.Errorf("%s: row %d has no throughput", path, i)
+		}
+		if c.P50MS <= 0 || c.P95MS < c.P50MS {
+			return fmt.Errorf("%s: row %d has disordered percentiles", path, i)
+		}
+		switch {
+		case c.Streams == 1:
+			sawSingle = true
+		case c.Streams > 1:
+			sawMulti = true
+		}
+	}
+	if !sawSingle || !sawMulti {
+		return fmt.Errorf("%s: grid must cover streams=1 and a multi-stream cell", path)
+	}
+	if len(r.SingleStream) == 0 {
+		return fmt.Errorf("%s: no single-stream anchor rows", path)
+	}
+	for _, s := range r.SingleStream {
+		if s.ExecMS <= 0 {
+			return fmt.Errorf("%s: single-stream Q%d has non-positive exec_ms", path, s.Query)
+		}
+	}
+	return nil
+}
+
+// IsConcurrencyReport sniffs whether the JSON file at path looks like a
+// ConcurrencyReport (used by bench -validate to dispatch).
+func IsConcurrencyReport(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return false
+	}
+	_, ok := probe["concurrency"]
+	return ok
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"bfcbo/internal/mem"
 	"bfcbo/internal/query"
 	"bfcbo/internal/storage"
 )
@@ -110,6 +111,10 @@ type AggSpec struct {
 	// AggGroupRevenue).
 	KeyRel int
 	KeyCol string
+	// EstGroups is the caller's distinct-group estimate for the grouping
+	// key (0 = use a built-in default); it sizes the sink's up-front
+	// memory reservation, which finish tops up to the observed count.
+	EstGroups float64
 }
 
 // AggValue is the computed result of one AggSpec; the field matching the
@@ -235,7 +240,18 @@ type aggSink struct {
 	partials [][]aggPartial // [worker][spec]
 	rowsSeen []int64        // per worker
 	ph       BreakerPhases
+	res      *mem.Reservation
+	est      int64 // bytes force-accounted at construction
 }
+
+const (
+	// aggGroupBytes approximates one group entry's footprint in a partial
+	// map: string header, hash bucket share, and the accumulator.
+	aggGroupBytes = 64
+	// defaultAggEstGroups sizes the up-front reservation when a spec
+	// carries no group-count estimate.
+	defaultAggEstGroups = 1024
+)
 
 func (ex *executor) newAggSink(rels query.RelSet, workers int) (sink, error) {
 	s := &aggSink{
@@ -253,6 +269,23 @@ func (ex *executor) newAggSink(rels query.RelSet, workers int) (sink, error) {
 	for w := range s.partials {
 		s.partials[w] = make([]aggPartial, len(s.cols))
 	}
+	// Broker-account the per-worker partial maps: Force (not Grow) because
+	// the sink cannot spill yet, sized from the group-count estimate so
+	// Used/Peak reporting is truthful for GROUP BY state. finish tops the
+	// reservation up to the observed group count. This is the accounting
+	// half of the ROADMAP's "spilling aggregation": the bytes reserved here
+	// are exactly what a future spill path would bound.
+	s.res = ex.memq.Reserve("agg partials")
+	for _, a := range s.cols {
+		if a.spec.Kind == AggGroupCount || a.spec.Kind == AggGroupRevenue {
+			g := a.spec.EstGroups
+			if g <= 0 {
+				g = defaultAggEstGroups
+			}
+			s.est += int64(workers) * int64(g) * aggGroupBytes
+		}
+	}
+	s.res.Force(s.est)
 	return s, nil
 }
 
@@ -294,6 +327,21 @@ func (s *aggSink) finish() error {
 		}
 	}
 	s.ph.Merge = time.Since(start)
+	// Top the reservation up to the observed group count (partials plus
+	// the merged result) so budget reports stay truthful when the estimate
+	// ran low on a high-cardinality GROUP BY.
+	var groups int64
+	for w := range s.partials {
+		for i := range s.partials[w] {
+			groups += int64(len(s.partials[w][i].groups) + len(s.partials[w][i].groupSums))
+		}
+	}
+	for i := range out {
+		groups += int64(len(out[i].Groups) + len(out[i].GroupSums))
+	}
+	if actual := groups * aggGroupBytes; actual > s.est {
+		s.res.Force(actual - s.est)
+	}
 	s.ex.aggs = out
 	var rows int64
 	for _, n := range s.rowsSeen {

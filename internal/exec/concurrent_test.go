@@ -1,0 +1,313 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bfcbo/internal/mem"
+	"bfcbo/internal/optimizer"
+	"bfcbo/internal/plan"
+	"bfcbo/internal/query"
+	"bfcbo/internal/sched"
+	"bfcbo/internal/tpch"
+)
+
+// The concurrent-query stress suite: many goroutines run mixed TPC-H
+// queries through one shared scheduler + broker (one "engine"), and the
+// results must be bit-identical to serial runs, the slot pool must never
+// exceed its capacity and must drain to zero, no goroutines may leak, and
+// cancellation must work while queued and mid-run (deadline expiry).
+
+// workerGauge wraps a worker's operator chain to measure how many workers
+// are inside NextBatch at once. A worker inside NextBatch always holds a
+// worker slot (slots are only yielded between batches and across the
+// grace barrier, which these unlimited-budget runs never take), so the
+// observed maximum bounds the scheduler's concurrently running *pipeline*
+// workers — the population the slot pool governs. Breaker finish phases
+// fan out goroutines outside the pool (see ROADMAP "slot-accounted
+// breaker finishes") and are deliberately outside this gauge.
+type workerGauge struct {
+	child    PhysicalOperator
+	cur, max *atomic.Int64
+}
+
+func (o *workerGauge) Open() error  { return o.child.Open() }
+func (o *workerGauge) Close() error { return o.child.Close() }
+func (o *workerGauge) NextBatch() (*RowSet, error) {
+	n := o.cur.Add(1)
+	for {
+		m := o.max.Load()
+		if n <= m || o.max.CompareAndSwap(m, n) {
+			break
+		}
+	}
+	defer o.cur.Add(-1)
+	return o.child.NextBatch()
+}
+
+// concurrentMix is the TPC-H query mix of the stress tests: Bloom-heavy
+// joins with hash builds, a merge-join plan, and the Q21 wide join.
+func concurrentMix() []int { return []int{3, 5, 8, 12, 21} }
+
+// TestConcurrentQueriesMatchSerial runs N streams of mixed TPC-H queries
+// on one scheduler at MaxConcurrent 4 and asserts: bit-identical results
+// to serial runs, running workers never exceeding the global DOP, and
+// slot-pool/broker accounting returning to zero.
+func TestConcurrentQueriesMatchSerial(t *testing.T) {
+	ds := equivalenceDataset(t)
+	const dop = 8
+	type planned struct {
+		num   int
+		block *query.Block
+		plan  *plan.Plan
+		want  []string
+		skip  query.RelSet
+	}
+	var qs []planned
+	for _, num := range concurrentMix() {
+		q, ok := tpch.Get(num)
+		if !ok {
+			t.Fatalf("unknown TPC-H query %d", num)
+		}
+		block := q.Build(ds.Schema)
+		opts := optimizer.DefaultOptions(0.01)
+		opts.Mode = optimizer.BFCBO
+		res, err := optimizer.Optimize(block, opts)
+		if err != nil {
+			t.Fatalf("Q%d: optimize: %v", num, err)
+		}
+		serial, err := Run(ds.DB, block, res.Plan, Options{DOP: dop})
+		if err != nil {
+			t.Fatalf("Q%d: serial run: %v", num, err)
+		}
+		skip := phantomRels(res.Plan)
+		qs = append(qs, planned{
+			num: num, block: block, plan: res.Plan,
+			want: canonicalRows(serial.Out, skip), skip: skip,
+		})
+	}
+
+	scheduler := sched.New(sched.Config{Slots: dop, MaxConcurrent: 4})
+	broker := mem.NewBroker(0)
+	var cur, maxGauge atomic.Int64
+	const streams = 8
+	before := runtime.NumGoroutine()
+	var wg sync.WaitGroup
+	errCh := make(chan error, streams*len(qs))
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for k := 0; k < len(qs); k++ {
+				pq := qs[(s+k)%len(qs)]
+				opts := Options{DOP: dop, Sched: scheduler, Broker: broker}
+				opts.injectOp = func(pl *plan.Pipeline, worker int, op PhysicalOperator) PhysicalOperator {
+					return &workerGauge{child: op, cur: &cur, max: &maxGauge}
+				}
+				r, err := RunContext(context.Background(), ds.DB, pq.block, pq.plan, opts)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				got := canonicalRows(r.Out, pq.skip)
+				if len(got) != len(pq.want) {
+					t.Errorf("stream %d Q%d: %d tuples, want %d", s, pq.num, len(got), len(pq.want))
+					return
+				}
+				for i := range pq.want {
+					if got[i] != pq.want[i] {
+						t.Errorf("stream %d Q%d: tuple %d diverges from serial run", s, pq.num, i)
+						return
+					}
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("concurrent run failed: %v", err)
+	}
+	if m := maxGauge.Load(); m > dop {
+		t.Fatalf("observed %d concurrently running workers, global DOP is %d", m, dop)
+	}
+	if scheduler.InUse() != 0 || scheduler.Admitted() != 0 || scheduler.SlotWaiters() != 0 {
+		t.Fatalf("scheduler dirty after runs: inUse=%d admitted=%d waiters=%d",
+			scheduler.InUse(), scheduler.Admitted(), scheduler.SlotWaiters())
+	}
+	if broker.Used() != 0 {
+		t.Fatalf("broker holds %d bytes after runs", broker.Used())
+	}
+	waitGoroutines(t, before)
+}
+
+// TestConcurrentCancelWhileQueued parks a slow query in the single
+// admission slot and cancels a second query while it waits in the queue:
+// the context error must surface, the queue must drain, and nothing may
+// leak.
+func TestConcurrentCancelWhileQueued(t *testing.T) {
+	db, b, p := bigScanFixture(t, 50_000)
+	scheduler := sched.New(sched.Config{Slots: 4, MaxConcurrent: 1})
+	before := runtime.NumGoroutine()
+
+	release := make(chan struct{})
+	holderDone := make(chan error, 1)
+	go func() {
+		opts := Options{DOP: 2, MorselSize: 4, Sched: scheduler}
+		opts.injectOp = func(pl *plan.Pipeline, worker int, op PhysicalOperator) PhysicalOperator {
+			return &stallOp{child: op, gate: release}
+		}
+		_, err := RunContext(context.Background(), db, b, p, opts)
+		holderDone <- err
+	}()
+	for scheduler.Admitted() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	queuedDone := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, db, b, p, Options{DOP: 2, Sched: scheduler})
+		queuedDone <- err
+	}()
+	for scheduler.Queued() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-queuedDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued query error = %v, want context.Canceled", err)
+	}
+	if scheduler.Queued() != 0 {
+		t.Fatalf("admission queue did not drain: %d", scheduler.Queued())
+	}
+	close(release)
+	if err := <-holderDone; err != nil {
+		t.Fatalf("holder query failed: %v", err)
+	}
+	if scheduler.InUse() != 0 || scheduler.Admitted() != 0 {
+		t.Fatalf("scheduler dirty: inUse=%d admitted=%d", scheduler.InUse(), scheduler.Admitted())
+	}
+	waitGoroutines(t, before)
+}
+
+// stallOp blocks every batch until its gate opens (keeping the query
+// admitted and its workers running), then streams normally.
+type stallOp struct {
+	child PhysicalOperator
+	gate  <-chan struct{}
+}
+
+func (o *stallOp) Open() error  { return o.child.Open() }
+func (o *stallOp) Close() error { return o.child.Close() }
+func (o *stallOp) NextBatch() (*RowSet, error) {
+	<-o.gate
+	return o.child.NextBatch()
+}
+
+// TestConcurrentDeadlineExpiry gives a slow query a short deadline: the
+// run must stop at the next morsel, surface DeadlineExceeded, return its
+// slots, and leak nothing.
+func TestConcurrentDeadlineExpiry(t *testing.T) {
+	db, b, p := bigScanFixture(t, 100_000)
+	scheduler := sched.New(sched.Config{Slots: 4})
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	opts := Options{DOP: 4, MorselSize: 1, Sched: scheduler}
+	opts.injectOp = func(pl *plan.Pipeline, worker int, op PhysicalOperator) PhysicalOperator {
+		return &faultOp{child: op, batchDelay: 200 * time.Microsecond,
+			opens: new(atomic.Int64), closes: new(atomic.Int64), batches: new(atomic.Int64)}
+	}
+	start := time.Now()
+	_, err := RunContext(ctx, db, b, p, opts)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline-canceled run took %s to wind down", elapsed)
+	}
+	if scheduler.InUse() != 0 || scheduler.Admitted() != 0 {
+		t.Fatalf("scheduler dirty: inUse=%d admitted=%d", scheduler.InUse(), scheduler.Admitted())
+	}
+	waitGoroutines(t, before)
+}
+
+// TestConcurrentQueueTimeout: with the admission slot held, a queued
+// query must fail with sched.ErrQueueTimeout once Config.QueueTimeout
+// elapses.
+func TestConcurrentQueueTimeout(t *testing.T) {
+	db, b, p := bigScanFixture(t, 50_000)
+	scheduler := sched.New(sched.Config{Slots: 2, MaxConcurrent: 1, QueueTimeout: 20 * time.Millisecond})
+	release := make(chan struct{})
+	holderDone := make(chan error, 1)
+	go func() {
+		opts := Options{DOP: 1, MorselSize: 4, Sched: scheduler}
+		opts.injectOp = func(pl *plan.Pipeline, worker int, op PhysicalOperator) PhysicalOperator {
+			return &stallOp{child: op, gate: release}
+		}
+		_, err := RunContext(context.Background(), db, b, p, opts)
+		holderDone <- err
+	}()
+	for scheduler.Admitted() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	_, err := RunContext(context.Background(), db, b, p, Options{DOP: 1, Sched: scheduler})
+	if !errors.Is(err, sched.ErrQueueTimeout) {
+		t.Fatalf("error = %v, want sched.ErrQueueTimeout", err)
+	}
+	close(release)
+	if err := <-holderDone; err != nil {
+		t.Fatalf("holder query failed: %v", err)
+	}
+}
+
+// TestConcurrentSpillingQueriesSerialize: under a tiny shared budget the
+// memory-admission gate serializes spilling queries (min grants larger
+// than the budget queue behind the holder) — and both still produce exact
+// results in their own spill subdirectories.
+func TestConcurrentSpillingQueriesSerialize(t *testing.T) {
+	db, b, p := mergeJoinFixture(t)
+	want, err := Run(db, b, p, Options{DOP: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	broker := mem.NewBroker(tinyBudget)
+	scheduler := sched.New(sched.Config{Slots: 4, Broker: broker})
+	spillRoot := t.TempDir()
+	const streams = 4
+	var wg sync.WaitGroup
+	errs := make([]error, streams)
+	rows := make([]int, streams)
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := RunContext(context.Background(), db, b, p, Options{
+				DOP: 4, Sched: scheduler, Broker: broker, SpillDir: spillRoot,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rows[i] = r.Rows
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < streams; i++ {
+		if errs[i] != nil {
+			t.Fatalf("stream %d: %v", i, errs[i])
+		}
+		if rows[i] != want.Rows {
+			t.Fatalf("stream %d: rows = %d, want %d", i, rows[i], want.Rows)
+		}
+	}
+	if broker.Used() != 0 || scheduler.InUse() != 0 {
+		t.Fatalf("accounting dirty: broker=%d slots=%d", broker.Used(), scheduler.InUse())
+	}
+	assertNoSpillFiles(t, spillRoot)
+}

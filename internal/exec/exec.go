@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"bfcbo/internal/mem"
 	"bfcbo/internal/plan"
 	"bfcbo/internal/query"
+	"bfcbo/internal/sched"
 	"bfcbo/internal/spill"
 	"bfcbo/internal/storage"
 )
@@ -50,6 +52,10 @@ type Result struct {
 	Pipelines []PipelineStat
 	// Aggregates holds one value per Options.Aggregates spec.
 	Aggregates []AggValue
+	// Sched is the run's scheduling report: admission queue wait, worker
+	// slot occupancy and waits, and preempted-slot handoffs under
+	// concurrent queries.
+	Sched sched.Stat
 }
 
 // StatFor returns the runtime counters recorded for a plan node, or nil
@@ -129,16 +135,26 @@ type executor struct {
 	// dependencies complete, so the breaker-output maps above, the filter
 	// maps, and the stat registries are written by concurrent finishes —
 	// smu guards them all. stop is the run-wide cancellation flag set by
-	// the first worker error and checked by every morsel source. slots is
-	// the global worker budget: every pipeline worker holds one slot while
-	// it runs, capping total running workers at DOP across all concurrent
-	// pipelines.
+	// the first worker error (or context cancellation) and checked by
+	// every morsel source; stopCh closes at the same moment, waking
+	// workers blocked on slot acquisition or the grace-join writer
+	// barrier.
 	smu       sync.Mutex
 	firstErr  error
 	stop      atomic.Bool
-	slots     chan struct{}
+	stopCh    chan struct{}
+	stopOnce  sync.Once
 	pipeStats map[int][]*opStats
 	injectOp  func(pl *plan.Pipeline, worker int, op PhysicalOperator) PhysicalOperator
+
+	// Inter-query scheduling state: ticket is this run's admission into
+	// the process-wide scheduler and the handle its workers lease slots
+	// from — the global worker budget is the scheduler's slot capacity,
+	// shared by every concurrently admitted query, so total running
+	// workers stay at DOP across queries, not per query. queryTag scopes
+	// the run's spill subdirectory to its scheduler query ID.
+	ticket   *sched.Query
+	queryTag string
 }
 
 // filter returns a built Bloom filter handle and its runtime record.
@@ -197,6 +213,15 @@ type Options struct {
 	// run's per-query reservation draws from (several concurrent queries
 	// can then share one budget). It overrides MemBudget.
 	Broker *mem.Broker
+	// Sched, when non-nil, is the process-wide query scheduler the run is
+	// admitted through: admission control (max concurrent queries, queue
+	// timeout) plus the shared worker-slot pool all admitted queries lease
+	// from. When nil, the run gets a private scheduler with DOP slots —
+	// the single-query behaviour of earlier versions.
+	Sched *sched.Scheduler
+	// Priority routes the query through the scheduler's priority lane
+	// (admission and slot arbitration).
+	Priority bool
 
 	// injectOp, when set (tests only), wraps each worker's operator chain
 	// of every pipeline — the failure-injection hook for cancellation and
@@ -204,9 +229,28 @@ type Options struct {
 	injectOp func(pl *plan.Pipeline, worker int, op PhysicalOperator) PhysicalOperator
 }
 
+// minSpillableGrant is the per-spillable-breaker memory floor used to
+// register a query's minimum grant with the scheduler: roughly the
+// partition-routing working set a grace join or external sort needs to
+// make progress instead of thrashing.
+const minSpillableGrant = 256 << 10
+
 // Run executes a physical plan over the database and returns the final row
 // set with per-node actuals and Bloom filter statistics.
 func Run(db *storage.Database, block *query.Block, p *plan.Plan, opts Options) (*Result, error) {
+	return RunContext(context.Background(), db, block, p, opts)
+}
+
+// RunContext is Run with admission control and cancellation: the query is
+// admitted through Options.Sched (queueing under the scheduler's
+// concurrency and memory policies) before executing, and ctx cancellation
+// or deadline expiry — while queued or mid-run — trips the run-wide stop
+// flag, winds every pipeline down at the next morsel, and surfaces
+// ctx.Err().
+func RunContext(ctx context.Context, db *storage.Database, block *query.Block, p *plan.Plan, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	dop := opts.DOP
 	if dop <= 0 {
 		dop = runtime.GOMAXPROCS(0)
@@ -222,6 +266,30 @@ func Run(db *storage.Database, block *query.Block, p *plan.Plan, opts Options) (
 	if broker == nil {
 		broker = mem.NewBroker(opts.MemBudget)
 	}
+	scheduler := opts.Sched
+	if scheduler == nil {
+		scheduler = sched.New(sched.Config{Slots: dop, Broker: broker})
+	}
+	// Register the pipeline DAG with the scheduler and wait for admission.
+	// Decomposition happens before admission on purpose: it is cheap, needs
+	// no execution resources, and its summary (spillable breakers) sizes
+	// the minimum memory grant the admission gate checks.
+	desc := sched.QueryDesc{Label: block.Name, Priority: opts.Priority}
+	var pipes []*plan.Pipeline
+	if !opts.Legacy {
+		var err error
+		if pipes, err = plan.Decompose(p); err != nil {
+			return nil, err
+		}
+		dag := plan.SummarizeDAG(pipes)
+		desc.Pipelines, desc.Edges = dag.Pipelines, dag.Edges
+		desc.MinMemory = sched.MinMemoryFor(broker, dag.SpillableSinks, minSpillableGrant)
+	}
+	ticket, err := scheduler.Admit(ctx, desc)
+	if err != nil {
+		return nil, err
+	}
+	defer ticket.Finish()
 	ex := &executor{
 		db: db, block: block, dop: dop, satLimit: opts.SaturationLimit,
 		morsel:      morsel,
@@ -238,12 +306,28 @@ func Run(db *storage.Database, block *query.Block, p *plan.Plan, opts Options) (
 		memq:        broker.NewQuery(block.Name),
 		budget:      broker.Budget(),
 		spillParent: opts.SpillDir,
+		stopCh:      make(chan struct{}),
+		ticket:      ticket,
+		queryTag:    fmt.Sprintf("q%d", ticket.ID()),
 	}
 	// The query account and any spill files are torn down no matter how the
 	// run ends — success, error, or cancellation — so a budgeted run can
 	// never leak reserved bytes or temp files.
 	defer ex.memq.Close()
 	defer ex.cleanupSpill()
+	// Context cancellation and deadlines feed the run-wide stop flag; the
+	// watcher is released when the run returns.
+	if ctx.Done() != nil {
+		watchDone := make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				ex.fail(ctx.Err())
+			case <-watchDone:
+			}
+		}()
+		defer close(watchDone)
+	}
 	for _, s := range p.Blooms {
 		ex.specs[s.ID] = s
 	}
@@ -268,12 +352,13 @@ func Run(db *storage.Database, block *query.Block, p *plan.Plan, opts Options) (
 			}
 			ex.aggs = aggs
 		}
-	} else if err := ex.runPipelined(p); err != nil {
+	} else if err := ex.runPipelined(pipes); err != nil {
 		return nil, err
 	}
 	res := &Result{
 		Out: ex.out, Rows: ex.rows, Actuals: ex.actuals,
 		Pipelines: ex.pipes, Aggregates: ex.aggs,
+		Sched: ticket.Stats(),
 	}
 	for _, st := range ex.stats {
 		res.OpStats = append(res.OpStats, st.snapshot())
@@ -293,6 +378,14 @@ func (ex *executor) record(n plan.Node, rows int) {
 }
 
 func (ex *executor) node(n plan.Node) (*RowSet, error) {
+	// Legacy-path cancellation is node-granular: context expiry between
+	// operator evaluations surfaces here (the pipelined executor cancels
+	// at morsel granularity instead).
+	if ex.stop.Load() {
+		if err := ex.runErr(); err != nil {
+			return nil, err
+		}
+	}
 	switch t := n.(type) {
 	case *plan.Scan:
 		rs, err := ex.scan(t)
@@ -607,9 +700,15 @@ type passAllFilter struct{}
 
 func (passAllFilter) MayContain(int64) bool { return true }
 
-// yieldSlot releases the caller's global worker slot; acquireSlot takes it
-// back. Operators that block on other workers of their pipeline (the grace
-// join's writer barrier) bracket the wait with these so blocked workers
-// never starve the workers they wait for out of the slot pool.
-func (ex *executor) yieldSlot()   { <-ex.slots }
-func (ex *executor) acquireSlot() { ex.slots <- struct{}{} }
+// yieldSlot releases the caller's global worker slot; acquireSlot takes
+// one back (false when the run was canceled while waiting — the caller
+// then holds no slot). Operators that block on other workers of their
+// pipeline (the grace join's writer barrier) bracket the wait with these
+// so blocked workers never starve the workers they wait for out of the
+// pool — which, under the process-wide scheduler, they now share with
+// every other admitted query. maybeYield is the morsel-boundary
+// preemption point: under cross-query contention a worker over its
+// query's fair share hands its slot off and re-acquires.
+func (ex *executor) yieldSlot()        { ex.ticket.Release() }
+func (ex *executor) acquireSlot() bool { return ex.ticket.Acquire(ex.stopCh) }
+func (ex *executor) maybeYield() bool  { return ex.ticket.MaybeYield(ex.stopCh) }

@@ -7,6 +7,7 @@ import (
 
 	"bfcbo/internal/mem"
 	"bfcbo/internal/plan"
+	"bfcbo/internal/sched"
 )
 
 // ExplainAnalyze renders the plan tree annotated with observed runtime —
@@ -28,6 +29,13 @@ func (r *Result) ExplainAnalyze(p *plan.Plan) string {
 	for _, bs := range r.BloomStats {
 		fmt.Fprintf(&b, "  BF#%d [%s] inserted=%d tested=%d passed=%d saturation=%.3f\n",
 			bs.ID, bs.Strategy, bs.Inserted, bs.Tested, bs.Passed, bs.Saturation)
+	}
+	if r.Sched != (sched.Stat{}) {
+		fmt.Fprintf(&b, "scheduler: queue-wait=%s slot-wait=%s slot-busy=%s handoffs=%d\n",
+			r.Sched.QueueWait.Round(time.Microsecond),
+			r.Sched.SlotWait.Round(time.Microsecond),
+			r.Sched.SlotBusy.Round(time.Microsecond),
+			r.Sched.Handoffs)
 	}
 	return b.String()
 }

@@ -158,19 +158,16 @@ func (g *graceHashJoin) markDone() {
 }
 
 // waitWriters blocks until every probe worker finished routing, or the
-// run-wide stop flag cancels the wait. The caller must have yielded its
+// run-wide stop channel cancels the wait. The caller must have yielded its
 // global worker slot: a worker blocked here holds no slot, so concurrent
-// grace pipelines cannot deadlock the slot pool against each other.
+// grace pipelines — of this query or of any other admitted query sharing
+// the pool — cannot deadlock the slot pool against each other.
 func (g *graceHashJoin) waitWriters() bool {
-	for {
-		select {
-		case <-g.writersDone:
-			return true
-		case <-time.After(time.Millisecond):
-			if g.ex.stop.Load() {
-				return false
-			}
-		}
+	select {
+	case <-g.writersDone:
+		return true
+	case <-g.ex.stopCh:
+		return false
 	}
 }
 
@@ -348,10 +345,14 @@ func (o *probeOp) graceNext() (*RowSet, error) {
 			}
 			w.finishWriting()
 			// Yield the global worker slot across the barrier so waiting
-			// here can never starve the workers it is waiting for.
+			// here can never starve the workers it is waiting for. A
+			// canceled run may fail to re-acquire: the worker then exits
+			// via errSlotLost, holding no slot.
 			g.ex.yieldSlot()
 			ok := g.waitWriters()
-			g.ex.acquireSlot()
+			if !g.ex.acquireSlot() {
+				return nil, errSlotLost
+			}
 			if !ok {
 				return nil, nil // run cancelled while waiting
 			}

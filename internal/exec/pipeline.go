@@ -31,7 +31,14 @@ import (
 // failure set the run-wide stop flag; it is never surfaced to callers.
 var errCanceled = errors.New("exec: run canceled by concurrent pipeline failure")
 
-// fail records the run's first real error and cancels every morsel source.
+// errSlotLost marks a worker whose yielded slot could not be re-acquired
+// because the run was canceled while it waited; the worker exits holding
+// no slot and the error is never surfaced (stop is already set and the
+// first real error recorded).
+var errSlotLost = errors.New("exec: worker slot lost to run cancellation")
+
+// fail records the run's first real error, cancels every morsel source,
+// and wakes workers blocked on slot acquisition or spill barriers.
 func (ex *executor) fail(err error) {
 	ex.smu.Lock()
 	if ex.firstErr == nil {
@@ -39,6 +46,7 @@ func (ex *executor) fail(err error) {
 	}
 	ex.smu.Unlock()
 	ex.stop.Store(true)
+	ex.stopOnce.Do(func() { close(ex.stopCh) })
 }
 
 // runErr returns the first recorded error of the run.
@@ -536,19 +544,13 @@ func (s *materializeSink) finish() error {
 	return nil
 }
 
-// runPipelined executes the whole plan: decompose into the pipeline DAG,
-// schedule it, then assemble the stat registries in pipeline-ID order so
-// reports stay deterministic regardless of the concurrent schedule.
-func (ex *executor) runPipelined(p *plan.Plan) error {
-	pipes, err := plan.Decompose(p)
-	if err != nil {
-		return err
-	}
-	budget := ex.dop
-	if budget < 1 {
-		budget = 1
-	}
-	ex.slots = make(chan struct{}, budget)
+// runPipelined executes the decomposed pipeline DAG (already registered
+// with the scheduler at admission), then assembles the stat registries in
+// pipeline-ID order so reports stay deterministic regardless of the
+// concurrent schedule. Worker slots come from the scheduler ticket, so
+// concurrently admitted queries share one DOP-sized pool instead of
+// multiplying workers.
+func (ex *executor) runPipelined(pipes []*plan.Pipeline) error {
 	if err := ex.runDAG(pipes); err != nil {
 		return err
 	}
@@ -732,8 +734,19 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			ex.slots <- struct{}{} // acquire one global worker slot
-			defer func() { <-ex.slots }()
+			// Acquire one global worker slot — leased from the process-wide
+			// scheduler, so concurrently admitted queries cap their total
+			// running workers at the pool capacity, not at DOP each. A
+			// false acquire means the run was canceled while queued.
+			holding := ex.acquireSlot()
+			if !holding {
+				return
+			}
+			defer func() {
+				if holding {
+					ex.yieldSlot()
+				}
+			}()
 			op := newSource()
 			for _, f := range factories {
 				op = f(op)
@@ -765,6 +778,12 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 			for !ex.stop.Load() {
 				b, err := op.NextBatch()
 				if err != nil {
+					if err == errSlotLost {
+						// The grace barrier yielded the slot and the run was
+						// canceled before it could be re-acquired.
+						holding = false
+						return
+					}
 					fail(err)
 					return
 				}
@@ -772,6 +791,12 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 					return
 				}
 				snk.consume(w, b)
+				// Morsel-boundary preemption: hand the slot to a starved
+				// concurrent query when over fair share.
+				if !ex.maybeYield() {
+					holding = false
+					return
+				}
 			}
 		}(w)
 	}
@@ -826,8 +851,10 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 func (ex *executor) newSink(pl *plan.Pipeline, rels query.RelSet, workers int, rec *spillCounters) (sink, error) {
 	base := newPartsSink(rels, workers)
 	if pl.Sink == plan.SinkResult && len(ex.aggSpecs) > 0 {
-		// The aggregation sink's state is O(groups), not O(rows): no
-		// reservation (see ROADMAP "spilling aggregation").
+		// The aggregation sink's state is O(groups), not O(rows); its
+		// per-worker partial maps are force-accounted against the budget
+		// inside newAggSink (the accounting step toward the ROADMAP's
+		// "spilling aggregation").
 		return ex.newAggSink(rels, workers)
 	}
 	res := ex.memq.Reserve(fmt.Sprintf("P%d %s", pl.ID, pl.Sink))

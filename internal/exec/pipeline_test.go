@@ -160,7 +160,7 @@ func TestStreamingAggregationMatchesLegacy(t *testing.T) {
 		{Kind: AggCountStar},
 		{Kind: AggSum, Rel: 0, Col: "price"},
 		{Kind: AggRevenue, Rel: 0, PriceCol: "price", DiscCol: "disc"},
-		{Kind: AggGroupCount, KeyRel: 1, KeyCol: "name"},
+		{Kind: AggGroupCount, KeyRel: 1, KeyCol: "name", EstGroups: 8},
 		{Kind: AggGroupRevenue, KeyRel: 1, KeyCol: "name", Rel: 0, PriceCol: "price", DiscCol: "disc"},
 	}
 	for _, dop := range []int{1, 4} {

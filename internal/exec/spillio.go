@@ -99,13 +99,15 @@ func (c *spillCounters) snapshot() SpillStat {
 	}
 }
 
-// spillDir lazily creates the run's spill directory; the executor removes
-// it unconditionally when the run ends (success, error, or cancel).
+// spillFiles lazily creates the run's spill directory — scoped to the
+// scheduler query ID, so concurrent spilling queries own disjoint
+// subdirectories — and the executor removes it unconditionally when the
+// run ends (success, error, or cancel).
 func (ex *executor) spillFiles() (*spill.Dir, error) {
 	ex.spillMu.Lock()
 	defer ex.spillMu.Unlock()
 	if ex.spillDir == nil {
-		d, err := spill.NewDir(ex.spillParent)
+		d, err := spill.NewDirScoped(ex.spillParent, ex.queryTag)
 		if err != nil {
 			return nil, err
 		}

@@ -10,6 +10,7 @@ package mem
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"sync"
@@ -53,6 +54,21 @@ func (b *Broker) Peak() int64 { return b.peak.Load() }
 // Denials returns how many grant requests were denied (after any spill
 // callback ran).
 func (b *Broker) Denials() int64 { return b.denied.Load() }
+
+// Free returns the bytes the broker could still grant without denial —
+// the admission hook the process-wide query scheduler consults so a query
+// whose minimum grant cannot fit queues instead of thrashing the spill
+// path. Unlimited brokers report MaxInt64; forced overage clamps to 0.
+func (b *Broker) Free() int64 {
+	if b.budget <= 0 {
+		return math.MaxInt64
+	}
+	free := b.budget - b.used.Load()
+	if free < 0 {
+		return 0
+	}
+	return free
+}
 
 // grant attempts to reserve n bytes; force bypasses the budget check.
 func (b *Broker) grant(n int64, force bool) bool {

@@ -232,6 +232,34 @@ func (d *decomposer) build(n Node) (*Pipeline, error) {
 	}
 }
 
+// DAGStats summarizes a decomposed pipeline DAG — the registration record
+// a process-wide scheduler needs to admit the query: its size, its
+// dependency structure, and how many breakers participate in the
+// memory-budget/spill subsystem (which sizes the query's minimum memory
+// grant).
+type DAGStats struct {
+	// Pipelines and Edges are the DAG's node and dependency-edge counts.
+	Pipelines int
+	Edges     int
+	// SpillableSinks counts pipelines whose breaker can spill (see
+	// SinkKind.Spillable) — each needs a minimum grant to run usefully.
+	SpillableSinks int
+}
+
+// SummarizeDAG computes the scheduler registration record of a decomposed
+// plan.
+func SummarizeDAG(pipes []*Pipeline) DAGStats {
+	var d DAGStats
+	d.Pipelines = len(pipes)
+	for _, pl := range pipes {
+		d.Edges += len(pl.Deps)
+		if pl.Sink.Spillable() {
+			d.SpillableSinks++
+		}
+	}
+	return d
+}
+
 // describe renders one node compactly for pipeline explanations.
 func describe(n Node) string {
 	switch t := n.(type) {

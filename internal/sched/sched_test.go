@@ -1,0 +1,313 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"bfcbo/internal/mem"
+)
+
+// never is a stop channel that never fires.
+var never = make(chan struct{})
+
+func mustAdmit(t *testing.T, s *Scheduler, d QueryDesc) *Query {
+	t.Helper()
+	q, err := s.Admit(context.Background(), d)
+	if err != nil {
+		t.Fatalf("admit %q: %v", d.Label, err)
+	}
+	return q
+}
+
+// The pool must be work-conserving (free slots grant immediately, beyond
+// fair share) and accounting must return to zero.
+func TestConcurrentSlotPoolWorkConserving(t *testing.T) {
+	s := New(Config{Slots: 4})
+	q := mustAdmit(t, s, QueryDesc{Label: "a"})
+	for i := 0; i < 4; i++ {
+		if !q.Acquire(never) {
+			t.Fatalf("acquire %d failed on an empty pool", i)
+		}
+	}
+	if s.InUse() != 4 {
+		t.Fatalf("InUse = %d, want 4", s.InUse())
+	}
+	for i := 0; i < 4; i++ {
+		q.Release()
+	}
+	q.Finish()
+	if s.InUse() != 0 || s.Admitted() != 0 {
+		t.Fatalf("pool not drained: inUse=%d admitted=%d", s.InUse(), s.Admitted())
+	}
+}
+
+// Under contention, MaybeYield must hand slots off until the hogging
+// query is down to its fair share — the yielding worker blocks in
+// re-acquisition (the time slice) until the other query releases — and
+// the handoffs must be counted.
+func TestConcurrentFairShareHandoff(t *testing.T) {
+	s := New(Config{Slots: 4})
+	a := mustAdmit(t, s, QueryDesc{Label: "a"})
+	b := mustAdmit(t, s, QueryDesc{Label: "b"})
+	for i := 0; i < 4; i++ {
+		a.Acquire(never)
+	}
+	// b's two workers queue up.
+	got := make(chan bool, 2)
+	for i := 0; i < 2; i++ {
+		go func() { got <- b.Acquire(never) }()
+	}
+	for s.SlotWaiters() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	// Two of a's workers hit the morsel boundary: a is over its share
+	// (4/2 = 2), so each hands its slot to b and blocks re-acquiring.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !a.MaybeYield(never) {
+				t.Error("MaybeYield lost the slot without cancellation")
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		if ok := <-got; !ok {
+			t.Fatal("b's acquire failed")
+		}
+	}
+	// b finishes its batches and releases: a's blocked workers resume.
+	b.Release()
+	b.Release()
+	wg.Wait()
+	if st := a.Stats(); st.Handoffs != 2 {
+		t.Fatalf("handoffs = %d, want 2", st.Handoffs)
+	}
+	// Balanced again: nobody waits, MaybeYield keeps the slot.
+	if !a.MaybeYield(never) {
+		t.Fatal("MaybeYield yielded with no waiters")
+	}
+	for i := 0; i < 4; i++ {
+		a.Release()
+	}
+	a.Finish()
+	b.Finish()
+	if s.InUse() != 0 {
+		t.Fatalf("InUse = %d after teardown", s.InUse())
+	}
+}
+
+// MaxConcurrent must queue FIFO and admit on Finish.
+func TestConcurrentAdmissionFIFO(t *testing.T) {
+	s := New(Config{Slots: 2, MaxConcurrent: 1})
+	first := mustAdmit(t, s, QueryDesc{Label: "first"})
+	type res struct {
+		q   *Query
+		err error
+		tag string
+	}
+	out := make(chan res, 2)
+	admit := func(tag string) {
+		q, err := s.Admit(context.Background(), QueryDesc{Label: tag})
+		out <- res{q, err, tag}
+	}
+	go admit("second")
+	for s.Queued() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	go admit("third")
+	for s.Queued() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	first.Finish()
+	r := <-out
+	if r.err != nil || r.tag != "second" {
+		t.Fatalf("expected second admitted first, got %q err=%v", r.tag, r.err)
+	}
+	if r.q.Stats().QueueWait <= 0 {
+		t.Fatal("queued admission reported zero queue wait")
+	}
+	r.q.Finish()
+	r = <-out
+	if r.err != nil || r.tag != "third" {
+		t.Fatalf("expected third admitted last, got %q err=%v", r.tag, r.err)
+	}
+	r.q.Finish()
+}
+
+// A priority admission must jump the non-priority queue.
+func TestConcurrentPriorityLane(t *testing.T) {
+	s := New(Config{Slots: 2, MaxConcurrent: 1})
+	first := mustAdmit(t, s, QueryDesc{Label: "first"})
+	out := make(chan string, 2)
+	go func() {
+		q := mustAdmit(t, s, QueryDesc{Label: "normal"})
+		out <- "normal"
+		q.Finish()
+	}()
+	for s.Queued() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	go func() {
+		q := mustAdmit(t, s, QueryDesc{Label: "prio", Priority: true})
+		out <- "prio"
+		q.Finish()
+	}()
+	for s.Queued() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	first.Finish()
+	if got := <-out; got != "prio" {
+		t.Fatalf("first admitted = %q, want the priority query", got)
+	}
+	<-out
+}
+
+// QueueTimeout must surface ErrQueueTimeout; context cancellation must
+// surface the context error; both must drain the queue.
+func TestConcurrentQueueTimeoutAndCancel(t *testing.T) {
+	s := New(Config{Slots: 1, MaxConcurrent: 1, QueueTimeout: 20 * time.Millisecond})
+	first := mustAdmit(t, s, QueryDesc{Label: "first"})
+	if _, err := s.Admit(context.Background(), QueryDesc{Label: "timed"}); !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("err = %v, want ErrQueueTimeout", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Admit(ctx, QueryDesc{Label: "canceled"})
+		done <- err
+	}()
+	for s.Queued() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s.Queued() != 0 {
+		t.Fatalf("queue not drained after cancel: %d", s.Queued())
+	}
+	first.Finish()
+}
+
+// Reject policy must fail immediately instead of queueing.
+func TestConcurrentRejectPolicy(t *testing.T) {
+	s := New(Config{Slots: 1, MaxConcurrent: 1, Reject: true})
+	first := mustAdmit(t, s, QueryDesc{Label: "first"})
+	if _, err := s.Admit(context.Background(), QueryDesc{Label: "extra"}); !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+	first.Finish()
+	mustAdmit(t, s, QueryDesc{Label: "after"}).Finish()
+}
+
+// Memory coordination: a query whose minimum grant does not fit the
+// broker budget queues until the holder finishes; the first query always
+// admits even when its minimum exceeds the whole budget.
+func TestConcurrentMemoryAdmission(t *testing.T) {
+	b := mem.NewBroker(100)
+	s := New(Config{Slots: 2, Broker: b})
+	big := mustAdmit(t, s, QueryDesc{Label: "big", MinMemory: 1000}) // first always admits
+	done := make(chan *Query, 1)
+	go func() { done <- mustAdmit(t, s, QueryDesc{Label: "waiting", MinMemory: 50}) }()
+	select {
+	case <-done:
+		t.Fatal("second query admitted into exhausted memory")
+	case <-time.After(20 * time.Millisecond):
+	}
+	big.Finish()
+	q := <-done
+	// A third small query fits alongside (50 + 40 <= 100).
+	mustAdmit(t, s, QueryDesc{Label: "fits", MinMemory: 40}).Finish()
+	q.Finish()
+}
+
+// Acquire must wake with false when the stop channel closes, and clean
+// its waiter up.
+func TestConcurrentAcquireCancel(t *testing.T) {
+	s := New(Config{Slots: 1})
+	a := mustAdmit(t, s, QueryDesc{Label: "a"})
+	a.Acquire(never)
+	stop := make(chan struct{})
+	done := make(chan bool, 1)
+	go func() { done <- a.Acquire(stop) }()
+	for s.SlotWaiters() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	if ok := <-done; ok {
+		t.Fatal("canceled acquire reported a granted slot")
+	}
+	if s.SlotWaiters() != 0 {
+		t.Fatalf("slot waiters = %d after cancel", s.SlotWaiters())
+	}
+	a.Release()
+	a.Finish()
+	if s.InUse() != 0 {
+		t.Fatalf("InUse = %d after teardown", s.InUse())
+	}
+}
+
+// Hammer the pool from many queries under -race: accounting must hold
+// (never above capacity — checked by construction — and zero at the end).
+func TestConcurrentPoolStress(t *testing.T) {
+	s := New(Config{Slots: 3})
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := mustAdmit(t, s, QueryDesc{Label: "q", Priority: i%3 == 0})
+			defer q.Finish()
+			for k := 0; k < 200; k++ {
+				if !q.Acquire(never) {
+					t.Error("acquire failed")
+					return
+				}
+				if !q.MaybeYield(never) {
+					t.Error("yield lost slot")
+					return
+				}
+				q.Release()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.InUse() != 0 || s.Admitted() != 0 || s.SlotWaiters() != 0 {
+		t.Fatalf("pool dirty after stress: inUse=%d admitted=%d waiters=%d",
+			s.InUse(), s.Admitted(), s.SlotWaiters())
+	}
+}
+
+// Occupancy accounting: holding one slot for a while must show up in
+// SlotBusy; waiting must show up in SlotWait.
+func TestConcurrentStatsAccounting(t *testing.T) {
+	s := New(Config{Slots: 1})
+	a := mustAdmit(t, s, QueryDesc{Label: "a"})
+	b := mustAdmit(t, s, QueryDesc{Label: "b"})
+	a.Acquire(never)
+	done := make(chan struct{})
+	go func() {
+		b.Acquire(never)
+		close(done)
+	}()
+	for s.SlotWaiters() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	a.Release()
+	<-done
+	if st := a.Stats(); st.SlotBusy < 5*time.Millisecond {
+		t.Fatalf("a SlotBusy = %s, want >= 5ms", st.SlotBusy)
+	}
+	if st := b.Stats(); st.SlotWait < 5*time.Millisecond {
+		t.Fatalf("b SlotWait = %s, want >= 5ms", st.SlotWait)
+	}
+	b.Release()
+	a.Finish()
+	b.Finish()
+}

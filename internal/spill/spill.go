@@ -41,10 +41,24 @@ type Dir struct {
 
 // NewDir creates a fresh spill directory under parent (""= os.TempDir()).
 func NewDir(parent string) (*Dir, error) {
+	return NewDirScoped(parent, "")
+}
+
+// NewDirScoped is NewDir with a scope tag embedded in the directory name
+// — the executor passes its scheduler query ID (e.g. "q17"), giving every
+// admitted query its own spill subdirectory under SpillDir. Uniqueness
+// already comes from MkdirTemp; the scope makes the per-query ownership
+// explicit, so concurrent spilling queries can never race each other's
+// cleanup and leaked files are attributable.
+func NewDirScoped(parent, scope string) (*Dir, error) {
 	if parent == "" {
 		parent = os.TempDir()
 	}
-	path, err := os.MkdirTemp(parent, "bfcbo-spill-*")
+	pattern := "bfcbo-spill-*"
+	if scope != "" {
+		pattern = fmt.Sprintf("bfcbo-%s-spill-*", scope)
+	}
+	path, err := os.MkdirTemp(parent, pattern)
 	if err != nil {
 		return nil, fmt.Errorf("spill: create dir: %w", err)
 	}
