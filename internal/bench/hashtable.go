@@ -1,0 +1,259 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"bfcbo/internal/exec"
+	"bfcbo/internal/optimizer"
+	"bfcbo/internal/tpch"
+)
+
+// The hashtable ablation: the same BF-CBO plans executed with the flat
+// hashtab kernels (the default) and with the Go-map kernels they
+// replaced (exec.Options.MapKernels), over join-heavy queries at the
+// single-stream DOP anchors of BENCH_PR4. Its report is BENCH_PR5.json,
+// the machine-readable artifact tracking the map-vs-flat speedup across
+// PRs. Row counts must match across kernels cell for cell — the kernels
+// are bit-identical by construction, and the harness enforces it.
+
+// HashtableRow is one (query, DOP, kernel) cell of the ablation.
+type HashtableRow struct {
+	Query  int     `json:"query"`
+	DOP    int     `json:"dop"`
+	Kernel string  `json:"kernel"` // "map" or "flat"
+	ExecMS float64 `json:"exec_ms"`
+	Rows   int     `json:"rows"`
+	// BuildMS sums the hash-build breaker phases of the measured run —
+	// the phase the flat build kernel targets most directly.
+	BuildMS float64 `json:"build_ms"`
+}
+
+// HashtableSpeedup is the per-(query, DOP) map/flat latency ratio.
+type HashtableSpeedup struct {
+	Query   int     `json:"query"`
+	DOP     int     `json:"dop"`
+	Speedup float64 `json:"speedup"` // map exec_ms / flat exec_ms
+}
+
+// DefaultHashtableQueries are the join-heavy TPC-H queries where hash
+// build and probe dominate exec wall time.
+func DefaultHashtableQueries() []int { return []int{7, 9, 21} }
+
+// RunHashtable executes each query's BF-CBO plan over the DOP grid with
+// both kernels, reporting the median executor latency per cell.
+func (h *Harness) RunHashtable(queries, dops []int) ([]HashtableRow, error) {
+	if len(queries) == 0 {
+		queries = DefaultHashtableQueries()
+	}
+	if len(dops) == 0 {
+		dops = []int{1, 8}
+	}
+	var out []HashtableRow
+	for _, num := range queries {
+		q, ok := tpch.Get(num)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown TPC-H query %d", num)
+		}
+		block := q.Build(h.ds.Schema)
+		res, err := optimizer.Optimize(block, h.options(optimizer.BFCBO))
+		if err != nil {
+			return nil, fmt.Errorf("bench: hashtable Q%d: %w", num, err)
+		}
+		for _, dop := range dops {
+			rowsAt := -1
+			for _, kernel := range []string{"map", "flat"} {
+				type sample struct {
+					d time.Duration
+					r *exec.Result
+				}
+				var samples []sample
+				for rep := 0; rep < h.cfg.Reps; rep++ {
+					runtime.GC()
+					start := time.Now()
+					r, err := exec.Run(h.ds.DB, block, res.Plan, exec.Options{
+						DOP: dop, MemBudget: h.cfg.MemBudget, SpillDir: h.cfg.SpillDir,
+						MapKernels: kernel == "map",
+					})
+					elapsed := time.Since(start)
+					if err != nil {
+						return nil, fmt.Errorf("bench: hashtable Q%d dop %d %s: %w", num, dop, kernel, err)
+					}
+					if h.cfg.Reps > 1 && rep == 0 {
+						continue
+					}
+					samples = append(samples, sample{d: elapsed, r: r})
+				}
+				sort.Slice(samples, func(i, j int) bool { return samples[i].d < samples[j].d })
+				// Lower median, like the memory grid: with warm-up dropped
+				// and two samples kept, len/2 would report the worse run.
+				med := samples[(len(samples)-1)/2]
+				if rowsAt < 0 {
+					rowsAt = med.r.Rows
+				} else if med.r.Rows != rowsAt {
+					return nil, fmt.Errorf("bench: hashtable Q%d dop %d: kernels disagree on rows (%d vs %d)",
+						num, dop, med.r.Rows, rowsAt)
+				}
+				row := HashtableRow{
+					Query: num, DOP: dop, Kernel: kernel,
+					ExecMS: med.d.Seconds() * 1000, Rows: med.r.Rows,
+				}
+				for _, ps := range med.r.Pipelines {
+					row.BuildMS += ps.Phases.Build.Seconds() * 1000
+				}
+				out = append(out, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Speedups derives the per-cell map/flat latency ratios from an ablation
+// grid.
+func Speedups(rows []HashtableRow) []HashtableSpeedup {
+	type key struct{ q, d int }
+	ms := map[key]map[string]float64{}
+	for _, r := range rows {
+		k := key{r.Query, r.DOP}
+		if ms[k] == nil {
+			ms[k] = map[string]float64{}
+		}
+		ms[k][r.Kernel] = r.ExecMS
+	}
+	var out []HashtableSpeedup
+	for _, r := range rows {
+		if r.Kernel != "flat" {
+			continue
+		}
+		k := key{r.Query, r.DOP}
+		if flat, mapped := ms[k]["flat"], ms[k]["map"]; flat > 0 && mapped > 0 {
+			out = append(out, HashtableSpeedup{Query: r.Query, DOP: r.DOP, Speedup: mapped / flat})
+		}
+	}
+	return out
+}
+
+// PrintHashtable renders the ablation grid with per-cell speedups.
+func PrintHashtable(w io.Writer, rows []HashtableRow) {
+	fmt.Fprintf(w, "hash-table kernel ablation, BF-CBO plans (speedup = map / flat)\n")
+	fmt.Fprintf(w, "%-4s %4s %10s %10s %10s %10s %8s\n",
+		"Q#", "DOP", "map-ms", "flat-ms", "map-build", "flat-build", "speedup")
+	type key struct{ q, d int }
+	byKey := map[key]map[string]HashtableRow{}
+	var order []key
+	for _, r := range rows {
+		k := key{r.Query, r.DOP}
+		if byKey[k] == nil {
+			byKey[k] = map[string]HashtableRow{}
+			order = append(order, k)
+		}
+		byKey[k][r.Kernel] = r
+	}
+	for _, k := range order {
+		m, f := byKey[k]["map"], byKey[k]["flat"]
+		speedup := 0.0
+		if f.ExecMS > 0 {
+			speedup = m.ExecMS / f.ExecMS
+		}
+		fmt.Fprintf(w, "%-4d %4d %10.3f %10.3f %10.3f %10.3f %7.2fx\n",
+			k.q, k.d, m.ExecMS, f.ExecMS, m.BuildMS, f.BuildMS, speedup)
+	}
+}
+
+// HashtableReport is the machine-readable ablation (BENCH_PR5.json).
+type HashtableReport struct {
+	ScaleFactor float64            `json:"scale_factor"`
+	Seed        uint64             `json:"seed"`
+	Reps        int                `json:"reps"`
+	Hashtable   []HashtableRow     `json:"hashtable"`
+	Speedups    []HashtableSpeedup `json:"speedups"`
+}
+
+// WriteHashtableJSON writes the ablation report to path.
+func (h *Harness) WriteHashtableJSON(path string, rows []HashtableRow) error {
+	r := &HashtableReport{
+		ScaleFactor: h.cfg.ScaleFactor,
+		Seed:        h.cfg.Seed,
+		Reps:        h.cfg.Reps,
+		Hashtable:   rows,
+		Speedups:    Speedups(rows),
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// IsHashtableReport sniffs whether the JSON file at path looks like a
+// HashtableReport (used by bench -validate to dispatch).
+func IsHashtableReport(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return false
+	}
+	_, ok := probe["hashtable"]
+	return ok
+}
+
+// ValidateHashtableJSON checks that an ablation report is well-formed:
+// it parses, every (query, DOP) cell carries both kernels with positive
+// latencies and identical row counts, and every cell has a finite
+// speedup. The CI bench smoke runs this against the tiny-scale grid.
+func ValidateHashtableJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r HashtableReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Hashtable) == 0 {
+		return fmt.Errorf("%s: no hashtable rows", path)
+	}
+	type key struct{ q, d int }
+	kernels := map[key]map[string]HashtableRow{}
+	for i, row := range r.Hashtable {
+		if row.ExecMS <= 0 {
+			return fmt.Errorf("%s: row %d has non-positive exec_ms", path, i)
+		}
+		if row.Kernel != "map" && row.Kernel != "flat" {
+			return fmt.Errorf("%s: row %d has unknown kernel %q", path, i, row.Kernel)
+		}
+		k := key{row.Query, row.DOP}
+		if kernels[k] == nil {
+			kernels[k] = map[string]HashtableRow{}
+		}
+		kernels[k][row.Kernel] = row
+	}
+	for k, m := range kernels {
+		mapped, okM := m["map"]
+		flat, okF := m["flat"]
+		if !okM || !okF {
+			return fmt.Errorf("%s: Q%d dop %d missing a kernel cell", path, k.q, k.d)
+		}
+		if mapped.Rows != flat.Rows {
+			return fmt.Errorf("%s: Q%d dop %d rows diverge across kernels (%d vs %d)",
+				path, k.q, k.d, mapped.Rows, flat.Rows)
+		}
+	}
+	if len(r.Speedups) != len(kernels) {
+		return fmt.Errorf("%s: %d speedup cells for %d grid cells", path, len(r.Speedups), len(kernels))
+	}
+	for _, s := range r.Speedups {
+		if s.Speedup <= 0 {
+			return fmt.Errorf("%s: Q%d dop %d has non-positive speedup", path, s.Query, s.DOP)
+		}
+	}
+	return nil
+}

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+
+	"bfcbo/internal/hashtab"
 )
 
 // NumHashFunctions is fixed at two, matching §3.5 of the paper: "The number
@@ -59,15 +61,27 @@ func (f *Filter) SizeBytes() uint64 { return (f.mask + 1) / 8 }
 // Inserted reports how many Add calls have been made (not distinct keys).
 func (f *Filter) Inserted() uint64 { return f.inserted }
 
-// hash1 and hash2 are two independent 64-bit mixers (splitmix64 finalizer
-// variants with distinct constants). Keys are int64 join-column values.
-func hash1(key int64) uint64 {
-	x := uint64(key) + 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
+// KeyHash is the filter's primary key mixer — hashtab.Hash, the one
+// mixer shared with the executor's join and aggregation tables and its
+// in-memory partition routing. Batch operators hash a key once and feed
+// the same value to the Bloom probe (via MayContainHash) and the join
+// probe, instead of each path rehashing independently.
+func KeyHash(key int64) uint64 { return hashtab.Hash(key) }
+
+// hash1 is KeyHash; kept as the package-internal spelling.
+func hash1(key int64) uint64 { return hashtab.Hash(key) }
+
+// rehash derives the filter's second probe position from the primary
+// hash (murmur3 finalizer step), so both of the §3.5 "exactly two" hash
+// functions cost the caller a single key mix.
+func rehash(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	return h ^ (h >> 33)
 }
 
+// hash2 is an independent second mixer used only by CombineKeys, where
+// two columns must be folded through genuinely distinct functions.
 func hash2(key int64) uint64 {
 	x := uint64(key) + 0xc2b2ae3d27d4eb4f
 	x = (x ^ (x >> 33)) * 0xff51afd7ed558ccd
@@ -76,9 +90,12 @@ func hash2(key int64) uint64 {
 }
 
 // Add inserts a key into the filter.
-func (f *Filter) Add(key int64) {
-	h1 := hash1(key) & f.mask
-	h2 := hash2(key) & f.mask
+func (f *Filter) Add(key int64) { f.AddHash(KeyHash(key)) }
+
+// AddHash inserts a key by its precomputed KeyHash.
+func (f *Filter) AddHash(h uint64) {
+	h1 := h & f.mask
+	h2 := rehash(h) & f.mask
 	f.bitsArr[h1>>6] |= 1 << (h1 & 63)
 	f.bitsArr[h2>>6] |= 1 << (h2 & 63)
 	f.inserted++
@@ -87,11 +104,18 @@ func (f *Filter) Add(key int64) {
 // MayContain reports whether the key may have been inserted. False means
 // definitely absent; true may be a false positive.
 func (f *Filter) MayContain(key int64) bool {
-	h1 := hash1(key) & f.mask
+	return f.MayContainHash(KeyHash(key))
+}
+
+// MayContainHash is MayContain over a precomputed KeyHash — the batch
+// probe path, where the caller's hash vector is shared with the join
+// table probe.
+func (f *Filter) MayContainHash(h uint64) bool {
+	h1 := h & f.mask
 	if f.bitsArr[h1>>6]&(1<<(h1&63)) == 0 {
 		return false
 	}
-	h2 := hash2(key) & f.mask
+	h2 := rehash(h) & f.mask
 	return f.bitsArr[h2>>6]&(1<<(h2&63)) != 0
 }
 

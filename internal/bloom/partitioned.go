@@ -42,15 +42,24 @@ func (p *Partitioned) PartitionOf(key int64) int {
 }
 
 // Add routes the key to its partition's filter.
-func (p *Partitioned) Add(key int64) {
-	p.parts[p.PartitionOf(key)].Add(key)
+func (p *Partitioned) Add(key int64) { p.AddHash(KeyHash(key)) }
+
+// AddHash is Add over a precomputed KeyHash: the hash selects the
+// partition and sets the partition filter's bits, one mix total.
+func (p *Partitioned) AddHash(h uint64) {
+	p.parts[h%uint64(len(p.parts))].AddHash(h)
 }
 
 // MayContain probes with distributed lookup: the partition is derived from
 // the key itself (§3.9 strategy 3, "partition-unaligned" with the
 // partitioning column available on the apply side).
 func (p *Partitioned) MayContain(key int64) bool {
-	return p.parts[p.PartitionOf(key)].MayContain(key)
+	return p.MayContainHash(KeyHash(key))
+}
+
+// MayContainHash is the distributed lookup over a precomputed KeyHash.
+func (p *Partitioned) MayContainHash(h uint64) bool {
+	return p.parts[h%uint64(len(p.parts))].MayContainHash(h)
 }
 
 // MayContainAligned probes partition part directly (§3.9 strategy 4,

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"bfcbo/internal/hashtab"
 	"bfcbo/internal/mem"
 	"bfcbo/internal/query"
 	"bfcbo/internal/storage"
@@ -15,6 +16,13 @@ import (
 // sums, group counts) that the paper's queries report above their join
 // blocks. Full GROUP BY planning is outside the reproduction's scope; these
 // helpers aggregate the executor's final row set directly.
+//
+// The streaming sink's group hot loops run on flat hashtab.AggTables
+// keyed by interned group codes; Go maps survive only in setup (the
+// interning dictionary), in result materialization (AggValue's public
+// map fields, O(groups) once per query), in the post-hoc helpers below
+// (map-based reference implementations the kernel A/B tests diff
+// against), and in the Options.MapKernels ablation baseline.
 
 // SumFloat sums a float64 column of one relation over all result rows.
 func SumFloat(rs *RowSet, tbl *storage.Table, rel int, col string) (float64, error) {
@@ -126,12 +134,71 @@ type AggValue struct {
 	GroupSums map[string]float64
 }
 
+// groupDict is one string key column interned into dense int codes: the
+// setup step that turns every per-row group lookup into an integer probe
+// of the flat aggregation table. codes is indexed by base-table row id;
+// names maps a code back to its string for result assembly. The null
+// (outer-join-extended) group uses code nullGroupCode.
+type groupDict struct {
+	names []string
+	codes []int32
+}
+
+// nullGroupCode keys the "<null>" group in the flat aggregation tables.
+const nullGroupCode = int64(-1)
+
+// nullGroupName is the reported name of the null-extended group.
+const nullGroupName = "<null>"
+
+// groupDictFor interns a string column once per run (cached across
+// specs sharing a key column). The interning map is setup-only: the
+// per-row fold path never hashes a string again.
+func (ex *executor) groupDictFor(rel int, col string, vals []string) *groupDict {
+	key := fmt.Sprintf("%d.%s", rel, col)
+	ex.smu.Lock()
+	defer ex.smu.Unlock()
+	if d, ok := ex.dicts[key]; ok {
+		return d
+	}
+	d := &groupDict{codes: make([]int32, len(vals))}
+	seen := make(map[string]int32, 64)
+	for i, s := range vals {
+		if s == nullGroupName {
+			// A literal "<null>" value must share the null-extended rows'
+			// code, exactly as the map kernels merge both under one key.
+			d.codes[i] = int32(nullGroupCode)
+			continue
+		}
+		code, ok := seen[s]
+		if !ok {
+			code = int32(len(d.names))
+			seen[s] = code
+			d.names = append(d.names, s)
+		}
+		d.codes[i] = code
+	}
+	if ex.dicts == nil {
+		ex.dicts = make(map[string]*groupDict)
+	}
+	ex.dicts[key] = d
+	return d
+}
+
+// name maps a group code back to its string.
+func (d *groupDict) name(code int64) string {
+	if code == nullGroupCode {
+		return nullGroupName
+	}
+	return d.names[code]
+}
+
 // aggCols is one spec with its column vectors resolved against storage.
 type aggCols struct {
 	spec        AggSpec
 	vals        []float64 // AggSum value column
 	price, disc []float64
 	keys        []string
+	dict        *groupDict // interned group key column (flat kernels)
 }
 
 func (ex *executor) resolveAgg(spec AggSpec) (aggCols, error) {
@@ -172,19 +239,28 @@ func (ex *executor) resolveAgg(spec AggSpec) (aggCols, error) {
 				ex.tables[spec.KeyRel].Name, spec.KeyCol)
 		}
 		a.keys = c.Strings
+		if !ex.mapKernels {
+			a.dict = ex.groupDictFor(spec.KeyRel, spec.KeyCol, c.Strings)
+		}
 	}
 	return a, nil
 }
 
-// aggPartial is one worker's accumulator for one spec.
+// aggPartial is one worker's accumulator for one spec. Group aggregates
+// accumulate in a flat hashtab.AggTable keyed by interned group codes;
+// the map fields are the Options.MapKernels ablation baseline.
 type aggPartial struct {
 	count     int64
 	sum       float64
+	tab       *hashtab.AggTable
 	groups    map[string]int
 	groupSums map[string]float64
 }
 
-// fold accumulates one batch into the partial.
+// fold accumulates one batch into the partial. The group paths are the
+// engine's per-row aggregation hot loop: with the flat kernels each row
+// costs one code load plus one integer directory probe — no string
+// hashing, no map buckets.
 func (a *aggCols) fold(p *aggPartial, b *RowSet) {
 	switch a.spec.Kind {
 	case AggCountStar:
@@ -204,22 +280,49 @@ func (a *aggCols) fold(p *aggPartial, b *RowSet) {
 			p.sum += a.price[id] * (1 - a.disc[id])
 		}
 	case AggGroupCount:
+		if a.dict != nil {
+			if p.tab == nil {
+				p.tab = hashtab.NewAgg(len(a.dict.names) + 1)
+			}
+			codes := a.dict.codes
+			for _, id := range b.Col(a.spec.KeyRel) {
+				code := nullGroupCode
+				if id >= 0 {
+					code = int64(codes[id])
+				}
+				p.tab.Add(code, 1, 0)
+			}
+			return
+		}
 		if p.groups == nil {
 			p.groups = make(map[string]int)
 		}
 		for _, id := range b.Col(a.spec.KeyRel) {
 			if id < 0 {
-				p.groups["<null>"]++
+				p.groups[nullGroupName]++
 				continue
 			}
 			p.groups[a.keys[id]]++
 		}
 	case AggGroupRevenue:
+		keys := b.Col(a.spec.KeyRel)
+		vals := b.Col(a.spec.Rel)
+		if a.dict != nil {
+			if p.tab == nil {
+				p.tab = hashtab.NewAgg(len(a.dict.names) + 1)
+			}
+			codes := a.dict.codes
+			for i := range keys {
+				if keys[i] < 0 || vals[i] < 0 {
+					continue
+				}
+				p.tab.Add(int64(codes[keys[i]]), 0, a.price[vals[i]]*(1-a.disc[vals[i]]))
+			}
+			return
+		}
 		if p.groupSums == nil {
 			p.groupSums = make(map[string]float64)
 		}
-		keys := b.Col(a.spec.KeyRel)
-		vals := b.Col(a.spec.Rel)
 		for i := range keys {
 			if keys[i] < 0 || vals[i] < 0 {
 				continue
@@ -313,12 +416,30 @@ func (s *aggSink) finish() error {
 		}
 		switch s.cols[i].spec.Kind {
 		case AggGroupCount:
+			if dict := s.cols[i].dict; dict != nil {
+				if merged := s.mergeFlat(i, dop); merged != nil {
+					v.Groups = make(map[string]int, merged.Len())
+					merged.Each(func(k, c int64, _ float64) {
+						v.Groups[dict.name(k)] = int(c)
+					})
+				}
+				break
+			}
 			parts := make([]map[string]int, len(s.partials))
 			for w := range s.partials {
 				parts[w] = s.partials[w][i].groups
 			}
 			v.Groups = mergeGroupsPar(parts, dop)
 		case AggGroupRevenue:
+			if dict := s.cols[i].dict; dict != nil {
+				if merged := s.mergeFlat(i, dop); merged != nil {
+					v.GroupSums = make(map[string]float64, merged.Len())
+					merged.Each(func(k, _ int64, sum float64) {
+						v.GroupSums[dict.name(k)] = sum
+					})
+				}
+				break
+			}
 			parts := make([]map[string]float64, len(s.partials))
 			for w := range s.partials {
 				parts[w] = s.partials[w][i].groupSums
@@ -327,19 +448,23 @@ func (s *aggSink) finish() error {
 		}
 	}
 	s.ph.Merge = time.Since(start)
-	// Top the reservation up to the observed group count (partials plus
-	// the merged result) so budget reports stay truthful when the estimate
-	// ran low on a high-cardinality GROUP BY.
-	var groups int64
+	// Top the reservation up to the observed state — exact directory
+	// footprints for the flat partial tables, the aggGroupBytes
+	// approximation for the map baseline and the merged result maps — so
+	// budget reports stay truthful when the estimate ran low on a
+	// high-cardinality GROUP BY.
+	var actual int64
 	for w := range s.partials {
 		for i := range s.partials[w] {
-			groups += int64(len(s.partials[w][i].groups) + len(s.partials[w][i].groupSums))
+			p := &s.partials[w][i]
+			actual += p.tab.Bytes()
+			actual += int64(len(p.groups)+len(p.groupSums)) * aggGroupBytes
 		}
 	}
 	for i := range out {
-		groups += int64(len(out[i].Groups) + len(out[i].GroupSums))
+		actual += int64(len(out[i].Groups)+len(out[i].GroupSums)) * aggGroupBytes
 	}
-	if actual := groups * aggGroupBytes; actual > s.est {
+	if actual > s.est {
 		s.res.Force(actual - s.est)
 	}
 	s.ex.aggs = out
@@ -349,6 +474,64 @@ func (s *aggSink) finish() error {
 	}
 	s.ex.rows = int(rows)
 	return nil
+}
+
+// mergeFlat merges spec i's per-worker flat group tables.
+func (s *aggSink) mergeFlat(i, dop int) *hashtab.AggTable {
+	tabs := make([]*hashtab.AggTable, len(s.partials))
+	for w := range s.partials {
+		tabs[w] = s.partials[w][i].tab
+	}
+	return mergeAggTables(tabs, dop)
+}
+
+// mergeAggTables merges per-worker flat group tables. Small merges stay
+// serial; above the breaker fan-out threshold each of dop shard workers
+// scans every table and folds its hash-share of the keys — scanning a
+// flat directory is a contiguous array walk, so the redundant scans are
+// cheaper than a shuffle. Per key, the addition order is ascending
+// worker in both paths — exactly the serial order — so float results are
+// bit-identical to the serial merge (and to the map baseline's).
+func mergeAggTables(parts []*hashtab.AggTable, dop int) *hashtab.AggTable {
+	total := 0
+	for _, t := range parts {
+		total += t.Len()
+	}
+	if total == 0 {
+		return nil
+	}
+	// Weight 8: one directory probe per group entry, like the map merge.
+	if !parallelFinishThreshold(total, 8, dop) {
+		out := hashtab.NewAgg(total)
+		for _, t := range parts {
+			t.Each(out.Add)
+		}
+		return out
+	}
+	nsh := dop
+	shards := make([]*hashtab.AggTable, nsh)
+	var wg sync.WaitGroup
+	for sh := 0; sh < nsh; sh++ {
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			out := hashtab.NewAgg(total/nsh + 1)
+			for _, t := range parts { // ascending worker order per key
+				t.Each(func(k, c int64, sum float64) {
+					if int(hashtab.Hash(k)%uint64(nsh)) == sh {
+						out.Add(k, c, sum)
+					}
+				})
+			}
+			shards[sh] = out
+		}(sh)
+	}
+	wg.Wait()
+	out := hashtab.NewAgg(total)
+	for _, t := range shards { // shards hold disjoint keys
+		t.Each(out.Add)
+	}
+	return out
 }
 
 // hashShard assigns a group key to one of n merge shards (FNV-1a).
@@ -443,7 +626,18 @@ func (ex *executor) aggregateRowSet(rs *RowSet, specs []AggSpec) ([]AggValue, er
 		}
 		var p aggPartial
 		a.fold(&p, rs)
-		out[i] = AggValue{Count: p.count, Sum: p.sum, Groups: p.groups, GroupSums: p.groupSums}
+		v := AggValue{Count: p.count, Sum: p.sum, Groups: p.groups, GroupSums: p.groupSums}
+		if p.tab.Len() > 0 {
+			switch spec.Kind {
+			case AggGroupCount:
+				v.Groups = make(map[string]int, p.tab.Len())
+				p.tab.Each(func(k, c int64, _ float64) { v.Groups[a.dict.name(k)] = int(c) })
+			case AggGroupRevenue:
+				v.GroupSums = make(map[string]float64, p.tab.Len())
+				p.tab.Each(func(k, _ int64, sum float64) { v.GroupSums[a.dict.name(k)] = sum })
+			}
+		}
+		out[i] = v
 	}
 	return out, nil
 }

@@ -35,8 +35,8 @@ func aggFixture(t *testing.T) (*storage.Database, *storage.Table, *storage.Table
 	// Joined result: (item0, FR), (item1, DE), (item2, FR), plus one
 	// null-extended row.
 	rs := NewRowSet(query.NewRelSet(0, 1))
-	rs.cols[rs.relPos[0]] = []int32{0, 1, 2, 0}
-	rs.cols[rs.relPos[1]] = []int32{0, 1, 0, -1}
+	rs.cols[rs.rels.Rank(0)] = []int32{0, 1, 2, 0}
+	rs.cols[rs.rels.Rank(1)] = []int32{0, 1, 0, -1}
 	return db, items, names, rs
 }
 

@@ -89,17 +89,22 @@ func (r *Result) ActualFor(n plan.Node) float64 {
 	return -1
 }
 
-// bloomHandle abstracts single, merged and partitioned filters for probing.
+// bloomHandle abstracts single, merged and partitioned filters for
+// probing. MayContainHash is the batch path: the caller mixes the key
+// once (bloom.KeyHash, the hash shared with the join tables) and both
+// filter probe positions derive from that one value.
 type bloomHandle interface {
 	MayContain(key int64) bool
+	MayContainHash(h uint64) bool
 }
 
 type executor struct {
-	db       *storage.Database
-	block    *query.Block
-	dop      int
-	satLimit float64
-	morsel   int
+	db         *storage.Database
+	block      *query.Block
+	dop        int
+	satLimit   float64
+	morsel     int
+	mapKernels bool
 
 	tables  []*storage.Table // by relation index
 	filters map[int]bloomHandle
@@ -118,6 +123,9 @@ type executor struct {
 	aggs     []AggValue
 	out      *RowSet
 	rows     int
+	// dicts caches interned group-key columns (rel.col -> dictionary)
+	// for the flat aggregation kernels; guarded by smu.
+	dicts map[string]*groupDict
 
 	// Memory-budget state: the per-query account on the memory broker, the
 	// configured budget (for partition sizing), and the run's lazily
@@ -222,6 +230,11 @@ type Options struct {
 	// Priority routes the query through the scheduler's priority lane
 	// (admission and slot arbitration).
 	Priority bool
+	// MapKernels selects the Go-map-based join and aggregation kernels
+	// the flat hashtab tables replaced — the baseline side of the
+	// map-vs-flat ablation (cmd/bench -experiment hashtable). Results
+	// are bit-identical across kernels; only the data layout differs.
+	MapKernels bool
 
 	// injectOp, when set (tests only), wraps each worker's operator chain
 	// of every pipeline — the failure-injection hook for cancellation and
@@ -293,6 +306,7 @@ func RunContext(ctx context.Context, db *storage.Database, block *query.Block, p
 	ex := &executor{
 		db: db, block: block, dop: dop, satLimit: opts.SaturationLimit,
 		morsel:      morsel,
+		mapKernels:  opts.MapKernels,
 		filters:     make(map[int]bloomHandle),
 		fstats:      make(map[int]*BloomRuntime),
 		specs:       make(map[int]plan.BloomSpec),
@@ -475,7 +489,7 @@ func (ex *executor) scan(s *plan.Scan) (*RowSet, error) {
 					if bfs[k].vals2 != nil {
 						key = bloom.CombineKeys(key, bfs[k].vals2[i])
 					}
-					if !bfs[k].h.MayContain(key) {
+					if !bfs[k].h.MayContainHash(bloom.KeyHash(key)) {
 						continue rows
 					}
 					localPassed[k]++
@@ -542,6 +556,15 @@ func (ex *executor) join(j *plan.Join) (*RowSet, error) {
 //   - single-threaded       -> one filter ("merged" degenerate case of
 //     strategy 2: the union of one partial filter per thread)
 func (ex *executor) buildBlooms(j *plan.Join, inner *RowSet) error {
+	return ex.buildBloomsShared(j, inner, nil)
+}
+
+// buildBloomsShared is buildBlooms with an optional already-built key
+// gather: when ht is non-nil and a filter's build column is the join's
+// hash-key column, the build side's precomputed hash vector feeds the
+// filter inserts directly — each build key was mixed once, for the Bloom
+// bits, the partition routing, and the join directory alike.
+func (ex *executor) buildBloomsShared(j *plan.Join, inner *RowSet, ht *hashTable) error {
 	for _, id := range j.BuildBlooms {
 		spec, ok := ex.specs[id]
 		if !ok {
@@ -563,6 +586,14 @@ func (ex *executor) buildBlooms(j *plan.Join, inner *RowSet) error {
 			}
 		}
 		ids := inner.Col(spec.BuildRel)
+		// hashes[i], when non-nil, is bloom.KeyHash(keyOf(ids[i])) —
+		// exactly the join build's hash vector when this filter's build
+		// column is the hash condition's key column.
+		var hashes []uint64
+		if ht != nil && len(j.Conds) > 0 && spec.BuildCol2 == "" &&
+			spec.BuildRel == j.Conds[0].InnerRel && spec.BuildCol == j.Conds[0].InnerCol {
+			hashes = ht.innerHashes
+		}
 		ndv := uint64(spec.EstBuildNDV)
 		if ndv == 0 {
 			ndv = uint64(len(ids)) + 1
@@ -571,7 +602,7 @@ func (ex *executor) buildBlooms(j *plan.Join, inner *RowSet) error {
 		var handle bloomHandle
 		switch {
 		case ex.dop <= 1:
-			f, err := bloomFromIDs(ids, keyOf, ndv, 1)
+			f, err := bloomFromIDs(ids, keyOf, hashes, ndv, 1)
 			if err != nil {
 				return err
 			}
@@ -583,7 +614,7 @@ func (ex *executor) buildBlooms(j *plan.Join, inner *RowSet) error {
 			// end — strategy 1 constrains which data is inserted, not how
 			// many local threads insert it, and the bit-vector union yields
 			// the identical filter.
-			f, err := bloomFromIDs(ids, keyOf, ndv, ex.dop)
+			f, err := bloomFromIDs(ids, keyOf, hashes, ndv, ex.dop)
 			if err != nil {
 				return err
 			}
@@ -593,7 +624,7 @@ func (ex *executor) buildBlooms(j *plan.Join, inner *RowSet) error {
 			// redundant — each builds a partial filter over its local
 			// slice and the partials are merged by bit-vector union
 			// (§3.9 strategy 2).
-			f, err := bloomFromIDs(ids, keyOf, ndv, ex.dop)
+			f, err := bloomFromIDs(ids, keyOf, hashes, ndv, ex.dop)
 			if err != nil {
 				return err
 			}
@@ -611,32 +642,38 @@ func (ex *executor) buildBlooms(j *plan.Join, inner *RowSet) error {
 				return err
 			}
 			var wg sync.WaitGroup
-			chunks := make([][][]int64, ex.dop) // producer -> partition -> keys
+			// The shuffle carries hashes, not keys: the hash selects the
+			// partition and sets the partition filter's bits, so each key
+			// is mixed exactly once even through the exchange.
+			chunks := make([][][]uint64, ex.dop) // producer -> partition -> key hashes
 			n := len(ids)
 			for c := 0; c < ex.dop; c++ {
 				lo := c * n / ex.dop
 				hi := (c + 1) * n / ex.dop
-				chunks[c] = make([][]int64, ex.dop)
+				chunks[c] = make([][]uint64, ex.dop)
 				wg.Add(1)
 				go func(c, lo, hi int) {
 					defer wg.Done()
-					for _, rid := range ids[lo:hi] {
-						key := keyOf(rid)
-						part := pf.PartitionOf(key)
-						chunks[c][part] = append(chunks[c][part], key)
+					for i := lo; i < hi; i++ {
+						h := bloom.KeyHash(keyOf(ids[i]))
+						if hashes != nil {
+							h = hashes[i]
+						}
+						part := int(h % uint64(ex.dop))
+						chunks[c][part] = append(chunks[c][part], h)
 					}
 				}(c, lo, hi)
 			}
 			wg.Wait()
-			// Each partition owner inserts its shuffled keys.
+			// Each partition owner inserts its shuffled key hashes.
 			for part := 0; part < ex.dop; part++ {
 				wg.Add(1)
 				go func(part int) {
 					defer wg.Done()
 					f := pf.Part(part)
 					for c := 0; c < ex.dop; c++ {
-						for _, key := range chunks[c][part] {
-							f.Add(key)
+						for _, h := range chunks[c][part] {
+							f.AddHash(h)
 						}
 					}
 				}(part)
@@ -661,15 +698,26 @@ func (ex *executor) buildBlooms(j *plan.Join, inner *RowSet) error {
 // per-worker partial filters merged by bit-vector union. The union of
 // equally sized partials is bit-identical to a serial build (OR is
 // commutative) and Inserted counts sum, so runtime stats stay deterministic
-// across DOP.
-func bloomFromIDs(ids []int32, keyOf func(int32) int64, ndv uint64, dop int) (*bloom.Filter, error) {
+// across DOP. hashes, when non-nil, is the build side's precomputed
+// KeyHash vector (aligned with ids) — the inserts then never rehash.
+func bloomFromIDs(ids []int32, keyOf func(int32) int64, hashes []uint64, ndv uint64, dop int) (*bloom.Filter, error) {
 	n := len(ids)
-	// Weight 4: two hashes and two bit sets per row, plus the final union.
+	insertRange := func(f *bloom.Filter, lo, hi int) {
+		if hashes != nil {
+			for _, h := range hashes[lo:hi] {
+				f.AddHash(h)
+			}
+			return
+		}
+		for _, rid := range ids[lo:hi] {
+			f.AddHash(bloom.KeyHash(keyOf(rid)))
+		}
+	}
+	// Weight 4: one key mix, one derived rehash and two bit sets per row,
+	// plus the final union.
 	if dop <= 1 || !parallelFinishThreshold(n, 4, dop) {
 		f := bloom.NewForNDV(ndv)
-		for _, rid := range ids {
-			f.Add(keyOf(rid))
-		}
+		insertRange(f, 0, n)
 		return f, nil
 	}
 	partials := make([]*bloom.Filter, dop)
@@ -680,9 +728,7 @@ func bloomFromIDs(ids []int32, keyOf func(int32) int64, ndv uint64, dop int) (*b
 		wg.Add(1)
 		go func(f *bloom.Filter, lo, hi int) {
 			defer wg.Done()
-			for _, rid := range ids[lo:hi] {
-				f.Add(keyOf(rid))
-			}
+			insertRange(f, lo, hi)
 		}(partials[c], lo, hi)
 	}
 	wg.Wait()
@@ -698,7 +744,8 @@ func bloomFromIDs(ids []int32, keyOf func(int32) int64, ndv uint64, dop int) (*b
 // passAllFilter stands in for a skipped (over-saturated) Bloom filter.
 type passAllFilter struct{}
 
-func (passAllFilter) MayContain(int64) bool { return true }
+func (passAllFilter) MayContain(int64) bool      { return true }
+func (passAllFilter) MayContainHash(uint64) bool { return true }
 
 // yieldSlot releases the caller's global worker slot; acquireSlot takes
 // one back (false when the run was canceled while waiting — the caller

@@ -102,15 +102,21 @@ func (ex *executor) newGraceBuild(j *plan.Join, estRows float64, rec *spillCount
 }
 
 // routeBuild partitions one build-side row set into the build files.
-// Safe for concurrent use (chunk appends are atomic per partition).
+// Safe for concurrent use (chunk appends are atomic per partition). The
+// key gather runs in pooled scratch: routing happens on shared sink
+// state across many workers and batches, so per-call allocation would
+// dominate the spill path's steady state.
 func (g *graceHashJoin) routeBuild(rs *RowSet) error {
 	ids := rs.Col(g.j.Conds[0].InnerRel)
-	keys := make([]int64, len(ids))
-	for i, id := range ids {
-		keys[i] = g.buildKeyVals[id]
+	kp := keyVecPool.Get().(*[]int64)
+	keys := (*kp)[:0]
+	for _, id := range ids {
+		keys = append(keys, g.buildKeyVals[id])
 	}
 	n, err := routeCols(rs.cols, keys, 0, g.build)
 	g.buildRec.addBytes(n)
+	*kp = keys[:0]
+	keyVecPool.Put(kp)
 	return err
 }
 
@@ -198,7 +204,8 @@ type activePair struct {
 type graceProbeWorker struct {
 	g        *graceHashJoin
 	bufs     []*RowSet
-	done     bool // this worker finished writing (markDone sent)
+	scr      probeScratch // per-worker probe scratch for the drain
+	done     bool         // this worker finished writing (markDone sent)
 	draining bool
 	stack    []spillPair
 	act      *activePair
@@ -310,7 +317,7 @@ func (o *probeOp) graceNext() (*RowSet, error) {
 				scratch.cols[c] = scratch.cols[c][:0]
 			}
 			appendRawChunk(scratch, cols)
-			out := sh.probeBatch(w.act.ht, scratch)
+			out := sh.probeBatch(w.act.ht, scratch, &w.scr)
 			// Probe rows were already counted as RowsIn while routing;
 			// the drain only adds output rows.
 			sh.stats.observe(0, out.Len(), time.Since(start))
@@ -407,6 +414,17 @@ func (g *graceHashJoin) startPair(p spillPair, w *graceProbeWorker) error {
 		g.res.Release(est)
 		return err
 	}
+	// Replace the hashEntryBytes estimate with the built table's exact
+	// footprint; the active pair releases the adjusted figure when its
+	// probe stream drains.
+	exact := rowSetBytes(bRows, g.buildRels.Count()) +
+		ht.tableBytes() + 8*int64(bRows)*int64(1+len(ht.innerExtras))
+	if exact > est {
+		g.res.Force(exact - est)
+	} else {
+		g.res.Release(est - exact)
+	}
+	est = exact
 	r, err := p.probe.Reader()
 	if err != nil {
 		g.res.Release(est)

@@ -4,16 +4,17 @@ import (
 	"fmt"
 	"sync"
 
+	"bfcbo/internal/hashtab"
 	"bfcbo/internal/plan"
 	"bfcbo/internal/query"
 )
 
-// hashKey mixes a join key for table placement (same family as the Bloom
-// hash but independent constants, so filter and table collisions decorrelate).
-func hashKey(k int64) uint64 {
-	x := uint64(k) * 0x9e3779b97f4a7c15
-	return x ^ (x >> 29)
-}
+// hashKey is the shared key mixer for table placement — hashtab.Hash,
+// the same mixer the flat join/aggregation directories and the Bloom
+// runtime's first hash use, so a key hashed once per batch serves every
+// consumer. (The spill router keeps its own independent family; see
+// spillHash.)
+func hashKey(k int64) uint64 { return hashtab.Hash(k) }
 
 // hashJoin executes an equi hash join. The first condition supplies the hash
 // key; remaining conditions are verified per candidate pair. Inner joins run
@@ -33,6 +34,10 @@ func (ex *executor) hashJoin(j *plan.Join, outer, inner *RowSet) (*RowSet, error
 	c0 := j.Conds[0]
 	outerKeys := keyColumn(outer, ex.tables[c0.OuterRel], c0.OuterRel, c0.OuterCol)
 	innerKeys := keyColumn(inner, ex.tables[c0.InnerRel], c0.InnerRel, c0.InnerCol)
+	// Hash once, use everywhere: one vector per side feeds partition
+	// routing, the flat-table build, and the probe loop.
+	outerHashes := hashtab.HashVec(outerKeys, nil)
+	innerHashes := hashtab.HashVec(innerKeys, nil)
 
 	// Extra conditions are verified by comparing materialized key columns.
 	type extra struct{ o, i []int64 }
@@ -55,9 +60,11 @@ func (ex *executor) hashJoin(j *plan.Join, outer, inner *RowSet) (*RowSet, error
 	dop := ex.dop
 	if dop > 1 && outer.Len() >= dop {
 		// Partition by key hash: both sides agree, so each worker joins an
-		// independent slice (§3.9 partition join).
-		outerParts := partitionIdx(outerKeys, dop)
-		innerParts := partitionIdx(innerKeys, dop)
+		// independent slice (§3.9 partition join). partitionIdx hands out
+		// segments of one flat index buffer — an empty segment means "no
+		// rows", unlike the nil = "all rows" of the single-threaded call.
+		oIds, oOffs := partitionIdx(outerHashes, dop)
+		iIds, iOffs := partitionIdx(innerHashes, dop)
 		parts := make([]*RowSet, dop)
 		errs := make([]error, dop)
 		var wg sync.WaitGroup
@@ -65,17 +72,9 @@ func (ex *executor) hashJoin(j *plan.Join, outer, inner *RowSet) (*RowSet, error
 			wg.Add(1)
 			go func(p int) {
 				defer wg.Done()
-				// partitionIdx leaves untouched partitions nil; that must
-				// stay "no rows", not joinPartition's nil-means-all.
-				oIdx, iIdx := outerParts[p], innerParts[p]
-				if oIdx == nil {
-					oIdx = emptyIdx
-				}
-				if iIdx == nil {
-					iIdx = emptyIdx
-				}
 				parts[p], errs[p] = joinPartition(j.JoinType, out, outer, inner,
-					outerKeys, innerKeys, oIdx, iIdx, match)
+					outerKeys, innerKeys, outerHashes, innerHashes,
+					oIds[oOffs[p]:oOffs[p+1]], iIds[iOffs[p]:iOffs[p+1]], match)
 			}(p)
 		}
 		wg.Wait()
@@ -89,64 +88,74 @@ func (ex *executor) hashJoin(j *plan.Join, outer, inner *RowSet) (*RowSet, error
 
 	// Single-threaded path: nil index slices mean "all rows" — no point
 	// materializing every row id just to iterate it.
-	return joinPartition(j.JoinType, out, outer, inner, outerKeys, innerKeys, nil, nil, match)
+	return joinPartition(j.JoinType, out, outer, inner,
+		outerKeys, innerKeys, outerHashes, innerHashes, nil, nil, match)
 }
 
-// emptyIdx is a non-nil empty index slice: "no rows", where a nil slice
-// passed to joinPartition means "all rows".
-var emptyIdx = []int{}
-
-// partitionIdx groups row indices by key-hash modulo dop.
-func partitionIdx(keys []int64, dop int) [][]int {
-	parts := make([][]int, dop)
-	for i, k := range keys {
-		p := int(hashKey(k) % uint64(dop))
-		parts[p] = append(parts[p], i)
+// partitionIdx groups row indices by key-hash modulo dop with a
+// count-then-fill pass over one flat index buffer: ids holds every row
+// index grouped by partition, offs[p]:offs[p+1] delimits partition p's
+// segment. No per-partition append growth, one allocation for all
+// partitions, and each segment stays in ascending row order.
+func partitionIdx(hashes []uint64, dop int) (ids []int32, offs []int32) {
+	offs = make([]int32, dop+1)
+	for _, h := range hashes {
+		offs[int(h%uint64(dop))+1]++
 	}
-	return parts
+	for p := 0; p < dop; p++ {
+		offs[p+1] += offs[p]
+	}
+	ids = make([]int32, len(hashes))
+	cur := make([]int32, dop)
+	copy(cur, offs[:dop])
+	for i, h := range hashes {
+		p := int(h % uint64(dop))
+		ids[cur[p]] = int32(i)
+		cur[p]++
+	}
+	return ids, offs
 }
 
-// joinPartition joins one aligned partition of the two inputs. A nil oIdx
-// or iIdx means "every row of that side" (the single-threaded path), so
-// callers need not materialize full index slices.
+// joinPartition joins one aligned partition of the two inputs through a
+// flat hashtab.JoinTable built over the inner rows. A nil oIdx or iIdx
+// means "every row of that side" (the single-threaded path), so callers
+// need not materialize full index slices.
 func joinPartition(jt query.JoinType, out query.RelSet, outer, inner *RowSet,
-	outerKeys, innerKeys []int64, oIdx, iIdx []int, match func(oi, ii int) bool) (*RowSet, error) {
+	outerKeys, innerKeys []int64, outerHashes, innerHashes []uint64,
+	oIdx, iIdx []int32, match func(oi, ii int) bool) (*RowSet, error) {
 
-	oLen, iLen := len(oIdx), len(iIdx)
+	oLen := len(oIdx)
 	if oIdx == nil {
 		oLen = outer.Len()
 	}
-	if iIdx == nil {
-		iLen = inner.Len()
-	}
-	at := func(idx []int, i int) int {
+	at := func(idx []int32, i int) int {
 		if idx == nil {
 			return i
 		}
-		return idx[i]
+		return int(idx[i])
 	}
-	ht := make(map[int64][]int, iLen)
-	for x := 0; x < iLen; x++ {
-		ii := at(iIdx, x)
-		ht[innerKeys[ii]] = append(ht[innerKeys[ii]], ii)
+	ht, err := hashtab.Build(innerKeys, innerHashes, iIdx)
+	if err != nil {
+		return nil, err
 	}
+	wiring := newColWiring(out, outer.rels, inner.rels)
 	res := NewRowSetCap(out, oLen)
 	switch jt {
 	case query.Inner:
 		for x := 0; x < oLen; x++ {
 			oi := at(oIdx, x)
-			for _, ii := range ht[outerKeys[oi]] {
-				if match(oi, ii) {
-					res.appendJoined(outer, oi, inner, ii)
+			for _, ii := range ht.Lookup(outerKeys[oi], outerHashes[oi]) {
+				if match(oi, int(ii)) {
+					res.appendJoined(wiring, outer, oi, inner, int(ii))
 				}
 			}
 		}
 	case query.Semi:
 		for x := 0; x < oLen; x++ {
 			oi := at(oIdx, x)
-			for _, ii := range ht[outerKeys[oi]] {
-				if match(oi, ii) {
-					res.appendJoined(outer, oi, inner, ii)
+			for _, ii := range ht.Lookup(outerKeys[oi], outerHashes[oi]) {
+				if match(oi, int(ii)) {
+					res.appendJoined(wiring, outer, oi, inner, int(ii))
 					break
 				}
 			}
@@ -155,28 +164,28 @@ func joinPartition(jt query.JoinType, out query.RelSet, outer, inner *RowSet,
 		for x := 0; x < oLen; x++ {
 			oi := at(oIdx, x)
 			found := false
-			for _, ii := range ht[outerKeys[oi]] {
-				if match(oi, ii) {
+			for _, ii := range ht.Lookup(outerKeys[oi], outerHashes[oi]) {
+				if match(oi, int(ii)) {
 					found = true
 					break
 				}
 			}
 			if !found {
-				res.appendJoined(outer, oi, inner, -1)
+				res.appendJoined(wiring, outer, oi, inner, -1)
 			}
 		}
 	case query.Left:
 		for x := 0; x < oLen; x++ {
 			oi := at(oIdx, x)
 			emitted := false
-			for _, ii := range ht[outerKeys[oi]] {
-				if match(oi, ii) {
-					res.appendJoined(outer, oi, inner, ii)
+			for _, ii := range ht.Lookup(outerKeys[oi], outerHashes[oi]) {
+				if match(oi, int(ii)) {
+					res.appendJoined(wiring, outer, oi, inner, int(ii))
 					emitted = true
 				}
 			}
 			if !emitted {
-				res.appendJoined(outer, oi, inner, -1)
+				res.appendJoined(wiring, outer, oi, inner, -1)
 			}
 		}
 	default:
@@ -215,6 +224,7 @@ func (ex *executor) mergeJoin(j *plan.Join, outer, inner *RowSet) (*RowSet, erro
 	}
 
 	out := outer.rels.Union(inner.rels)
+	wiring := newColWiring(out, outer.rels, inner.rels)
 	res := NewRowSetCap(out, len(oIdx))
 	oi, ii := 0, 0
 	for oi < len(oIdx) && ii < len(iIdx) {
@@ -244,7 +254,7 @@ func (ex *executor) mergeJoin(j *plan.Join, outer, inner *RowSet) (*RowSet, erro
 						}
 					}
 					if good {
-						res.appendJoined(outer, oIdx[a], inner, iIdx[b])
+						res.appendJoined(wiring, outer, oIdx[a], inner, iIdx[b])
 					}
 				}
 			}
@@ -268,6 +278,7 @@ func (ex *executor) nestLoop(j *plan.Join, outer, inner *RowSet) (*RowSet, error
 		})
 	}
 	out := outer.rels.Union(inner.rels)
+	wiring := newColWiring(out, outer.rels, inner.rels)
 	res := NewRowSet(out)
 	for oi := 0; oi < outer.Len(); oi++ {
 		for ii := 0; ii < inner.Len(); ii++ {
@@ -279,7 +290,7 @@ func (ex *executor) nestLoop(j *plan.Join, outer, inner *RowSet) (*RowSet, error
 				}
 			}
 			if good {
-				res.appendJoined(outer, oi, inner, ii)
+				res.appendJoined(wiring, outer, oi, inner, ii)
 			}
 		}
 	}

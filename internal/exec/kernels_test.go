@@ -1,0 +1,210 @@
+package exec
+
+import (
+	"testing"
+
+	"bfcbo/internal/catalog"
+	"bfcbo/internal/optimizer"
+	"bfcbo/internal/plan"
+	"bfcbo/internal/query"
+	"bfcbo/internal/storage"
+	"bfcbo/internal/tpch"
+)
+
+// The kernel A/B suite: the flat hashtab join and aggregation kernels
+// (the default) must be bit-identical to the Go-map baseline they
+// replaced (Options.MapKernels), over the TPC-H plans, the streaming
+// aggregation sink, and the grace-join spill/reload path. Payload order
+// inside the flat tables is ascending build-row id per key — the map
+// kernels' insert order — so even row order and float addition order
+// agree; nothing here needs an epsilon.
+
+func TestFlatVsMapKernelsTPCH(t *testing.T) {
+	ds := equivalenceDataset(t)
+	for _, q := range tpch.All() {
+		block := q.Build(ds.Schema)
+		opts := optimizer.DefaultOptions(0.01)
+		opts.Mode = optimizer.BFCBO
+		res, err := optimizer.Optimize(block, opts)
+		if err != nil {
+			t.Fatalf("Q%d: optimize: %v", q.Num, err)
+		}
+		skip := phantomRels(res.Plan)
+		for _, dop := range []int{1, 4} {
+			flat, err := Run(ds.DB, block, res.Plan, Options{DOP: dop})
+			if err != nil {
+				t.Fatalf("Q%d dop %d: flat kernels: %v", q.Num, dop, err)
+			}
+			mapped, err := Run(ds.DB, block, res.Plan, Options{DOP: dop, MapKernels: true})
+			if err != nil {
+				t.Fatalf("Q%d dop %d: map kernels: %v", q.Num, dop, err)
+			}
+			if flat.Rows != mapped.Rows {
+				t.Fatalf("Q%d dop %d: rows diverge: flat=%d map=%d",
+					q.Num, dop, flat.Rows, mapped.Rows)
+			}
+			for _, na := range mapped.Actuals {
+				if got := flat.ActualFor(na.Node); got != na.Actual {
+					t.Errorf("Q%d dop %d: node actual diverges: flat=%v map=%v",
+						q.Num, dop, got, na.Actual)
+				}
+			}
+			// The kernels share one probe order (ascending build-row id
+			// per key), so the materialized outputs must match row for
+			// row, not just as multisets — compare canonical forms to be
+			// robust to worker interleaving.
+			fr := canonicalRows(flat.Out, skip)
+			mr := canonicalRows(mapped.Out, skip)
+			for i := range mr {
+				if fr[i] != mr[i] {
+					t.Fatalf("Q%d dop %d: output row %d diverges: flat=%q map=%q",
+						q.Num, dop, i, fr[i], mr[i])
+				}
+			}
+		}
+	}
+}
+
+// The streaming aggregation sink must produce bit-identical group counts
+// and float sums across kernels: the flat tables fold rows in the same
+// order as the maps did, and both merges add per key in ascending worker
+// order.
+func TestFlatVsMapKernelsAggregation(t *testing.T) {
+	db, b, p := aggBlockFixture(t)
+	specs := []AggSpec{
+		{Kind: AggCountStar},
+		{Kind: AggGroupCount, KeyRel: 1, KeyCol: "name", EstGroups: 8},
+		{Kind: AggGroupRevenue, KeyRel: 1, KeyCol: "name", Rel: 0, PriceCol: "price", DiscCol: "disc"},
+	}
+	for _, dop := range []int{1, 4} {
+		for _, morsel := range []int{16, 0} {
+			flat, err := Run(db, b, p, Options{DOP: dop, MorselSize: morsel, Aggregates: specs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mapped, err := Run(db, b, p, Options{DOP: dop, MorselSize: morsel, Aggregates: specs, MapKernels: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range specs {
+				f, m := flat.Aggregates[i], mapped.Aggregates[i]
+				if f.Count != m.Count {
+					t.Fatalf("dop %d spec %d: count %d vs %d", dop, i, f.Count, m.Count)
+				}
+				if len(f.Groups) != len(m.Groups) || len(f.GroupSums) != len(m.GroupSums) {
+					t.Fatalf("dop %d spec %d: group shapes diverge: %+v vs %+v", dop, i, f, m)
+				}
+				for k, v := range m.Groups {
+					if f.Groups[k] != v {
+						t.Fatalf("dop %d spec %d: group %q: %d vs %d", dop, i, k, f.Groups[k], v)
+					}
+				}
+				for k, v := range m.GroupSums {
+					if f.GroupSums[k] != v {
+						t.Fatalf("dop %d spec %d: group sum %q: %v vs %v (must be bit-identical)",
+							dop, i, k, f.GroupSums[k], v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// A group column whose literal value is "<null>" must merge with the
+// null-extended rows' group under both kernels: the interning dictionary
+// maps the literal string to the null code, exactly as the map kernels
+// fold both under one "<null>" key.
+func TestFlatKernelsLiteralNullGroup(t *testing.T) {
+	db := storage.NewDatabase()
+	fact, err := storage.NewTable("nfact", []storage.Column{
+		{Name: "fk", Kind: catalog.Int64, Ints: []int64{0, 0, 1, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim, err := storage.NewTable("ndim", []storage.Column{
+		{Name: "pk", Kind: catalog.Int64, Ints: []int64{0, 1}},
+		{Name: "tag", Kind: catalog.String, Strings: []string{"<null>", "DE"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := catalog.NewSchema()
+	for _, tb := range []*storage.Table{fact, dim} {
+		if err := db.AddTable(tb); err != nil {
+			t.Fatal(err)
+		}
+		if err := schema.AddTable(storage.Analyze(tb)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := &query.Block{
+		Name: "nullgroup",
+		Relations: []query.Relation{
+			{Alias: "f", Table: schema.MustTable("nfact")},
+			{Alias: "d", Table: schema.MustTable("ndim")},
+		},
+		Clauses: []query.JoinClause{
+			// Left join: fk=2 has no dim match and null-extends.
+			{Type: query.Left, LeftRel: 0, LeftCol: "fk", RightRel: 1, RightCol: "pk"},
+		},
+	}
+	p := &plan.Plan{Root: &plan.Join{
+		Method: plan.HashJoin, JoinType: query.Left,
+		Outer: &plan.Scan{Rel: 0, Alias: "f", Table: "nfact"},
+		Inner: &plan.Scan{Rel: 1, Alias: "d", Table: "ndim"},
+		Conds: []plan.Cond{{OuterRel: 0, OuterCol: "fk", InnerRel: 1, InnerCol: "pk"}},
+	}}
+	specs := []AggSpec{{Kind: AggGroupCount, KeyRel: 1, KeyCol: "tag"}}
+	for _, mapKernels := range []bool{false, true} {
+		r, err := Run(db, b, p, Options{DOP: 2, Aggregates: specs, MapKernels: mapKernels})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := r.Aggregates[0].Groups
+		// Two rows hit tag "<null>", one hits "DE", one null-extends.
+		if got["<null>"] != 3 || got["DE"] != 1 || len(got) != 2 {
+			t.Fatalf("mapKernels=%v: groups = %v, want map[<null>:3 DE:1]", mapKernels, got)
+		}
+	}
+}
+
+// The grace hash join reloads spilled partitions through the same build
+// kernel as the in-memory path; a tiny budget forces every join through
+// spill/reload under both kernels, and the results must agree. CI runs
+// this under -race, covering concurrent routing, the writer barrier, and
+// the per-worker drains over the flat tables.
+func TestFlatVsMapKernelsGrace(t *testing.T) {
+	ds := equivalenceDataset(t)
+	spillRoot := t.TempDir()
+	for _, num := range []int{5, 12, 21} {
+		q, _ := tpch.Get(num)
+		block := q.Build(ds.Schema)
+		opts := optimizer.DefaultOptions(0.01)
+		opts.Mode = optimizer.BFCBO
+		res, err := optimizer.Optimize(block, opts)
+		if err != nil {
+			t.Fatalf("Q%d: optimize: %v", num, err)
+		}
+		for _, dop := range []int{1, 4} {
+			flat, err := Run(ds.DB, block, res.Plan, Options{
+				DOP: dop, MemBudget: tinyBudget, SpillDir: spillRoot})
+			if err != nil {
+				t.Fatalf("Q%d dop %d: flat grace: %v", num, dop, err)
+			}
+			mapped, err := Run(ds.DB, block, res.Plan, Options{
+				DOP: dop, MemBudget: tinyBudget, SpillDir: spillRoot, MapKernels: true})
+			if err != nil {
+				t.Fatalf("Q%d dop %d: map grace: %v", num, dop, err)
+			}
+			if flat.TotalSpill().Bytes == 0 {
+				t.Fatalf("Q%d dop %d: tiny budget did not spill", num, dop)
+			}
+			if flat.Rows != mapped.Rows {
+				t.Errorf("Q%d dop %d: grace rows diverge: flat=%d map=%d",
+					num, dop, flat.Rows, mapped.Rows)
+			}
+		}
+	}
+	assertNoSpillFiles(t, spillRoot)
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"bfcbo/internal/bloom"
+	"bfcbo/internal/hashtab"
 	"bfcbo/internal/plan"
 	"bfcbo/internal/query"
 	"bfcbo/internal/storage"
@@ -133,7 +134,9 @@ func (o *scanOp) NextBatch() (*RowSet, error) {
 				if b.vals2 != nil {
 					key = bloom.CombineKeys(key, b.vals2[i])
 				}
-				if !b.h.MayContain(key) {
+				// One shared mix per key serves both Bloom probe
+				// positions (the second derives from the first).
+				if !b.h.MayContainHash(bloom.KeyHash(key)) {
 					continue rows
 				}
 				localPassed[k]++
@@ -157,25 +160,81 @@ func (o *scanOp) NextBatch() (*RowSet, error) {
 // built by the join's build pipeline.
 
 // hashTable is the shared result of a hash-build sink: the materialized
-// build side plus partitioned key→row-index maps (partitioned only so the
-// build can run across workers; probes read all partitions freely).
+// build side, the gathered key columns, and the probe structure — flat
+// unchained hashtab.JoinTables by default (one per partition when the
+// build ran across workers; probes select the partition by key hash), or
+// the legacy per-partition Go maps when Options.MapKernels asks for the
+// ablation baseline.
 type hashTable struct {
 	inner       *RowSet
 	innerKeys   []int64
+	innerHashes []uint64 // hashKey of innerKeys, computed once per build
 	innerExtras [][]int64
-	parts       []map[int64][]int32
+	tabs        []*hashtab.JoinTable
+	parts       []map[int64][]int32 // MapKernels fallback
 }
 
-func (ht *hashTable) lookup(key int64) []int32 {
-	return ht.parts[int(hashKey(key)%uint64(len(ht.parts)))][key]
+// lookup returns the build rows matching key; h is hashKey(key), hashed
+// once per probe batch by the caller and reused for partition selection
+// and the directory probe.
+func (ht *hashTable) lookup(key int64, h uint64) []int32 {
+	if ht.tabs != nil {
+		t := ht.tabs[0]
+		if len(ht.tabs) > 1 {
+			t = ht.tabs[h%uint64(len(ht.tabs))]
+		}
+		return t.Lookup(key, h)
+	}
+	return ht.parts[int(h%uint64(len(ht.parts)))][key]
 }
 
-// buildHashTable partitions the build side by key hash and builds one map
-// per partition. Every O(n) phase is parallel across dop workers: the key
-// gather, the partition shuffle (per-worker chunks, radix-exchange style),
-// and the per-partition map inserts — so the breaker's finish time scales
-// with DOP instead of being the executor's serial tail.
-func buildHashTable(ex *executor, j *plan.Join, inner *RowSet) (*hashTable, error) {
+// tableBytes reports the probe structure's exact heap footprint (flat
+// kernels) or the hashEntryBytes estimate (map fallback), for broker
+// accounting.
+func (ht *hashTable) tableBytes() int64 {
+	if ht.tabs != nil {
+		var b int64
+		for _, t := range ht.tabs {
+			b += t.Bytes()
+		}
+		return b
+	}
+	return int64(len(ht.innerKeys)) * hashEntryBytes
+}
+
+// hashVecPar computes hashKey for every key, fanning the mix across dop
+// workers above the finish threshold. The vector is computed once per
+// build side and shared by Bloom population, partition routing, and the
+// directory build — the "hash once, use twice" contract.
+func hashVecPar(keys []int64, dop int) []uint64 {
+	n := len(keys)
+	// Weight 2: one multiply-shift mix per 8-byte write.
+	if !parallelFinishThreshold(n, 2, dop) {
+		return hashtab.HashVec(keys, nil)
+	}
+	out := make([]uint64, n)
+	var wg sync.WaitGroup
+	for c := 0; c < dop; c++ {
+		lo, hi := c*n/dop, (c+1)*n/dop
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = hashtab.Hash(keys[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// gatherBuildKeys materializes the build side's key columns and hash
+// vector — split from buildHashTableFrom so the hash-build sink can feed
+// the same keys and hashes to Bloom population before the table build.
+func gatherBuildKeys(ex *executor, j *plan.Join, inner *RowSet) (*hashTable, error) {
 	if len(j.Conds) == 0 {
 		return nil, fmt.Errorf("exec: hash join with no conditions")
 	}
@@ -185,22 +244,123 @@ func buildHashTable(ex *executor, j *plan.Join, inner *RowSet) (*hashTable, erro
 		return nil, fmt.Errorf("exec: unsupported hash join type %s", j.JoinType)
 	}
 	c0 := j.Conds[0]
+	dop := ex.dop
+	if dop < 1 {
+		dop = 1
+	}
+	ht := &hashTable{
+		inner:     inner,
+		innerKeys: keyColumnPar(inner, ex.tables[c0.InnerRel], c0.InnerRel, c0.InnerCol, dop),
+	}
+	if len(ht.innerKeys) > hashtab.MaxRows {
+		return nil, fmt.Errorf("exec: hash build side of %d rows exceeds the int32 row-id domain", len(ht.innerKeys))
+	}
+	ht.innerHashes = hashVecPar(ht.innerKeys, dop)
+	for _, c := range j.Conds[1:] {
+		ht.innerExtras = append(ht.innerExtras,
+			keyColumnPar(inner, ex.tables[c.InnerRel], c.InnerRel, c.InnerCol, dop))
+	}
+	return ht, nil
+}
+
+// buildHashTableFrom builds the probe structure over gathered keys. The
+// default is the flat unchained kernel: a count-then-scatter shuffle
+// over flat arrays distributes row ids into contiguous per-partition
+// segments (embarrassingly parallel, no per-partition maps, no append
+// growth), and each partition owner builds its JoinTable from its
+// segment. Every O(n) phase is parallel across dop workers, so the
+// breaker's finish time scales with DOP instead of being the executor's
+// serial tail. Payload order is ascending build-row id per key in both
+// kernels, so probe results are bit-identical to the map baseline.
+func buildHashTableFrom(ex *executor, ht *hashTable) (*hashTable, error) {
+	n := len(ht.innerKeys)
 	nparts := ex.dop
 	if nparts < 1 {
 		nparts = 1
 	}
-	ht := &hashTable{
-		inner:     inner,
-		innerKeys: keyColumnPar(inner, ex.tables[c0.InnerRel], c0.InnerRel, c0.InnerCol, nparts),
+	// The hash vector is transient build state (probes hash per batch);
+	// release it once the directory is built.
+	defer func() { ht.innerHashes = nil }()
+	if ex.mapKernels {
+		return buildMapTable(ht, n, nparts)
 	}
-	for _, c := range j.Conds[1:] {
-		ht.innerExtras = append(ht.innerExtras,
-			keyColumnPar(inner, ex.tables[c.InnerRel], c.InnerRel, c.InnerCol, nparts))
+	// Weight 12: directory inserts dominate; the shuffle only pays off
+	// once per-partition build work amortizes the goroutine fan-outs.
+	if nparts == 1 || !parallelFinishThreshold(n, 12, nparts) {
+		t, err := hashtab.Build(ht.innerKeys, ht.innerHashes, nil)
+		if err != nil {
+			return nil, err
+		}
+		ht.tabs = []*hashtab.JoinTable{t}
+		return ht, nil
 	}
-	n := len(ht.innerKeys)
+	// Count-then-scatter shuffle: producers count rows per partition,
+	// a prefix pass turns the (producer, partition) counts into disjoint
+	// cursors over one flat id buffer, and producers scatter row ids into
+	// their reserved ranges — each partition's segment stays in ascending
+	// row order because producers cover ascending ranges in order.
+	counts := make([]int32, nparts*nparts) // [producer][partition]
+	var wg sync.WaitGroup
+	for c := 0; c < nparts; c++ {
+		lo, hi := c*n/nparts, (c+1)*n/nparts
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			row := counts[c*nparts : (c+1)*nparts]
+			for ii := lo; ii < hi; ii++ {
+				row[ht.innerHashes[ii]%uint64(nparts)]++
+			}
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	offs := make([]int32, nparts+1) // partition segment bounds in ids
+	cur := make([]int32, nparts*nparts)
+	var pos int32
+	for p := 0; p < nparts; p++ {
+		offs[p] = pos
+		for c := 0; c < nparts; c++ {
+			cur[c*nparts+p] = pos
+			pos += counts[c*nparts+p]
+		}
+	}
+	offs[nparts] = pos
+	ids := make([]int32, n)
+	for c := 0; c < nparts; c++ {
+		lo, hi := c*n/nparts, (c+1)*n/nparts
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			row := cur[c*nparts : (c+1)*nparts]
+			for ii := lo; ii < hi; ii++ {
+				p := ht.innerHashes[ii] % uint64(nparts)
+				ids[row[p]] = int32(ii)
+				row[p]++
+			}
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	ht.tabs = make([]*hashtab.JoinTable, nparts)
+	errs := make([]error, nparts)
+	for p := 0; p < nparts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			ht.tabs[p], errs[p] = hashtab.Build(ht.innerKeys, ht.innerHashes, ids[offs[p]:offs[p+1]])
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ht, nil
+}
+
+// buildMapTable is the Go-map baseline kept for the map-vs-flat ablation
+// (Options.MapKernels): one map per partition, two-phase parallel build.
+func buildMapTable(ht *hashTable, n, nparts int) (*hashTable, error) {
 	ht.parts = make([]map[int64][]int32, nparts)
-	// Weight 12: map inserts dominate; the shuffle only pays off once per-
-	// partition insert work amortizes the two goroutine fan-outs.
 	if nparts == 1 || !parallelFinishThreshold(n, 12, nparts) {
 		m := make(map[int64][]int32, n)
 		for ii, k := range ht.innerKeys {
@@ -210,8 +370,6 @@ func buildHashTable(ex *executor, j *plan.Join, inner *RowSet) (*hashTable, erro
 			ht.parts[0] = m
 			return ht, nil
 		}
-		// Small build sides are not worth the shuffle: split the one map by
-		// partition serially.
 		for p := range ht.parts {
 			ht.parts[p] = make(map[int64][]int32)
 		}
@@ -220,7 +378,6 @@ func buildHashTable(ex *executor, j *plan.Join, inner *RowSet) (*hashTable, erro
 		}
 		return ht, nil
 	}
-	// Producer phase: each worker chunks its row range by target partition.
 	chunks := make([][][]int32, nparts) // producer -> partition -> row ids
 	var wg sync.WaitGroup
 	for c := 0; c < nparts; c++ {
@@ -230,13 +387,12 @@ func buildHashTable(ex *executor, j *plan.Join, inner *RowSet) (*hashTable, erro
 		go func(c, lo, hi int) {
 			defer wg.Done()
 			for ii := lo; ii < hi; ii++ {
-				p := int(hashKey(ht.innerKeys[ii]) % uint64(nparts))
+				p := int(ht.innerHashes[ii] % uint64(nparts))
 				chunks[c][p] = append(chunks[c][p], int32(ii))
 			}
 		}(c, lo, hi)
 	}
 	wg.Wait()
-	// Consumer phase: each partition owner inserts its shuffled row ids.
 	for p := 0; p < nparts; p++ {
 		wg.Add(1)
 		go func(p int) {
@@ -259,6 +415,17 @@ func buildHashTable(ex *executor, j *plan.Join, inner *RowSet) (*hashTable, erro
 	return ht, nil
 }
 
+// buildHashTable gathers the build keys and builds the probe structure
+// in one step — the path used by the grace drain, where Bloom filters
+// were already populated from the spill files.
+func buildHashTable(ex *executor, j *plan.Join, inner *RowSet) (*hashTable, error) {
+	ht, err := gatherBuildKeys(ex, j, inner)
+	if err != nil {
+		return nil, err
+	}
+	return buildHashTableFrom(ex, ht)
+}
+
 // probeShared is the per-pipeline state of one hash-probe operator. In
 // grace mode (the build side spilled) ht is nil and grace carries the
 // partition state instead.
@@ -267,6 +434,7 @@ type probeShared struct {
 	ht      *hashTable
 	grace   *graceHashJoin
 	outRels query.RelSet
+	wiring  *colWiring
 	// outerVals[e] maps a base-table row id of the outer key relation to
 	// its key value; e=0 is the hash condition, the rest verify extras.
 	outerVals [][]int64
@@ -281,6 +449,7 @@ func (ex *executor) newProbeShared(j *plan.Join, ht *hashTable, g *graceHashJoin
 		outRels: inRels.Union(j.Inner.Rels()),
 		stats:   stats,
 	}
+	sh.wiring = newColWiring(sh.outRels, inRels, j.Inner.Rels())
 	for _, c := range j.Conds {
 		col, err := ex.tables[c.OuterRel].Column(c.OuterCol)
 		if err != nil {
@@ -299,11 +468,36 @@ func (ex *executor) newProbeShared(j *plan.Join, ht *hashTable, g *graceHashJoin
 	return sh, nil
 }
 
+// probeScratch is one worker's reusable probe-batch scratch: the
+// per-condition outer row-id columns and the per-batch key-hash vector,
+// recycled across morsels so the steady-state probe loop allocates
+// nothing but its output rows.
+type probeScratch struct {
+	outerIDs [][]int32
+	hashes   []uint64
+}
+
+// hashBatch fills the scratch hash vector for one batch: each outer key
+// is mixed once and the vector serves both partition selection and the
+// directory probe.
+func (scr *probeScratch) hashBatch(keyIDs []int32, keyVals []int64) []uint64 {
+	n := len(keyIDs)
+	if cap(scr.hashes) < n {
+		scr.hashes = make([]uint64, n)
+	}
+	hs := scr.hashes[:n]
+	for oi := 0; oi < n; oi++ {
+		hs[oi] = hashKey(keyVals[keyIDs[oi]])
+	}
+	return hs
+}
+
 // probeOp streams batches from child through the hash table (or, in grace
 // mode, through the partition files — see graceNext).
 type probeOp struct {
 	sh    *probeShared
 	child PhysicalOperator
+	scr   probeScratch
 	gw    *graceProbeWorker
 }
 
@@ -341,30 +535,34 @@ func (sh *probeShared) matchIn(ht *hashTable, outerIDs [][]int32, oi int, ii int
 // returns the output rows. It is shared by the streaming NextBatch path
 // and the grace drain, which probes reloaded partition chunks through the
 // same code so every join type and extra condition behaves identically.
-func (sh *probeShared) probeBatch(ht *hashTable, in *RowSet) *RowSet {
+func (sh *probeShared) probeBatch(ht *hashTable, in *RowSet, scr *probeScratch) *RowSet {
 	n := in.Len()
 	out := NewRowSetCap(sh.outRels, n)
 	// Row-id column of the outer key relation per condition, resolved
-	// once per batch.
-	outerIDs := make([][]int32, len(sh.outerRels))
+	// once per batch into the worker's scratch.
+	if cap(scr.outerIDs) < len(sh.outerRels) {
+		scr.outerIDs = make([][]int32, len(sh.outerRels))
+	}
+	outerIDs := scr.outerIDs[:len(sh.outerRels)]
 	for e, rel := range sh.outerRels {
 		outerIDs[e] = in.Col(rel)
 	}
 	keyIDs, keyVals := outerIDs[0], sh.outerVals[0]
+	hs := scr.hashBatch(keyIDs, keyVals)
 	switch sh.j.JoinType {
 	case query.Inner:
 		for oi := 0; oi < n; oi++ {
-			for _, ii := range ht.lookup(keyVals[keyIDs[oi]]) {
+			for _, ii := range ht.lookup(keyVals[keyIDs[oi]], hs[oi]) {
 				if sh.matchIn(ht, outerIDs, oi, ii) {
-					out.appendJoined(in, oi, ht.inner, int(ii))
+					out.appendJoined(sh.wiring, in, oi, ht.inner, int(ii))
 				}
 			}
 		}
 	case query.Semi:
 		for oi := 0; oi < n; oi++ {
-			for _, ii := range ht.lookup(keyVals[keyIDs[oi]]) {
+			for _, ii := range ht.lookup(keyVals[keyIDs[oi]], hs[oi]) {
 				if sh.matchIn(ht, outerIDs, oi, ii) {
-					out.appendJoined(in, oi, ht.inner, int(ii))
+					out.appendJoined(sh.wiring, in, oi, ht.inner, int(ii))
 					break
 				}
 			}
@@ -372,27 +570,27 @@ func (sh *probeShared) probeBatch(ht *hashTable, in *RowSet) *RowSet {
 	case query.Anti:
 		for oi := 0; oi < n; oi++ {
 			found := false
-			for _, ii := range ht.lookup(keyVals[keyIDs[oi]]) {
+			for _, ii := range ht.lookup(keyVals[keyIDs[oi]], hs[oi]) {
 				if sh.matchIn(ht, outerIDs, oi, ii) {
 					found = true
 					break
 				}
 			}
 			if !found {
-				out.appendJoined(in, oi, ht.inner, -1)
+				out.appendJoined(sh.wiring, in, oi, ht.inner, -1)
 			}
 		}
 	case query.Left:
 		for oi := 0; oi < n; oi++ {
 			emitted := false
-			for _, ii := range ht.lookup(keyVals[keyIDs[oi]]) {
+			for _, ii := range ht.lookup(keyVals[keyIDs[oi]], hs[oi]) {
 				if sh.matchIn(ht, outerIDs, oi, ii) {
-					out.appendJoined(in, oi, ht.inner, int(ii))
+					out.appendJoined(sh.wiring, in, oi, ht.inner, int(ii))
 					emitted = true
 				}
 			}
 			if !emitted {
-				out.appendJoined(in, oi, ht.inner, -1)
+				out.appendJoined(sh.wiring, in, oi, ht.inner, -1)
 			}
 		}
 	}
@@ -410,7 +608,7 @@ func (o *probeOp) NextBatch() (*RowSet, error) {
 			return nil, err
 		}
 		start := time.Now()
-		out := sh.probeBatch(sh.ht, in)
+		out := sh.probeBatch(sh.ht, in, &o.scr)
 		sh.stats.observe(in.Len(), out.Len(), time.Since(start))
 		if out.Len() > 0 {
 			return out, nil
@@ -432,6 +630,7 @@ type nlShared struct {
 	j       *plan.Join
 	inner   *nlInner
 	outRels query.RelSet
+	wiring  *colWiring
 	// outerVals / outerRels as in probeShared, one entry per condition.
 	outerVals [][]int64
 	outerRels []int
@@ -447,6 +646,7 @@ func (ex *executor) newNLShared(j *plan.Join, inner *nlInner, inRels query.RelSe
 		outRels: inRels.Union(j.Inner.Rels()),
 		stats:   stats,
 	}
+	sh.wiring = newColWiring(sh.outRels, inRels, inner.rs.rels)
 	for _, c := range j.Conds {
 		col, err := ex.tables[c.OuterRel].Column(c.OuterCol)
 		if err != nil {
@@ -491,7 +691,7 @@ func (o *nlProbeOp) NextBatch() (*RowSet, error) {
 					}
 				}
 				if good {
-					out.appendJoined(in, oi, sh.inner.rs, ii)
+					out.appendJoined(sh.wiring, in, oi, sh.inner.rs, ii)
 				}
 			}
 		}
@@ -520,6 +720,7 @@ type sortedInput struct {
 type mergeSource struct {
 	j       *plan.Join
 	outRels query.RelSet
+	wiring  *colWiring
 	morsel  int
 	stats   *opStats
 	stop    *atomic.Bool
@@ -542,7 +743,8 @@ func (ex *executor) newMergeSource(j *plan.Join, outer, inner *sortedInput, stat
 	}
 	return &mergeSource{
 		j: j, outRels: j.Rels(), morsel: ex.morsel, stats: stats,
-		outer: outer, inner: inner, stop: &ex.stop,
+		wiring: newColWiring(j.Rels(), outer.rs.rels, inner.rs.rels),
+		outer:  outer, inner: inner, stop: &ex.stop,
 	}, nil
 }
 
@@ -574,7 +776,7 @@ func (o *mergeSourceOp) NextBatch() (*RowSet, error) {
 				}
 			}
 			if good {
-				out.appendJoined(m.outer.rs, oa, m.inner.rs, ib)
+				out.appendJoined(m.wiring, m.outer.rs, oa, m.inner.rs, ib)
 			}
 			m.b++
 			if m.b == m.ie {

@@ -222,19 +222,36 @@ func (s *hashBuildSink) finish() error {
 				s.res.Force(extra)
 			}
 			inner := s.mergedPar(s.ex.dop)
+			// Gather the build keys and hash them once; the same vector
+			// populates the Bloom filters (when a filter's build column is
+			// the hash-key column) and the flat join directory.
+			start := time.Now()
+			ht, err := gatherBuildKeys(s.ex, s.j, inner)
+			if err != nil {
+				return err
+			}
+			gatherWall := time.Since(start)
 			if len(s.j.BuildBlooms) > 0 {
 				start := time.Now()
-				if err := s.ex.buildBlooms(s.j, inner); err != nil {
+				if err := s.ex.buildBloomsShared(s.j, inner, ht); err != nil {
 					return err
 				}
 				s.ph.Bloom = time.Since(start)
 			}
-			start := time.Now()
-			ht, err := buildHashTable(s.ex, s.j, inner)
-			if err != nil {
+			start = time.Now()
+			if _, err := buildHashTableFrom(s.ex, ht); err != nil {
 				return err
 			}
-			s.ph.Build = time.Since(start)
+			s.ph.Build = gatherWall + time.Since(start)
+			// Replace the hashEntryBytes estimate with the built table's
+			// exact footprint (directory + payload + gathered key columns)
+			// so budget reports track what is actually resident.
+			exact := ht.tableBytes() + 8*int64(totalRows)*int64(1+len(ht.innerExtras))
+			if est := int64(totalRows) * hashEntryBytes; exact > est {
+				s.res.Force(exact - est)
+			} else {
+				s.res.Release(est - exact)
+			}
 			s.ex.smu.Lock()
 			s.ex.builds[s.j] = ht
 			s.ex.smu.Unlock()

@@ -21,24 +21,20 @@ const nullRow int32 = -1
 
 // RowSet is an intermediate result: for each relation it covers, a parallel
 // slice of base-table row ids. All slices have equal length (the row count).
+// Columns are ordered by ascending relation index; a relation's column
+// position is its rank within the bitset (one popcount), so constructing a
+// row set per morsel allocates no lookup structure.
 type RowSet struct {
-	rels   query.RelSet
-	relPos map[int]int
-	cols   [][]int32
+	rels query.RelSet
+	cols [][]int32
 }
 
 // NewRowSet creates an empty row set covering rels.
 func NewRowSet(rels query.RelSet) *RowSet {
-	members := rels.Members()
-	rs := &RowSet{
-		rels:   rels,
-		relPos: make(map[int]int, len(members)),
-		cols:   make([][]int32, len(members)),
+	return &RowSet{
+		rels: rels,
+		cols: make([][]int32, rels.Count()),
 	}
-	for i, r := range members {
-		rs.relPos[r] = i
-	}
-	return rs
 }
 
 // NewRowSetCap creates an empty row set covering rels with every column
@@ -66,44 +62,74 @@ func (rs *RowSet) Len() int {
 // Col returns the row-id column for a relation; it panics on a relation the
 // set does not cover (a planner bug, not a data condition).
 func (rs *RowSet) Col(rel int) []int32 {
-	pos, ok := rs.relPos[rel]
-	if !ok {
+	if !rs.rels.Has(rel) {
 		panic(fmt.Sprintf("exec: row set %s has no relation %d", rs.rels, rel))
 	}
-	return rs.cols[pos]
+	return rs.cols[rs.rels.Rank(rel)]
 }
 
-// appendRow copies row i of src plus extra ids for the relations missing
-// from src. Used by joins to emit combined tuples.
-func (rs *RowSet) appendJoined(outer *RowSet, oi int, inner *RowSet, ii int) {
-	for rel, pos := range rs.relPos {
+// colWiring precomputes the output-column routing of one join shape:
+// for every output column, the source side and source column position.
+// Join emit loops run once per output row — the engine's highest-volume
+// copy path — so the routing is resolved once per operator instead of
+// per row through relPos map iterations and Col lookups.
+type colWiring struct {
+	fromOuter []bool
+	srcPos    []int32
+}
+
+// newColWiring wires an output relation set to its join inputs. Column
+// positions follow RelSet.Members() order, matching NewRowSet's layout.
+func newColWiring(out, outer, inner query.RelSet) *colWiring {
+	members := out.Members()
+	w := &colWiring{
+		fromOuter: make([]bool, len(members)),
+		srcPos:    make([]int32, len(members)),
+	}
+	for c, rel := range members {
 		switch {
-		case outer.rels.Has(rel):
-			rs.cols[pos] = append(rs.cols[pos], outer.Col(rel)[oi])
-		case inner.rels.Has(rel):
-			if ii < 0 {
-				rs.cols[pos] = append(rs.cols[pos], nullRow)
-			} else {
-				rs.cols[pos] = append(rs.cols[pos], inner.Col(rel)[ii])
-			}
+		case outer.Has(rel):
+			w.fromOuter[c] = true
+			w.srcPos[c] = int32(outer.Rank(rel))
+		case inner.Has(rel):
+			w.srcPos[c] = int32(inner.Rank(rel))
 		default:
 			panic(fmt.Sprintf("exec: relation %d in neither join input", rel))
 		}
 	}
+	return w
 }
 
-// appendFrom copies row i of src (same relation coverage).
+// appendJoined copies row oi of outer combined with row ii of inner
+// (ii < 0 null-extends the inner side) through the precomputed wiring.
+func (rs *RowSet) appendJoined(w *colWiring, outer *RowSet, oi int, inner *RowSet, ii int) {
+	for c := range rs.cols {
+		var v int32
+		switch {
+		case w.fromOuter[c]:
+			v = outer.cols[w.srcPos[c]][oi]
+		case ii < 0:
+			v = nullRow
+		default:
+			v = inner.cols[w.srcPos[c]][ii]
+		}
+		rs.cols[c] = append(rs.cols[c], v)
+	}
+}
+
+// appendFrom copies row i of src (same relation coverage, so columns are
+// position-aligned).
 func (rs *RowSet) appendFrom(src *RowSet, i int) {
-	for rel, pos := range rs.relPos {
-		rs.cols[pos] = append(rs.cols[pos], src.Col(rel)[i])
+	for c := range rs.cols {
+		rs.cols[c] = append(rs.cols[c], src.cols[c][i])
 	}
 }
 
 // appendBatch appends all rows of b (same relation coverage). Sinks use it
 // to fold a worker's batches into its private part.
 func (rs *RowSet) appendBatch(b *RowSet) {
-	for rel, pos := range rs.relPos {
-		rs.cols[pos] = append(rs.cols[pos], b.Col(rel)...)
+	for c := range rs.cols {
+		rs.cols[c] = append(rs.cols[c], b.cols[c]...)
 	}
 }
 
@@ -119,10 +145,10 @@ func concat(rels query.RelSet, parts []*RowSet) *RowSet {
 	for _, p := range parts {
 		total += p.Len()
 	}
-	for rel, pos := range out.relPos {
+	for pos := range out.cols {
 		col := make([]int32, 0, total)
 		for _, p := range parts {
-			col = append(col, p.Col(rel)...)
+			col = append(col, p.cols[pos]...)
 		}
 		out.cols[pos] = col
 	}
@@ -185,7 +211,7 @@ func concatPar(rels query.RelSet, parts []*RowSet, dop int) *RowSet {
 	}
 	sem := make(chan struct{}, dop)
 	var wg sync.WaitGroup
-	for rel, pos := range out.relPos {
+	for pos := range out.cols {
 		for i, p := range live {
 			wg.Add(1)
 			sem <- struct{}{}
@@ -193,7 +219,7 @@ func concatPar(rels query.RelSet, parts []*RowSet, dop int) *RowSet {
 				defer wg.Done()
 				copy(dst, src)
 				<-sem
-			}(out.cols[pos][offs[i]:], p.Col(rel))
+			}(out.cols[pos][offs[i]:], p.cols[pos])
 		}
 	}
 	wg.Wait()

@@ -40,8 +40,9 @@ func batchBytes(b *RowSet) int64 { return rowSetBytes(b.Len(), len(b.cols)) }
 
 // spillHash mixes a join key with the grace-recursion level so every level
 // partitions on independent bits (splitmix64 finalizer); level 0 must also
-// stay independent of hashKey, which routes rows inside the in-memory
-// hash table.
+// stay independent of hashKey (the hashtab mixer, a splitmix stream at a
+// different additive offset), which routes rows inside the in-memory hash
+// table and its flat directory.
 func spillHash(k int64, level int) uint64 {
 	x := uint64(k) + 0x9e3779b97f4a7c15*uint64(level+2)
 	x ^= x >> 30
@@ -64,6 +65,16 @@ func spillPartitionCount(estRows float64, cols int, budget int64) int {
 		}
 	}
 	return n
+}
+
+// keyVecPool recycles the key-gather scratch of the spill routers: they
+// run on shared sink state across many workers and batches, so per-call
+// allocation would dominate the route path's steady state.
+var keyVecPool = sync.Pool{
+	New: func() any {
+		b := make([]int64, 0, spillChunkRows)
+		return &b
+	},
 }
 
 // spillCounters are one pipeline's shared spill tallies, updated by

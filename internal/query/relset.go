@@ -51,6 +51,13 @@ func (s RelSet) Empty() bool { return s == 0 }
 // Count reports the number of relations in the set.
 func (s RelSet) Count() int { return bits.OnesCount64(uint64(s)) }
 
+// Rank reports relation i's position among the set's ascending members —
+// the column index of relation i in structures laid out in Members()
+// order. One popcount; no lookup table.
+func (s RelSet) Rank(i int) int {
+	return bits.OnesCount64(uint64(s) & (1<<uint(i) - 1))
+}
+
 // Single reports whether the set has exactly one member.
 func (s RelSet) Single() bool { return s != 0 && s&(s-1) == 0 }
 
