@@ -13,6 +13,7 @@
 //	bench -experiment memory   # memory-budget × DOP spill grid (BENCH_PR3.json)
 //	bench -experiment concurrency # multi-stream throughput grid (BENCH_PR4.json)
 //	bench -experiment hashtable # map-vs-flat hash-kernel ablation (BENCH_PR5.json)
+//	bench -experiment scan     # scalar-vs-vectorized scan ablation (BENCH_PR6.json)
 //	bench -experiment all      # everything
 //
 // A global -mem-budget (e.g. "64MB") constrains the executor in every
@@ -38,8 +39,8 @@ func main() {
 		seed     = flag.Uint64("seed", 2025, "data generation seed")
 		dop      = flag.Int("dop", 8, "degree of parallelism")
 		reps     = flag.Int("reps", 3, "repetitions per query (first is warm-up)")
-		exp      = flag.String("experiment", "all", "table2|table3|fig1|fig6|naive|mae|ablation|scaling|memory|concurrency|hashtable|all")
-		jout     = flag.String("json", "", "machine-readable report path (default: BENCH_PR2.json for table2, BENCH_PR3.json for memory, BENCH_PR4.json for concurrency, BENCH_PR5.json for hashtable; empty = default, \"-\" disables)")
+		exp      = flag.String("experiment", "all", "table2|table3|fig1|fig6|naive|mae|ablation|scaling|memory|concurrency|hashtable|scan|all")
+		jout     = flag.String("json", "", "machine-readable report path (default: BENCH_PR2.json for table2, BENCH_PR3.json for memory, BENCH_PR4.json for concurrency, BENCH_PR5.json for hashtable, BENCH_PR6.json for scan; empty = default, \"-\" disables)")
 		budget   = flag.String("mem-budget", "", `executor memory budget for all experiments, e.g. "64MB" (empty = unlimited)`)
 		streams  = flag.String("streams", "", `concurrency experiment stream counts, e.g. "1,2,4,8" (empty = default; the streams=1 anchor and one multi-stream cell are always included)`)
 		iters    = flag.Int("iters", 0, "concurrency experiment queries per stream (0 = default)")
@@ -53,6 +54,8 @@ func main() {
 			kind, check = "concurrency report", bench.ValidateConcurrencyJSON
 		case bench.IsHashtableReport(*validate):
 			kind, check = "hashtable report", bench.ValidateHashtableJSON
+		case bench.IsScanReport(*validate):
+			kind, check = "scan report", bench.ValidateScanJSON
 		}
 		if err := check(*validate); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
@@ -200,6 +203,24 @@ func run(sf float64, seed uint64, dop, reps int, exp, jsonPath, budget, streamsL
 		}
 		return nil
 	}
+	runScan := func() error {
+		h, err := mk(false)
+		if err != nil {
+			return err
+		}
+		rows, err := h.RunScan(nil, nil)
+		if err != nil {
+			return err
+		}
+		bench.PrintScan(w, rows)
+		if out := pathFor("BENCH_PR6.json"); out != "" {
+			if err := h.WriteScanJSON(out, rows); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", out)
+		}
+		return nil
+	}
 	runScaling := func() error {
 		h, err := mk(false)
 		if err != nil {
@@ -300,12 +321,14 @@ func run(sf float64, seed uint64, dop, reps int, exp, jsonPath, budget, streamsL
 		return runConcurrency()
 	case "hashtable":
 		return runHashtable()
+	case "scan":
+		return runScan()
 	case "all":
 		// runTable2 already covers the DOP scaling table in its JSON report.
 		for _, f := range []func() error{runTable2, runTable3,
 			func() error { return runFig(12, "Figure 1 — Q12") },
 			func() error { return runFig(7, "Figure 6 — Q7") },
-			runNaive, runMAE, runAblation, runMemory, runConcurrency, runHashtable} {
+			runNaive, runMAE, runAblation, runMemory, runConcurrency, runHashtable, runScan} {
 			if err := f(); err != nil {
 				return err
 			}

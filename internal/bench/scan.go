@@ -1,0 +1,294 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"bfcbo/internal/exec"
+	"bfcbo/internal/optimizer"
+	"bfcbo/internal/tpch"
+)
+
+// The scan ablation: the same BF-CBO plans executed with the vectorized
+// kernel-chain scan (the default) and with the row-at-a-time baseline it
+// replaced (exec.Options.ScalarScan), over filter-heavy queries at the
+// single-stream DOP anchors. Its report is BENCH_PR6.json, tracking the
+// scalar-vs-vector scan-phase speedup across PRs. Row counts must match
+// across modes cell for cell — the modes are bit-identical by
+// construction, and the harness enforces it.
+
+// ScanRow is one (query, DOP, mode) cell of the ablation.
+type ScanRow struct {
+	Query int    `json:"query"`
+	DOP   int    `json:"dop"`
+	Mode  string `json:"mode"` // "scalar" or "vector"
+	// ExecMS is end-to-end executor latency; ScanMS sums the in-operator
+	// wall time of the plan's scan sources (the phase the kernels target).
+	ExecMS float64 `json:"exec_ms"`
+	ScanMS float64 `json:"scan_ms"`
+	Rows   int     `json:"rows"`
+	// Morsels / ZoneSkipped / ZoneSkipPct summarize zone-map morsel
+	// elimination across the run's scans (always zero in scalar mode,
+	// which never consults zone maps).
+	Morsels     int64   `json:"morsels"`
+	ZoneSkipped int64   `json:"zone_skipped"`
+	ZoneSkipPct float64 `json:"zone_skip_pct"`
+}
+
+// ScanSpeedup is the per-(query, DOP) scalar/vector latency ratio, for
+// both end-to-end exec time and the scan phase alone.
+type ScanSpeedup struct {
+	Query int     `json:"query"`
+	DOP   int     `json:"dop"`
+	Exec  float64 `json:"exec"` // scalar exec_ms / vector exec_ms
+	Scan  float64 `json:"scan"` // scalar scan_ms / vector scan_ms
+}
+
+// DefaultScanQueries are filter-heavy TPC-H queries where the scan phase
+// carries the predicate work: Q1/Q6 are scan-dominated aggregations, Q7
+// and Q9 join through large filtered/Bloom-probed scans.
+func DefaultScanQueries() []int { return []int{1, 6, 7, 9} }
+
+// RunScan executes each query's BF-CBO plan over the DOP grid in both
+// scan modes, reporting the median latency per cell.
+func (h *Harness) RunScan(queries, dops []int) ([]ScanRow, error) {
+	if len(queries) == 0 {
+		queries = DefaultScanQueries()
+	}
+	if len(dops) == 0 {
+		dops = []int{1, 8}
+	}
+	var out []ScanRow
+	for _, num := range queries {
+		q, ok := tpch.Get(num)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown TPC-H query %d", num)
+		}
+		block := q.Build(h.ds.Schema)
+		res, err := optimizer.Optimize(block, h.options(optimizer.BFCBO))
+		if err != nil {
+			return nil, fmt.Errorf("bench: scan Q%d: %w", num, err)
+		}
+		for _, dop := range dops {
+			rowsAt := -1
+			for _, mode := range []string{"scalar", "vector"} {
+				type sample struct {
+					d time.Duration
+					r *exec.Result
+				}
+				var samples []sample
+				for rep := 0; rep < h.cfg.Reps; rep++ {
+					runtime.GC()
+					start := time.Now()
+					r, err := exec.Run(h.ds.DB, block, res.Plan, exec.Options{
+						DOP: dop, MemBudget: h.cfg.MemBudget, SpillDir: h.cfg.SpillDir,
+						ScalarScan: mode == "scalar",
+					})
+					elapsed := time.Since(start)
+					if err != nil {
+						return nil, fmt.Errorf("bench: scan Q%d dop %d %s: %w", num, dop, mode, err)
+					}
+					if h.cfg.Reps > 1 && rep == 0 {
+						continue
+					}
+					samples = append(samples, sample{d: elapsed, r: r})
+				}
+				sort.Slice(samples, func(i, j int) bool { return samples[i].d < samples[j].d })
+				// Lower median, like the other grids: with warm-up dropped
+				// and two samples kept, len/2 would report the worse run.
+				med := samples[(len(samples)-1)/2]
+				if rowsAt < 0 {
+					rowsAt = med.r.Rows
+				} else if med.r.Rows != rowsAt {
+					return nil, fmt.Errorf("bench: scan Q%d dop %d: modes disagree on rows (%d vs %d)",
+						num, dop, med.r.Rows, rowsAt)
+				}
+				row := ScanRow{
+					Query: num, DOP: dop, Mode: mode,
+					ExecMS: med.d.Seconds() * 1000, Rows: med.r.Rows,
+				}
+				for _, st := range med.r.OpStats {
+					if strings.HasPrefix(st.Label, "Scan ") {
+						row.ScanMS += st.Wall.Seconds() * 1000
+					}
+				}
+				for _, sc := range med.r.Scans {
+					row.Morsels += sc.Morsels
+					row.ZoneSkipped += sc.ZoneSkipped
+				}
+				if row.Morsels > 0 {
+					row.ZoneSkipPct = 100 * float64(row.ZoneSkipped) / float64(row.Morsels)
+				}
+				out = append(out, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ScanSpeedups derives the per-cell scalar/vector latency ratios from an
+// ablation grid.
+func ScanSpeedups(rows []ScanRow) []ScanSpeedup {
+	type key struct{ q, d int }
+	cells := map[key]map[string]ScanRow{}
+	for _, r := range rows {
+		k := key{r.Query, r.DOP}
+		if cells[k] == nil {
+			cells[k] = map[string]ScanRow{}
+		}
+		cells[k][r.Mode] = r
+	}
+	var out []ScanSpeedup
+	for _, r := range rows {
+		if r.Mode != "vector" {
+			continue
+		}
+		k := key{r.Query, r.DOP}
+		scl, vec := cells[k]["scalar"], cells[k]["vector"]
+		if scl.ExecMS <= 0 || vec.ExecMS <= 0 {
+			continue
+		}
+		s := ScanSpeedup{Query: r.Query, DOP: r.DOP, Exec: scl.ExecMS / vec.ExecMS}
+		if vec.ScanMS > 0 {
+			s.Scan = scl.ScanMS / vec.ScanMS
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// PrintScan renders the ablation grid with per-cell speedups.
+func PrintScan(w io.Writer, rows []ScanRow) {
+	fmt.Fprintf(w, "scan ablation, BF-CBO plans (speedup = scalar / vector)\n")
+	fmt.Fprintf(w, "%-4s %4s %11s %11s %11s %11s %9s %9s %8s\n",
+		"Q#", "DOP", "scl-exec", "vec-exec", "scl-scan", "vec-scan", "exec-spd", "scan-spd", "zskip%")
+	type key struct{ q, d int }
+	byKey := map[key]map[string]ScanRow{}
+	var order []key
+	for _, r := range rows {
+		k := key{r.Query, r.DOP}
+		if byKey[k] == nil {
+			byKey[k] = map[string]ScanRow{}
+			order = append(order, k)
+		}
+		byKey[k][r.Mode] = r
+	}
+	for _, k := range order {
+		s, v := byKey[k]["scalar"], byKey[k]["vector"]
+		execSpd, scanSpd := 0.0, 0.0
+		if v.ExecMS > 0 {
+			execSpd = s.ExecMS / v.ExecMS
+		}
+		if v.ScanMS > 0 {
+			scanSpd = s.ScanMS / v.ScanMS
+		}
+		fmt.Fprintf(w, "%-4d %4d %11.3f %11.3f %11.3f %11.3f %8.2fx %8.2fx %8.1f\n",
+			k.q, k.d, s.ExecMS, v.ExecMS, s.ScanMS, v.ScanMS, execSpd, scanSpd, v.ZoneSkipPct)
+	}
+}
+
+// ScanReport is the machine-readable ablation (BENCH_PR6.json).
+type ScanReport struct {
+	ScaleFactor float64       `json:"scale_factor"`
+	Seed        uint64        `json:"seed"`
+	Reps        int           `json:"reps"`
+	Scan        []ScanRow     `json:"scan"`
+	Speedups    []ScanSpeedup `json:"speedups"`
+}
+
+// WriteScanJSON writes the ablation report to path.
+func (h *Harness) WriteScanJSON(path string, rows []ScanRow) error {
+	r := &ScanReport{
+		ScaleFactor: h.cfg.ScaleFactor,
+		Seed:        h.cfg.Seed,
+		Reps:        h.cfg.Reps,
+		Scan:        rows,
+		Speedups:    ScanSpeedups(rows),
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// IsScanReport sniffs whether the JSON file at path looks like a
+// ScanReport (used by bench -validate to dispatch).
+func IsScanReport(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return false
+	}
+	_, ok := probe["scan"]
+	return ok
+}
+
+// ValidateScanJSON checks that a scan ablation report is well-formed: it
+// parses, every (query, DOP) cell carries both modes with positive
+// latencies and identical row counts, zone-skip percentages are sane, and
+// every cell has a positive speedup pair. The CI bench smoke runs this
+// against the tiny-scale grid.
+func ValidateScanJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r ScanReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Scan) == 0 {
+		return fmt.Errorf("%s: no scan rows", path)
+	}
+	type key struct{ q, d int }
+	modes := map[key]map[string]ScanRow{}
+	for i, row := range r.Scan {
+		if row.ExecMS <= 0 {
+			return fmt.Errorf("%s: row %d has non-positive exec_ms", path, i)
+		}
+		if row.Mode != "scalar" && row.Mode != "vector" {
+			return fmt.Errorf("%s: row %d has unknown mode %q", path, i, row.Mode)
+		}
+		if row.ZoneSkipPct < 0 || row.ZoneSkipPct > 100 {
+			return fmt.Errorf("%s: row %d has zone_skip_pct %.2f outside [0,100]", path, i, row.ZoneSkipPct)
+		}
+		if row.Mode == "scalar" && row.ZoneSkipped != 0 {
+			return fmt.Errorf("%s: row %d: scalar mode reports zone skips", path, i)
+		}
+		k := key{row.Query, row.DOP}
+		if modes[k] == nil {
+			modes[k] = map[string]ScanRow{}
+		}
+		modes[k][row.Mode] = row
+	}
+	for k, m := range modes {
+		scl, okS := m["scalar"]
+		vec, okV := m["vector"]
+		if !okS || !okV {
+			return fmt.Errorf("%s: Q%d dop %d missing a mode cell", path, k.q, k.d)
+		}
+		if scl.Rows != vec.Rows {
+			return fmt.Errorf("%s: Q%d dop %d rows diverge across modes (%d vs %d)",
+				path, k.q, k.d, scl.Rows, vec.Rows)
+		}
+	}
+	if len(r.Speedups) != len(modes) {
+		return fmt.Errorf("%s: %d speedup cells for %d grid cells", path, len(r.Speedups), len(modes))
+	}
+	for _, s := range r.Speedups {
+		if s.Exec <= 0 {
+			return fmt.Errorf("%s: Q%d dop %d has non-positive exec speedup", path, s.Query, s.DOP)
+		}
+	}
+	return nil
+}

@@ -130,6 +130,29 @@ func (f *Filter) FilterBatch(keys []int64, dst []int) []int {
 	return dst
 }
 
+// FilterSelHashes is the vectorized scan probe: hashes[i] is the
+// precomputed KeyHash for selected row sel[i]. It compacts sel in place,
+// keeping rows whose key may be present, and returns the kept prefix. Bit
+// tests are inlined so the loop carries no per-row call overhead.
+func (f *Filter) FilterSelHashes(hashes []uint64, sel []int32) []int32 {
+	bitsArr, mask := f.bitsArr, f.mask
+	n := 0
+	for i, r := range sel {
+		h := hashes[i]
+		h1 := h & mask
+		if bitsArr[h1>>6]&(1<<(h1&63)) == 0 {
+			continue
+		}
+		h2 := rehash(h) & mask
+		if bitsArr[h2>>6]&(1<<(h2&63)) == 0 {
+			continue
+		}
+		sel[n] = r
+		n++
+	}
+	return sel[:n]
+}
+
 // Union ORs other into f. Both filters must have identical bit counts; this
 // is the merge operation used when per-thread filters must be combined
 // before applying to a single-threaded probe side (§3.9, strategy 2).

@@ -62,6 +62,24 @@ func (p *Partitioned) MayContainHash(h uint64) bool {
 	return p.parts[h%uint64(len(p.parts))].MayContainHash(h)
 }
 
+// FilterSelHashes is the vectorized distributed-lookup probe: hashes[i]
+// is the KeyHash for selected row sel[i]; each hash routes to its
+// partition as in MayContainHash. sel is compacted in place and the kept
+// prefix returned.
+func (p *Partitioned) FilterSelHashes(hashes []uint64, sel []int32) []int32 {
+	parts := p.parts
+	np := uint64(len(parts))
+	n := 0
+	for i, r := range sel {
+		h := hashes[i]
+		if parts[h%np].MayContainHash(h) {
+			sel[n] = r
+			n++
+		}
+	}
+	return sel[:n]
+}
+
 // MayContainAligned probes partition part directly (§3.9 strategy 4,
 // "partition-aligned": the apply-side relation is partitioned the same way
 // as the hash-join build side).

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -48,6 +49,10 @@ type Result struct {
 	// OpStats reports per-operator runtime counters in pipeline execution
 	// order (empty for legacy runs).
 	OpStats []OpStat
+	// Scans reports per-scan vectorized-execution counters — morsels
+	// claimed, zone-map skips, per-predicate selectivity — ordered by
+	// relation index (empty for legacy runs).
+	Scans []ScanRuntime
 	// Pipelines reports each executed pipeline (empty for legacy runs).
 	Pipelines []PipelineStat
 	// Aggregates holds one value per Options.Aggregates spec.
@@ -89,13 +94,39 @@ func (r *Result) ActualFor(n plan.Node) float64 {
 	return -1
 }
 
+// PredRuntime is one scan predicate's observed row flow: In rows entered
+// the kernel, Out survived. In/Out ratios are the measured selectivities
+// the adaptive kernel chains reorder by.
+type PredRuntime struct {
+	Pred    string
+	In, Out int64
+}
+
+// ScanRuntime reports one scan source's vectorized-execution counters.
+type ScanRuntime struct {
+	Rel        int
+	Alias      string
+	Vectorized bool
+	// Morsels is the number of morsels claimed (including skipped ones);
+	// ZoneSkipped / ZoneSkippedRows count morsels (and their rows)
+	// eliminated by zone-map bounds before any row was touched.
+	Morsels         int64
+	ZoneSkipped     int64
+	ZoneSkippedRows int64
+	// Preds is the per-kernel row flow in compile order.
+	Preds []PredRuntime
+}
+
 // bloomHandle abstracts single, merged and partitioned filters for
 // probing. MayContainHash is the batch path: the caller mixes the key
 // once (bloom.KeyHash, the hash shared with the join tables) and both
-// filter probe positions derive from that one value.
+// filter probe positions derive from that one value. FilterSelHashes is
+// the vectorized form: it compacts a selection vector by a batch of
+// precomputed hashes.
 type bloomHandle interface {
 	MayContain(key int64) bool
 	MayContainHash(h uint64) bool
+	FilterSelHashes(hashes []uint64, sel []int32) []int32
 }
 
 type executor struct {
@@ -105,6 +136,7 @@ type executor struct {
 	satLimit   float64
 	morsel     int
 	mapKernels bool
+	scalarScan bool
 
 	tables  []*storage.Table // by relation index
 	filters map[int]bloomHandle
@@ -123,6 +155,9 @@ type executor struct {
 	aggs     []AggValue
 	out      *RowSet
 	rows     int
+	// scanRt collects per-scan runtime counters; appended under smu as
+	// scan pipelines finish (concurrently), sorted by relation at the end.
+	scanRt []ScanRuntime
 	// dicts caches interned group-key columns (rel.col -> dictionary)
 	// for the flat aggregation kernels; guarded by smu.
 	dicts map[string]*groupDict
@@ -235,6 +270,13 @@ type Options struct {
 	// map-vs-flat ablation (cmd/bench -experiment hashtable). Results
 	// are bit-identical across kernels; only the data layout differs.
 	MapKernels bool
+	// ScalarScan selects the row-at-a-time scan baseline the vectorized
+	// kernel chains replaced — the baseline side of the scan ablation
+	// (cmd/bench -experiment scan). Columns are still bound once at Open,
+	// but predicates evaluate row by row with an interface call each, no
+	// zone-map morsel skipping, and Bloom filters probe per key rather
+	// than per hashed batch. Results are bit-identical across modes.
+	ScalarScan bool
 
 	// injectOp, when set (tests only), wraps each worker's operator chain
 	// of every pipeline — the failure-injection hook for cancellation and
@@ -307,6 +349,7 @@ func RunContext(ctx context.Context, db *storage.Database, block *query.Block, p
 		db: db, block: block, dop: dop, satLimit: opts.SaturationLimit,
 		morsel:      morsel,
 		mapKernels:  opts.MapKernels,
+		scalarScan:  opts.ScalarScan,
 		filters:     make(map[int]bloomHandle),
 		fstats:      make(map[int]*BloomRuntime),
 		specs:       make(map[int]plan.BloomSpec),
@@ -369,9 +412,13 @@ func RunContext(ctx context.Context, db *storage.Database, block *query.Block, p
 	} else if err := ex.runPipelined(pipes); err != nil {
 		return nil, err
 	}
+	// Scan pipelines finish in DAG order, not relation order; sort the
+	// collected runtimes so reports are deterministic.
+	sort.Slice(ex.scanRt, func(i, j int) bool { return ex.scanRt[i].Rel < ex.scanRt[j].Rel })
 	res := &Result{
 		Out: ex.out, Rows: ex.rows, Actuals: ex.actuals,
 		Pipelines: ex.pipes, Aggregates: ex.aggs,
+		Scans: ex.scanRt,
 		Sched: ticket.Stats(),
 	}
 	for _, st := range ex.stats {
@@ -428,7 +475,13 @@ func (ex *executor) node(n plan.Node) (*RowSet, error) {
 func (ex *executor) scan(s *plan.Scan) (*RowSet, error) {
 	tbl := ex.tables[s.Rel]
 	n := tbl.NumRows()
-	pred := s.Pred
+	// Compile binds every predicate column once here instead of a map
+	// lookup per Eval; the kernels are immutable and shared by the chunk
+	// goroutines, which evaluate row-at-a-time through EvalRow.
+	kernels, err := query.Compile(s.Pred, tbl)
+	if err != nil {
+		return nil, fmt.Errorf("exec: scan of %s: %w", s.Alias, err)
+	}
 
 	type bf struct {
 		h     bloomHandle
@@ -480,8 +533,10 @@ func (ex *executor) scan(s *plan.Scan) (*RowSet, error) {
 			localPassed := make([]int64, len(bfs))
 		rows:
 			for i := lo; i < hi; i++ {
-				if pred != nil && !pred.Eval(tbl, i) {
-					continue
+				for _, kn := range kernels {
+					if !kn.EvalRow(int32(i)) {
+						continue rows
+					}
 				}
 				for k := range bfs {
 					localTested[k]++
@@ -746,6 +801,9 @@ type passAllFilter struct{}
 
 func (passAllFilter) MayContain(int64) bool      { return true }
 func (passAllFilter) MayContainHash(uint64) bool { return true }
+func (passAllFilter) FilterSelHashes(_ []uint64, sel []int32) []int32 {
+	return sel
+}
 
 // yieldSlot releases the caller's global worker slot; acquireSlot takes
 // one back (false when the run was canceled while waiting — the caller

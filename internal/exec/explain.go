@@ -26,6 +26,21 @@ func (r *Result) ExplainAnalyze(p *plan.Plan) string {
 				ps.Label, ps.Workers, ps.Rows, ps.Wall.Round(time.Microsecond), breakerSuffix(ps))
 		}
 	}
+	for _, sc := range r.Scans {
+		mode := "vectorized"
+		if !sc.Vectorized {
+			mode = "scalar"
+		}
+		fmt.Fprintf(&b, "  scan %s [%s] morsels=%d zone-skipped=%d (%d rows)\n",
+			sc.Alias, mode, sc.Morsels, sc.ZoneSkipped, sc.ZoneSkippedRows)
+		for _, pr := range sc.Preds {
+			pct := 100.0
+			if pr.In > 0 {
+				pct = 100 * float64(pr.Out) / float64(pr.In)
+			}
+			fmt.Fprintf(&b, "    pred %s: %d -> %d (%.1f%%)\n", pr.Pred, pr.In, pr.Out, pct)
+		}
+	}
 	for _, bs := range r.BloomStats {
 		fmt.Fprintf(&b, "  BF#%d [%s] inserted=%d tested=%d passed=%d saturation=%.3f\n",
 			bs.ID, bs.Strategy, bs.Inserted, bs.Tested, bs.Passed, bs.Saturation)

@@ -19,6 +19,8 @@ import (
 // qualifying row ids. This is the morsel-driven entry point of a pipeline.
 
 // scanBloom is one Bloom filter a scan probes, with shared atomic tallies.
+// Workers accumulate in per-worker locals and fold into the atomics once at
+// Close, so the probe loop itself performs no atomic operations.
 type scanBloom struct {
 	h      bloomHandle
 	vals   []int64
@@ -28,29 +30,69 @@ type scanBloom struct {
 	passed atomic.Int64
 }
 
-// scanSource is the shared state of a scan pipeline source.
+// scanZone is one morsel-skip test: a predicate-derived bound check paired
+// with the zone map of the column it constrains.
+type scanZone struct {
+	zm        *storage.ZoneMap
+	skipInt   func(min, max int64) bool
+	skipFloat func(min, max float64) bool
+}
+
+// scanSource is the shared state of a scan pipeline source. The predicate
+// is compiled once into kernels bound to the table's column slices; workers
+// share the immutable kernels and keep private adaptive chains. All runtime
+// counters are folded from per-worker locals at operator Close.
 type scanSource struct {
-	s      *plan.Scan
-	tbl    *storage.Table
-	pred   query.Predicate
-	bfs    []*scanBloom
-	n      int
-	morsel int
-	cursor atomic.Int64
-	stats  *opStats
+	s       *plan.Scan
+	tbl     *storage.Table
+	kernels []query.Kernel
+	zones   []scanZone
+	scalar  bool
+	bfs     []*scanBloom
+	n       int
+	morsel  int
+	cursor  atomic.Int64
+	stats   *opStats
 	// stop is the run-wide cancellation flag: once set (first worker
 	// error), the source hands out no further morsels, so sibling workers
 	// and concurrently scheduled pipelines wind down promptly instead of
 	// draining the table.
 	stop *atomic.Bool
+
+	morsels         atomic.Int64
+	zoneSkipped     atomic.Int64
+	zoneSkippedRows atomic.Int64
+	predIn, predOut []atomic.Int64 // one pair per kernel, compile order
 }
 
 func (ex *executor) newScanSource(s *plan.Scan, stats *opStats) (*scanSource, error) {
 	tbl := ex.tables[s.Rel]
+	kernels, err := query.Compile(s.Pred, tbl)
+	if err != nil {
+		return nil, fmt.Errorf("exec: scan of %s: %w", s.Alias, err)
+	}
 	src := &scanSource{
-		s: s, tbl: tbl, pred: s.Pred,
+		s: s, tbl: tbl, kernels: kernels, scalar: ex.scalarScan,
 		n: tbl.NumRows(), morsel: ex.morsel, stats: stats,
-		stop: &ex.stop,
+		stop:    &ex.stop,
+		predIn:  make([]atomic.Int64, len(kernels)),
+		predOut: make([]atomic.Int64, len(kernels)),
+	}
+	if !src.scalar {
+		// Zone maps: each prunable conjunct pairs with its column's
+		// per-block bounds; a missing or type-mismatched map simply means
+		// no skipping for that conjunct.
+		for _, zp := range query.ZonePruners(s.Pred) {
+			zm := tbl.ZoneMap(zp.Col)
+			if zm == nil {
+				continue
+			}
+			if zp.SkipInt != nil && zm.IsInt() {
+				src.zones = append(src.zones, scanZone{zm: zm, skipInt: zp.SkipInt})
+			} else if zp.SkipFloat != nil && zm.IsFloat() {
+				src.zones = append(src.zones, scanZone{zm: zm, skipFloat: zp.SkipFloat})
+			}
+		}
 	}
 	for _, id := range s.ApplyBlooms {
 		h, st, ok := ex.filter(id)
@@ -75,6 +117,23 @@ func (ex *executor) newScanSource(s *plan.Scan, stats *opStats) (*scanSource, er
 	return src, nil
 }
 
+// skipMorsel consults the zone maps covering rows [lo, hi): true when some
+// conjunct cannot hold anywhere in the range.
+func (src *scanSource) skipMorsel(lo, hi int) bool {
+	for _, z := range src.zones {
+		if z.skipInt != nil {
+			if mn, mx := z.zm.IntBounds(lo, hi); z.skipInt(mn, mx) {
+				return true
+			}
+		} else {
+			if mn, mx := z.zm.FloatBounds(lo, hi); z.skipFloat(mn, mx) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // flushBloomStats folds the atomic tallies into the BloomRuntime records;
 // called once, after the pipeline's workers have all finished.
 func (src *scanSource) flushBloomStats() {
@@ -86,25 +145,108 @@ func (src *scanSource) flushBloomStats() {
 	}
 }
 
-// scanOp is the per-worker operator over a shared scanSource. The Bloom
-// tally scratch lives on the operator (allocated once in Open), not per
-// NextBatch call.
+// runtime snapshots the scan's execution counters; called after the
+// pipeline's workers folded their locals at Close.
+func (src *scanSource) runtime() ScanRuntime {
+	rt := ScanRuntime{
+		Rel: src.s.Rel, Alias: src.s.Alias, Vectorized: !src.scalar,
+		Morsels:         src.morsels.Load(),
+		ZoneSkipped:     src.zoneSkipped.Load(),
+		ZoneSkippedRows: src.zoneSkippedRows.Load(),
+	}
+	for i, k := range src.kernels {
+		rt.Preds = append(rt.Preds, PredRuntime{
+			Pred: k.Label(), In: src.predIn[i].Load(), Out: src.predOut[i].Load(),
+		})
+	}
+	return rt
+}
+
+// scanOp is the per-worker operator over a shared scanSource. All scratch —
+// the selection vector, the Bloom key/hash gather buffers, the adaptive
+// kernel chain and every tally — is per worker, allocated once in Open;
+// the steady-state batch loop allocates only its output rows. Tallies fold
+// into the source's atomics once per worker at Close (workers close before
+// the pipeline joins them, so the fold always precedes the flush).
 type scanOp struct {
-	src         *scanSource
-	localTested []int64
-	localPassed []int64
+	src   *scanSource
+	chain *query.Chain
+	sel   []int32
+	keys  *[]int64 // keyVecPool scratch for batched Bloom key gathers
+	hs    []uint64
+
+	localTested  []int64
+	localPassed  []int64
+	localPredIn  []int64 // scalar path only; vector path reads chain counts
+	localPredOut []int64
+	localMorsels int64
+	localZoneSk  int64
+	localZoneRow int64
 }
 
 func (o *scanOp) Open() error {
-	o.localTested = make([]int64, len(o.src.bfs))
-	o.localPassed = make([]int64, len(o.src.bfs))
+	src := o.src
+	o.localTested = make([]int64, len(src.bfs))
+	o.localPassed = make([]int64, len(src.bfs))
+	if src.scalar {
+		o.localPredIn = make([]int64, len(src.kernels))
+		o.localPredOut = make([]int64, len(src.kernels))
+		return nil
+	}
+	if len(src.kernels) > 0 {
+		o.chain = query.NewChain(src.kernels)
+	}
+	o.sel = make([]int32, src.morsel)
+	if len(src.bfs) > 0 {
+		kp := keyVecPool.Get().(*[]int64)
+		if cap(*kp) < src.morsel {
+			*kp = make([]int64, 0, src.morsel)
+		}
+		o.keys = kp
+		o.hs = make([]uint64, src.morsel)
+	}
 	return nil
 }
-func (o *scanOp) Close() error { return nil }
+
+func (o *scanOp) Close() error {
+	src := o.src
+	for k, b := range src.bfs {
+		b.tested.Add(o.localTested[k])
+		b.passed.Add(o.localPassed[k])
+	}
+	src.morsels.Add(o.localMorsels)
+	src.zoneSkipped.Add(o.localZoneSk)
+	src.zoneSkippedRows.Add(o.localZoneRow)
+	if o.chain != nil {
+		for i, c := range o.chain.Counts() {
+			src.predIn[i].Add(c.In)
+			src.predOut[i].Add(c.Out)
+		}
+	}
+	for i := range o.localPredIn {
+		src.predIn[i].Add(o.localPredIn[i])
+		src.predOut[i].Add(o.localPredOut[i])
+	}
+	if o.keys != nil {
+		*o.keys = (*o.keys)[:0]
+		keyVecPool.Put(o.keys)
+		o.keys = nil
+	}
+	return nil
+}
 
 func (o *scanOp) NextBatch() (*RowSet, error) {
+	if o.src.scalar {
+		return o.nextScalar()
+	}
+	return o.nextVector()
+}
+
+// nextVector is the batch kernel path: claim a morsel, consult the zone
+// maps, run the adaptive kernel chain over the selection vector, then probe
+// the Bloom filters over gathered key batches hashed once per batch.
+func (o *scanOp) nextVector() (*RowSet, error) {
 	src := o.src
-	localTested, localPassed := o.localTested, o.localPassed
 	for {
 		if src.stop != nil && src.stop.Load() {
 			return nil, nil
@@ -118,18 +260,83 @@ func (o *scanOp) NextBatch() (*RowSet, error) {
 			hi = src.n
 		}
 		start := time.Now()
+		o.localMorsels++
+		if len(src.zones) > 0 && src.skipMorsel(lo, hi) {
+			o.localZoneSk++
+			o.localZoneRow += int64(hi - lo)
+			src.stats.observe(hi-lo, 0, time.Since(start))
+			continue
+		}
+		sel := o.sel[:hi-lo]
+		for i := range sel {
+			sel[i] = int32(lo + i)
+		}
+		if o.chain != nil {
+			sel = o.chain.EvalBatch(sel)
+		}
+		for k, b := range src.bfs {
+			if len(sel) == 0 {
+				break
+			}
+			o.localTested[k] += int64(len(sel))
+			keys := (*o.keys)[:len(sel)]
+			if b.vals2 != nil {
+				for i, r := range sel {
+					keys[i] = bloom.CombineKeys(b.vals[r], b.vals2[r])
+				}
+			} else {
+				for i, r := range sel {
+					keys[i] = b.vals[r]
+				}
+			}
+			// One shared mix per key: HashVec fills the batch hash vector
+			// and both filter probe positions derive from it.
+			hs := hashtab.HashVec(keys, o.hs)
+			sel = b.h.FilterSelHashes(hs, sel)
+			o.localPassed[k] += int64(len(sel))
+		}
+		src.stats.observe(hi-lo, len(sel), time.Since(start))
+		if len(sel) == 0 {
+			continue
+		}
+		out := NewRowSetCap(query.NewRelSet(src.s.Rel), len(sel))
+		out.cols[0] = append(out.cols[0], sel...)
+		return out, nil
+	}
+}
+
+// nextScalar is the row-at-a-time ablation baseline (Options.ScalarScan):
+// kernels still bind columns once at compile, but rows are evaluated and
+// Bloom-probed one at a time, interface call per predicate per row.
+func (o *scanOp) nextScalar() (*RowSet, error) {
+	src := o.src
+	for {
+		if src.stop != nil && src.stop.Load() {
+			return nil, nil
+		}
+		lo := int(src.cursor.Add(int64(src.morsel))) - src.morsel
+		if lo >= src.n {
+			return nil, nil
+		}
+		hi := lo + src.morsel
+		if hi > src.n {
+			hi = src.n
+		}
+		start := time.Now()
+		o.localMorsels++
 		out := NewRowSetCap(query.NewRelSet(src.s.Rel), hi-lo)
 		col := out.cols[0]
-		for k := range localTested {
-			localTested[k], localPassed[k] = 0, 0
-		}
 	rows:
 		for i := lo; i < hi; i++ {
-			if src.pred != nil && !src.pred.Eval(src.tbl, i) {
-				continue
+			for k, kn := range src.kernels {
+				o.localPredIn[k]++
+				if !kn.EvalRow(int32(i)) {
+					continue rows
+				}
+				o.localPredOut[k]++
 			}
 			for k, b := range src.bfs {
-				localTested[k]++
+				o.localTested[k]++
 				key := b.vals[i]
 				if b.vals2 != nil {
 					key = bloom.CombineKeys(key, b.vals2[i])
@@ -139,15 +346,11 @@ func (o *scanOp) NextBatch() (*RowSet, error) {
 				if !b.h.MayContainHash(bloom.KeyHash(key)) {
 					continue rows
 				}
-				localPassed[k]++
+				o.localPassed[k]++
 			}
 			col = append(col, int32(i))
 		}
 		out.cols[0] = col
-		for k, b := range src.bfs {
-			b.tested.Add(localTested[k])
-			b.passed.Add(localPassed[k])
-		}
 		src.stats.observe(hi-lo, len(col), time.Since(start))
 		if len(col) > 0 {
 			return out, nil

@@ -828,6 +828,10 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 	}
 	if scanSrc != nil {
 		scanSrc.flushBloomStats()
+		rt := scanSrc.runtime()
+		ex.smu.Lock()
+		ex.scanRt = append(ex.scanRt, rt)
+		ex.smu.Unlock()
 	}
 	finishStart := time.Now()
 	if err := snk.finish(); err != nil {

@@ -1,0 +1,70 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Steady-state filter-kernel benchmarks. CI gates on -benchmem reporting
+// 0 allocs/op for every BenchmarkEvalBatch*: the kernels, the adaptive
+// chain (including its periodic reorder), and the selection-vector
+// compaction must all run allocation-free once compiled.
+
+const benchRows = 8192
+
+func benchChain(b *testing.B, p Predicate) (*Chain, []int32, []int32) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(11))
+	tbl := kernelTable(b, rng, benchRows)
+	ks, err := Compile(p, tbl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	template := make([]int32, benchRows)
+	for i := range template {
+		template[i] = int32(i)
+	}
+	return NewChain(ks), template, make([]int32, benchRows)
+}
+
+func runEvalBatch(b *testing.B, p Predicate) {
+	chain, template, sel := benchChain(b, p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(sel, template)
+		chain.EvalBatch(sel[:benchRows])
+	}
+	b.SetBytes(benchRows * 8)
+}
+
+func BenchmarkEvalBatchCmpInt(b *testing.B) {
+	runEvalBatch(b, CmpInt{Col: "a", Op: LE, Val: 25})
+}
+
+func BenchmarkEvalBatchQ6Shape(b *testing.B) {
+	// The Q6 filter shape: int range + float between + float compare.
+	runEvalBatch(b, And{Ps: []Predicate{
+		BetweenInt{Col: "a", Lo: 10, Hi: 30},
+		BetweenFloat{Col: "f", Lo: 0.05, Hi: 0.07},
+		CmpFloat{Col: "f", Op: LT, Val: 0.19},
+	}})
+}
+
+func BenchmarkEvalBatchDictString(b *testing.B) {
+	runEvalBatch(b, And{Ps: []Predicate{
+		StrIn{Col: "s", Vals: []string{"alpha", "gamma"}},
+		StrContains{Col: "s", Subs: []string{"a"}},
+	}})
+}
+
+func BenchmarkEvalBatchNested(b *testing.B) {
+	runEvalBatch(b, And{Ps: []Predicate{
+		Not{P: StrPrefix{Col: "s", Prefix: "green"}},
+		Or{Ps: []Predicate{
+			CmpInt{Col: "a", Op: LT, Val: 10},
+			CmpCols{Col1: "a", Op: GT, Col2: "b"},
+		}},
+		InInt{Col: "b", Vals: []int64{3, 9, 27, 41}},
+	}})
+}

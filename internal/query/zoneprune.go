@@ -1,0 +1,117 @@
+package query
+
+// ZonePruner is one morsel-skip test derived from a conjunct of a scan
+// predicate: given the zone-map min/max bounds of Col over a morsel, Skip
+// reports that no row in the morsel can satisfy the conjunct, so the whole
+// morsel is eliminated before any row is touched. Exactly one of SkipInt /
+// SkipFloat is non-nil, matching the column type the predicate implies.
+// All tests are conservative: bounds that are a superset of the true row
+// range only make skipping less likely, and float NaN bounds (poisoned
+// blocks) fail every comparison so such morsels are never skipped.
+type ZonePruner struct {
+	Col       string
+	SkipInt   func(min, max int64) bool
+	SkipFloat func(min, max float64) bool
+}
+
+// ZonePruners derives morsel-skip tests from p. Only top-level conjuncts
+// over a single int/float column against constants participate; Or, Not,
+// column-column and string predicates contribute nothing (never unsound —
+// a missing pruner just means no skipping for that conjunct).
+func ZonePruners(p Predicate) []ZonePruner {
+	if p == nil {
+		return nil
+	}
+	switch q := p.(type) {
+	case And:
+		var out []ZonePruner
+		for _, sub := range q.Ps {
+			out = append(out, ZonePruners(sub)...)
+		}
+		return out
+	case CmpInt:
+		op, val := q.Op, q.Val
+		return []ZonePruner{{Col: q.Col, SkipInt: func(min, max int64) bool {
+			switch op {
+			case EQ:
+				return val < min || val > max
+			case NE:
+				return min == max && min == val
+			case LT:
+				return min >= val
+			case LE:
+				return min > val
+			case GT:
+				return max <= val
+			case GE:
+				return max < val
+			default:
+				return false
+			}
+		}}}
+	case CmpFloat:
+		op, val := q.Op, q.Val
+		return []ZonePruner{{Col: q.Col, SkipFloat: func(min, max float64) bool {
+			switch op {
+			case EQ:
+				return val < min || val > max
+			case NE:
+				return min == max && min == val
+			case LT:
+				return min >= val
+			case LE:
+				return min > val
+			case GT:
+				return max <= val
+			case GE:
+				return max < val
+			default:
+				return false
+			}
+		}}}
+	case BetweenInt:
+		lo, hi := q.Lo, q.Hi
+		return []ZonePruner{{Col: q.Col, SkipInt: func(min, max int64) bool {
+			return max < lo || min > hi
+		}}}
+	case BetweenFloat:
+		lo, hi := q.Lo, q.Hi
+		return []ZonePruner{{Col: q.Col, SkipFloat: func(min, max float64) bool {
+			return max < lo || min > hi
+		}}}
+	case InInt:
+		if len(q.Vals) == 0 {
+			// IN () matches nothing: every morsel is skippable.
+			return []ZonePruner{{Col: q.Col, SkipInt: func(min, max int64) bool { return true }}}
+		}
+		vmin, vmax := q.Vals[0], q.Vals[0]
+		for _, v := range q.Vals[1:] {
+			if v < vmin {
+				vmin = v
+			}
+			if v > vmax {
+				vmax = v
+			}
+		}
+		return []ZonePruner{{Col: q.Col, SkipInt: func(min, max int64) bool {
+			return vmax < min || vmin > max
+		}}}
+	default:
+		return nil
+	}
+}
+
+// ZoneCols lists the distinct columns ZonePruners would consult, in order
+// of first appearance — used by EXPLAIN to annotate zone-map-eligible
+// scans.
+func ZoneCols(p Predicate) []string {
+	var cols []string
+	seen := make(map[string]bool)
+	for _, zp := range ZonePruners(p) {
+		if !seen[zp.Col] {
+			seen[zp.Col] = true
+			cols = append(cols, zp.Col)
+		}
+	}
+	return cols
+}

@@ -1,0 +1,159 @@
+package storage
+
+import (
+	"math"
+
+	"bfcbo/internal/catalog"
+)
+
+// ZoneBlockRows is the number of rows summarised by one zone-map block.
+// It matches the executor's default morsel size so a morsel is covered by
+// whole blocks and a skip decision never needs sub-block bounds.
+const ZoneBlockRows = 1024
+
+// ZoneMap holds per-block min/max bounds for one int or float column.
+// Block b covers rows [b*ZoneBlockRows, (b+1)*ZoneBlockRows). A scan
+// consults the bounds covering a morsel and skips it when the predicate
+// cannot hold anywhere inside. Float blocks containing a NaN are poisoned
+// to (NaN, NaN) bounds: every comparison against NaN is false, so no skip
+// condition ever fires on them — conservative, since NaN rows can pass
+// NE/GT/GE under the scalar semantics.
+type ZoneMap struct {
+	imin, imax []int64
+	fmin, fmax []float64
+}
+
+// IsInt reports whether the map carries int64 bounds.
+func (z *ZoneMap) IsInt() bool { return z.imin != nil }
+
+// IsFloat reports whether the map carries float64 bounds.
+func (z *ZoneMap) IsFloat() bool { return z.fmin != nil }
+
+// NumBlocks reports the number of blocks.
+func (z *ZoneMap) NumBlocks() int {
+	if z.IsInt() {
+		return len(z.imin)
+	}
+	return len(z.fmin)
+}
+
+// IntBounds aggregates the block bounds covering rows [lo, hi). The result
+// is a superset of the true row range, which only ever makes skipping more
+// conservative. hi must be > lo.
+func (z *ZoneMap) IntBounds(lo, hi int) (int64, int64) {
+	b0, b1 := lo/ZoneBlockRows, (hi-1)/ZoneBlockRows
+	mn, mx := z.imin[b0], z.imax[b0]
+	for b := b0 + 1; b <= b1; b++ {
+		if z.imin[b] < mn {
+			mn = z.imin[b]
+		}
+		if z.imax[b] > mx {
+			mx = z.imax[b]
+		}
+	}
+	return mn, mx
+}
+
+// FloatBounds aggregates the block bounds covering rows [lo, hi). NaN
+// bounds from a poisoned block propagate, keeping the result poisoned.
+func (z *ZoneMap) FloatBounds(lo, hi int) (float64, float64) {
+	b0, b1 := lo/ZoneBlockRows, (hi-1)/ZoneBlockRows
+	mn, mx := z.fmin[b0], z.fmax[b0]
+	for b := b0 + 1; b <= b1; b++ {
+		bm, bM := z.fmin[b], z.fmax[b]
+		if math.IsNaN(bm) || math.IsNaN(mn) {
+			return math.NaN(), math.NaN()
+		}
+		if bm < mn {
+			mn = bm
+		}
+		if bM > mx {
+			mx = bM
+		}
+	}
+	return mn, mx
+}
+
+// ZoneMap returns the named column's zone map, building and caching it on
+// first use. It returns nil for string columns, unknown columns, and empty
+// tables — callers treat nil as "never skip".
+func (t *Table) ZoneMap(name string) *ZoneMap {
+	c, err := t.Column(name)
+	if err != nil || c.Len() == 0 {
+		return nil
+	}
+	if c.Kind != catalog.Int64 && c.Kind != catalog.Float64 {
+		return nil
+	}
+	t.encMu.Lock()
+	defer t.encMu.Unlock()
+	if z, ok := t.zones[name]; ok {
+		return z
+	}
+	var z *ZoneMap
+	if c.Kind == catalog.Int64 {
+		z = buildIntZones(c.Ints)
+	} else {
+		z = buildFloatZones(c.Floats)
+	}
+	if t.zones == nil {
+		t.zones = make(map[string]*ZoneMap)
+	}
+	t.zones[name] = z
+	return z
+}
+
+func buildIntZones(v []int64) *ZoneMap {
+	nb := (len(v) + ZoneBlockRows - 1) / ZoneBlockRows
+	z := &ZoneMap{imin: make([]int64, nb), imax: make([]int64, nb)}
+	for b := 0; b < nb; b++ {
+		lo := b * ZoneBlockRows
+		hi := lo + ZoneBlockRows
+		if hi > len(v) {
+			hi = len(v)
+		}
+		mn, mx := v[lo], v[lo]
+		for _, x := range v[lo+1 : hi] {
+			if x < mn {
+				mn = x
+			}
+			if x > mx {
+				mx = x
+			}
+		}
+		z.imin[b], z.imax[b] = mn, mx
+	}
+	return z
+}
+
+func buildFloatZones(v []float64) *ZoneMap {
+	nb := (len(v) + ZoneBlockRows - 1) / ZoneBlockRows
+	z := &ZoneMap{fmin: make([]float64, nb), fmax: make([]float64, nb)}
+	for b := 0; b < nb; b++ {
+		lo := b * ZoneBlockRows
+		hi := lo + ZoneBlockRows
+		if hi > len(v) {
+			hi = len(v)
+		}
+		mn, mx := math.Inf(1), math.Inf(-1)
+		poisoned := false
+		for _, x := range v[lo:hi] {
+			if math.IsNaN(x) {
+				poisoned = true
+				break
+			}
+			if x < mn {
+				mn = x
+			}
+			if x > mx {
+				mx = x
+			}
+		}
+		if poisoned {
+			z.fmin[b], z.fmax[b] = math.NaN(), math.NaN()
+		} else {
+			z.fmin[b], z.fmax[b] = mn, mx
+		}
+	}
+	return z
+}
