@@ -14,6 +14,7 @@
 //	bench -experiment concurrency # multi-stream throughput grid (BENCH_PR4.json)
 //	bench -experiment hashtable # map-vs-flat hash-kernel ablation (BENCH_PR5.json)
 //	bench -experiment scan     # scalar-vs-vectorized scan ablation (BENCH_PR6.json)
+//	bench -experiment joinagg  # scalar-vs-batched probe/fold ablation (BENCH_PR7.json)
 //	bench -experiment all      # everything
 //
 // A global -mem-budget (e.g. "64MB") constrains the executor in every
@@ -39,8 +40,8 @@ func main() {
 		seed     = flag.Uint64("seed", 2025, "data generation seed")
 		dop      = flag.Int("dop", 8, "degree of parallelism")
 		reps     = flag.Int("reps", 3, "repetitions per query (first is warm-up)")
-		exp      = flag.String("experiment", "all", "table2|table3|fig1|fig6|naive|mae|ablation|scaling|memory|concurrency|hashtable|scan|all")
-		jout     = flag.String("json", "", "machine-readable report path (default: BENCH_PR2.json for table2, BENCH_PR3.json for memory, BENCH_PR4.json for concurrency, BENCH_PR5.json for hashtable, BENCH_PR6.json for scan; empty = default, \"-\" disables)")
+		exp      = flag.String("experiment", "all", "table2|table3|fig1|fig6|naive|mae|ablation|scaling|memory|concurrency|hashtable|scan|joinagg|all")
+		jout     = flag.String("json", "", "machine-readable report path (default: BENCH_PR2.json for table2, BENCH_PR3.json for memory, BENCH_PR4.json for concurrency, BENCH_PR5.json for hashtable, BENCH_PR6.json for scan, BENCH_PR7.json for joinagg; empty = default, \"-\" disables)")
 		budget   = flag.String("mem-budget", "", `executor memory budget for all experiments, e.g. "64MB" (empty = unlimited)`)
 		streams  = flag.String("streams", "", `concurrency experiment stream counts, e.g. "1,2,4,8" (empty = default; the streams=1 anchor and one multi-stream cell are always included)`)
 		iters    = flag.Int("iters", 0, "concurrency experiment queries per stream (0 = default)")
@@ -56,6 +57,8 @@ func main() {
 			kind, check = "hashtable report", bench.ValidateHashtableJSON
 		case bench.IsScanReport(*validate):
 			kind, check = "scan report", bench.ValidateScanJSON
+		case bench.IsJoinAggReport(*validate):
+			kind, check = "joinagg report", bench.ValidateJoinAggJSON
 		}
 		if err := check(*validate); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
@@ -221,6 +224,24 @@ func run(sf float64, seed uint64, dop, reps int, exp, jsonPath, budget, streamsL
 		}
 		return nil
 	}
+	runJoinAgg := func() error {
+		h, err := mk(false)
+		if err != nil {
+			return err
+		}
+		rows, err := h.RunJoinAgg(nil, nil)
+		if err != nil {
+			return err
+		}
+		bench.PrintJoinAgg(w, rows)
+		if out := pathFor("BENCH_PR7.json"); out != "" {
+			if err := h.WriteJoinAggJSON(out, rows); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", out)
+		}
+		return nil
+	}
 	runScaling := func() error {
 		h, err := mk(false)
 		if err != nil {
@@ -323,12 +344,14 @@ func run(sf float64, seed uint64, dop, reps int, exp, jsonPath, budget, streamsL
 		return runHashtable()
 	case "scan":
 		return runScan()
+	case "joinagg":
+		return runJoinAgg()
 	case "all":
 		// runTable2 already covers the DOP scaling table in its JSON report.
 		for _, f := range []func() error{runTable2, runTable3,
 			func() error { return runFig(12, "Figure 1 — Q12") },
 			func() error { return runFig(7, "Figure 6 — Q7") },
-			runNaive, runMAE, runAblation, runMemory, runConcurrency, runHashtable, runScan} {
+			runNaive, runMAE, runAblation, runMemory, runConcurrency, runHashtable, runScan, runJoinAgg} {
 			if err := f(); err != nil {
 				return err
 			}

@@ -1,0 +1,392 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"bfcbo/internal/exec"
+	"bfcbo/internal/optimizer"
+	"bfcbo/internal/tpch"
+)
+
+// The join/aggregation ablation: the same BF-CBO plans executed with the
+// vectorized batch kernels (the default three-phase probe and the
+// vectorized fold) and with the row-at-a-time baseline they replaced
+// (exec.Options.ScalarProbe), over join-heavy aggregating queries at the
+// single-stream DOP anchors. Each query streams into bench-supplied
+// aggregation specs so the fold kernel is on the measured path. Its
+// report is BENCH_PR7.json, tracking the scalar-vs-vector probe and fold
+// speedups across PRs plus the hash-carry and dict-carry counters. Group
+// results must match across modes bitwise — the kernels are bit-identical
+// by construction, and the harness enforces it.
+
+// JoinAggRow is one (query, DOP, mode) cell of the ablation.
+type JoinAggRow struct {
+	Query int    `json:"query"`
+	DOP   int    `json:"dop"`
+	Mode  string `json:"mode"` // "scalar" or "vector"
+	// ExecMS is end-to-end executor latency; JoinMS sums the in-operator
+	// wall time of the hash-join probes (the phase the probe kernel
+	// targets); FoldMS sums the in-stream aggregation fold time.
+	ExecMS float64 `json:"exec_ms"`
+	JoinMS float64 `json:"join_ms"`
+	FoldMS float64 `json:"fold_ms"`
+	// GatherMS / ProbeMS / EmitMS split the vectorized probes' wall time
+	// into the three kernel phases (all zero in scalar mode).
+	GatherMS float64 `json:"gather_ms"`
+	ProbeMS  float64 `json:"probe_ms"`
+	EmitMS   float64 `json:"emit_ms"`
+	// Rows is the number of rows delivered to the aggregation sink.
+	Rows int `json:"rows"`
+	// HashCarried counts probe input rows whose key hash rode the batch
+	// from the scan's Bloom probe; DictCarried counts fold input rows
+	// whose group code rode the batch from the scan dictionary. Both are
+	// zero in scalar mode.
+	HashCarried int64 `json:"hash_carried"`
+	DictCarried int64 `json:"dict_carried"`
+}
+
+// JoinAggSpeedup is the per-(query, DOP) scalar/vector latency ratio for
+// end-to-end exec time, the probe phase, and the fold phase.
+type JoinAggSpeedup struct {
+	Query int     `json:"query"`
+	DOP   int     `json:"dop"`
+	Exec  float64 `json:"exec"` // scalar exec_ms / vector exec_ms
+	Join  float64 `json:"join"` // scalar join_ms / vector join_ms
+	Fold  float64 `json:"fold"` // scalar fold_ms / vector fold_ms
+}
+
+// DefaultJoinAggQueries are join-dense TPC-H queries whose plans chain
+// several hash probes into a grouped aggregation: Q7 (nation-pair volume),
+// Q9 (profit by nation, the widest join fan), Q21 (semi-join heavy).
+func DefaultJoinAggQueries() []int { return []int{7, 9, 21} }
+
+// joinAggSpecs supplies the aggregation specs streamed by each query:
+// a grouped revenue over the lineitem measures keyed by a dimension
+// string column, a group count over lineitem's dictionary-friendly
+// l_shipmode (the dict-carry candidate when lineitem sources the result
+// pipeline), and a row count.
+func joinAggSpecs(num int) ([]exec.AggSpec, error) {
+	switch num {
+	case 7:
+		return []exec.AggSpec{
+			{Kind: exec.AggCountStar},
+			{Kind: exec.AggGroupRevenue, KeyRel: 4, KeyCol: "n_name", Rel: 1,
+				PriceCol: "l_extendedprice", DiscCol: "l_discount"},
+			{Kind: exec.AggGroupCount, KeyRel: 1, KeyCol: "l_shipmode"},
+		}, nil
+	case 9:
+		return []exec.AggSpec{
+			{Kind: exec.AggCountStar},
+			{Kind: exec.AggGroupRevenue, KeyRel: 5, KeyCol: "n_name", Rel: 2,
+				PriceCol: "l_extendedprice", DiscCol: "l_discount"},
+			{Kind: exec.AggGroupCount, KeyRel: 2, KeyCol: "l_shipmode"},
+		}, nil
+	case 21:
+		return []exec.AggSpec{
+			{Kind: exec.AggCountStar},
+			{Kind: exec.AggGroupRevenue, KeyRel: 0, KeyCol: "s_name", Rel: 1,
+				PriceCol: "l_extendedprice", DiscCol: "l_discount"},
+			{Kind: exec.AggGroupCount, KeyRel: 1, KeyCol: "l_shipmode"},
+		}, nil
+	default:
+		return nil, fmt.Errorf("bench: no joinagg specs for TPC-H query %d", num)
+	}
+}
+
+// RunJoinAgg executes each query's BF-CBO plan over the DOP grid in both
+// probe modes, reporting the median latency per cell and checking the
+// aggregated groups bitwise across modes.
+func (h *Harness) RunJoinAgg(queries, dops []int) ([]JoinAggRow, error) {
+	if len(queries) == 0 {
+		queries = DefaultJoinAggQueries()
+	}
+	if len(dops) == 0 {
+		dops = []int{1, 8}
+	}
+	var out []JoinAggRow
+	for _, num := range queries {
+		q, ok := tpch.Get(num)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown TPC-H query %d", num)
+		}
+		specs, err := joinAggSpecs(num)
+		if err != nil {
+			return nil, err
+		}
+		block := q.Build(h.ds.Schema)
+		res, err := optimizer.Optimize(block, h.options(optimizer.BFCBO))
+		if err != nil {
+			return nil, fmt.Errorf("bench: joinagg Q%d: %w", num, err)
+		}
+		for _, dop := range dops {
+			var baseline *exec.Result
+			for _, mode := range []string{"scalar", "vector"} {
+				type sample struct {
+					d time.Duration
+					r *exec.Result
+				}
+				var samples []sample
+				for rep := 0; rep < h.cfg.Reps; rep++ {
+					runtime.GC()
+					start := time.Now()
+					r, err := exec.Run(h.ds.DB, block, res.Plan, exec.Options{
+						DOP: dop, MemBudget: h.cfg.MemBudget, SpillDir: h.cfg.SpillDir,
+						Aggregates:  specs,
+						ScalarProbe: mode == "scalar",
+					})
+					elapsed := time.Since(start)
+					if err != nil {
+						return nil, fmt.Errorf("bench: joinagg Q%d dop %d %s: %w", num, dop, mode, err)
+					}
+					if h.cfg.Reps > 1 && rep == 0 {
+						continue
+					}
+					samples = append(samples, sample{d: elapsed, r: r})
+				}
+				sort.Slice(samples, func(i, j int) bool { return samples[i].d < samples[j].d })
+				med := samples[(len(samples)-1)/2]
+				if baseline == nil {
+					baseline = med.r
+				} else if err := sameAggregates(baseline, med.r); err != nil {
+					return nil, fmt.Errorf("bench: joinagg Q%d dop %d: modes diverge: %w", num, dop, err)
+				}
+				row := JoinAggRow{
+					Query: num, DOP: dop, Mode: mode,
+					ExecMS: med.d.Seconds() * 1000, Rows: med.r.Rows,
+				}
+				ms := func(d time.Duration) float64 { return d.Seconds() * 1000 }
+				for _, st := range med.r.OpStats {
+					if !strings.HasPrefix(st.Label, "HashJoin") {
+						continue
+					}
+					row.JoinMS += ms(st.Wall)
+					row.GatherMS += ms(st.Gather)
+					row.ProbeMS += ms(st.Probe)
+					row.EmitMS += ms(st.Emit)
+					row.HashCarried += st.HashReusedKeys
+				}
+				for _, ps := range med.r.Pipelines {
+					row.FoldMS += ms(ps.Phases.Fold)
+					row.DictCarried += ps.FoldCodeReused
+				}
+				out = append(out, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+// sameAggregates checks two runs' aggregation results: counts and group
+// counts exactly, float sums to relative 1e-9. (The kernels are
+// bit-identical under one morsel-to-worker assignment — the exec test
+// suite asserts that — but two independent timed runs at DOP > 1 split
+// morsels differently, which legally reorders the per-worker partial
+// additions.)
+func sameAggregates(a, b *exec.Result) error {
+	if a.Rows != b.Rows {
+		return fmt.Errorf("rows %d vs %d", a.Rows, b.Rows)
+	}
+	if len(a.Aggregates) != len(b.Aggregates) {
+		return fmt.Errorf("%d vs %d aggregate values", len(a.Aggregates), len(b.Aggregates))
+	}
+	closeEnough := func(x, y float64) bool {
+		if x == y {
+			return true
+		}
+		return math.Abs(x-y) <= 1e-9*math.Max(math.Abs(x), math.Abs(y))
+	}
+	for i := range a.Aggregates {
+		av, bv := a.Aggregates[i], b.Aggregates[i]
+		if av.Count != bv.Count {
+			return fmt.Errorf("spec %d: count %d vs %d", i, av.Count, bv.Count)
+		}
+		if !closeEnough(av.Sum, bv.Sum) {
+			return fmt.Errorf("spec %d: sum %v vs %v", i, av.Sum, bv.Sum)
+		}
+		if len(av.Groups) != len(bv.Groups) || len(av.GroupSums) != len(bv.GroupSums) {
+			return fmt.Errorf("spec %d: group shapes diverge", i)
+		}
+		for k, n := range av.Groups {
+			if bv.Groups[k] != n {
+				return fmt.Errorf("spec %d: group %q count %d vs %d", i, k, n, bv.Groups[k])
+			}
+		}
+		for k, s := range av.GroupSums {
+			if !closeEnough(bv.GroupSums[k], s) {
+				return fmt.Errorf("spec %d: group %q sum %v vs %v", i, k, s, bv.GroupSums[k])
+			}
+		}
+	}
+	return nil
+}
+
+// JoinAggSpeedups derives the per-cell scalar/vector latency ratios from
+// an ablation grid.
+func JoinAggSpeedups(rows []JoinAggRow) []JoinAggSpeedup {
+	type key struct{ q, d int }
+	cells := map[key]map[string]JoinAggRow{}
+	for _, r := range rows {
+		k := key{r.Query, r.DOP}
+		if cells[k] == nil {
+			cells[k] = map[string]JoinAggRow{}
+		}
+		cells[k][r.Mode] = r
+	}
+	var out []JoinAggSpeedup
+	for _, r := range rows {
+		if r.Mode != "vector" {
+			continue
+		}
+		k := key{r.Query, r.DOP}
+		scl, vec := cells[k]["scalar"], cells[k]["vector"]
+		if scl.ExecMS <= 0 || vec.ExecMS <= 0 {
+			continue
+		}
+		s := JoinAggSpeedup{Query: r.Query, DOP: r.DOP, Exec: scl.ExecMS / vec.ExecMS}
+		if vec.JoinMS > 0 {
+			s.Join = scl.JoinMS / vec.JoinMS
+		}
+		if vec.FoldMS > 0 {
+			s.Fold = scl.FoldMS / vec.FoldMS
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// PrintJoinAgg renders the ablation grid with per-cell speedups.
+func PrintJoinAgg(w io.Writer, rows []JoinAggRow) {
+	fmt.Fprintf(w, "join/aggregation ablation, BF-CBO plans (speedup = scalar / vector)\n")
+	fmt.Fprintf(w, "%-4s %4s %11s %11s %11s %11s %9s %9s %10s %10s\n",
+		"Q#", "DOP", "scl-exec", "vec-exec", "scl-join", "vec-join", "exec-spd", "join-spd", "hash-carry", "dict-carry")
+	type key struct{ q, d int }
+	byKey := map[key]map[string]JoinAggRow{}
+	var order []key
+	for _, r := range rows {
+		k := key{r.Query, r.DOP}
+		if byKey[k] == nil {
+			byKey[k] = map[string]JoinAggRow{}
+			order = append(order, k)
+		}
+		byKey[k][r.Mode] = r
+	}
+	for _, k := range order {
+		s, v := byKey[k]["scalar"], byKey[k]["vector"]
+		execSpd, joinSpd := 0.0, 0.0
+		if v.ExecMS > 0 {
+			execSpd = s.ExecMS / v.ExecMS
+		}
+		if v.JoinMS > 0 {
+			joinSpd = s.JoinMS / v.JoinMS
+		}
+		fmt.Fprintf(w, "%-4d %4d %11.3f %11.3f %11.3f %11.3f %8.2fx %8.2fx %10d %10d\n",
+			k.q, k.d, s.ExecMS, v.ExecMS, s.JoinMS, v.JoinMS, execSpd, joinSpd, v.HashCarried, v.DictCarried)
+	}
+}
+
+// JoinAggReport is the machine-readable ablation (BENCH_PR7.json).
+type JoinAggReport struct {
+	ScaleFactor float64          `json:"scale_factor"`
+	Seed        uint64           `json:"seed"`
+	Reps        int              `json:"reps"`
+	JoinAgg     []JoinAggRow     `json:"joinagg"`
+	Speedups    []JoinAggSpeedup `json:"speedups"`
+}
+
+// WriteJoinAggJSON writes the ablation report to path.
+func (h *Harness) WriteJoinAggJSON(path string, rows []JoinAggRow) error {
+	r := &JoinAggReport{
+		ScaleFactor: h.cfg.ScaleFactor,
+		Seed:        h.cfg.Seed,
+		Reps:        h.cfg.Reps,
+		JoinAgg:     rows,
+		Speedups:    JoinAggSpeedups(rows),
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// IsJoinAggReport sniffs whether the JSON file at path looks like a
+// JoinAggReport (used by bench -validate to dispatch).
+func IsJoinAggReport(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return false
+	}
+	_, ok := probe["joinagg"]
+	return ok
+}
+
+// ValidateJoinAggJSON checks that a join/aggregation ablation report is
+// well-formed: it parses, every (query, DOP) cell carries both modes with
+// positive latencies and identical row counts, scalar cells report no
+// vector-only phase timings or carry counters, and every cell has a
+// positive speedup. The CI bench smoke runs this against the tiny-scale
+// grid.
+func ValidateJoinAggJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r JoinAggReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.JoinAgg) == 0 {
+		return fmt.Errorf("%s: no joinagg rows", path)
+	}
+	type key struct{ q, d int }
+	modes := map[key]map[string]JoinAggRow{}
+	for i, row := range r.JoinAgg {
+		if row.ExecMS <= 0 {
+			return fmt.Errorf("%s: row %d has non-positive exec_ms", path, i)
+		}
+		if row.Mode != "scalar" && row.Mode != "vector" {
+			return fmt.Errorf("%s: row %d has unknown mode %q", path, i, row.Mode)
+		}
+		if row.Mode == "scalar" && (row.GatherMS > 0 || row.ProbeMS > 0 || row.EmitMS > 0 ||
+			row.HashCarried != 0 || row.DictCarried != 0) {
+			return fmt.Errorf("%s: row %d: scalar mode reports vector kernel counters", path, i)
+		}
+		k := key{row.Query, row.DOP}
+		if modes[k] == nil {
+			modes[k] = map[string]JoinAggRow{}
+		}
+		modes[k][row.Mode] = row
+	}
+	for k, m := range modes {
+		scl, okS := m["scalar"]
+		vec, okV := m["vector"]
+		if !okS || !okV {
+			return fmt.Errorf("%s: Q%d dop %d missing a mode cell", path, k.q, k.d)
+		}
+		if scl.Rows != vec.Rows {
+			return fmt.Errorf("%s: Q%d dop %d rows diverge across modes (%d vs %d)",
+				path, k.q, k.d, scl.Rows, vec.Rows)
+		}
+	}
+	if len(r.Speedups) != len(modes) {
+		return fmt.Errorf("%s: %d speedup cells for %d grid cells", path, len(r.Speedups), len(modes))
+	}
+	for _, s := range r.Speedups {
+		if s.Exec <= 0 {
+			return fmt.Errorf("%s: Q%d dop %d has non-positive exec speedup", path, s.Query, s.DOP)
+		}
+	}
+	return nil
+}

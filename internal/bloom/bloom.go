@@ -153,6 +153,32 @@ func (f *Filter) FilterSelHashes(hashes []uint64, sel []int32) []int32 {
 	return sel[:n]
 }
 
+// FilterSelHashesCarry is FilterSelHashes with a second vector compacted
+// in lockstep: carry[i] travels with sel[i] (the executor threads a
+// surviving hash vector through a chain of Bloom probes this way). Both
+// sel and carry are compacted in place; the write index never passes the
+// read index, so calling with carry == hashes is safe — that is how the
+// probe whose own hashes become the carry seeds the chain.
+func (f *Filter) FilterSelHashesCarry(hashes []uint64, sel []int32, carry []uint64) ([]int32, []uint64) {
+	bitsArr, mask := f.bitsArr, f.mask
+	n := 0
+	for i, r := range sel {
+		h := hashes[i]
+		h1 := h & mask
+		if bitsArr[h1>>6]&(1<<(h1&63)) == 0 {
+			continue
+		}
+		h2 := rehash(h) & mask
+		if bitsArr[h2>>6]&(1<<(h2&63)) == 0 {
+			continue
+		}
+		sel[n] = r
+		carry[n] = carry[i]
+		n++
+	}
+	return sel[:n], carry[:n]
+}
+
 // Union ORs other into f. Both filters must have identical bit counts; this
 // is the merge operation used when per-thread filters must be combined
 // before applying to a single-threaded probe side (§3.9, strategy 2).

@@ -80,6 +80,23 @@ func (p *Partitioned) FilterSelHashes(hashes []uint64, sel []int32) []int32 {
 	return sel[:n]
 }
 
+// FilterSelHashesCarry is FilterSelHashes with a lockstep-compacted carry
+// vector, as on Filter; carry == hashes is safe (in-place compaction).
+func (p *Partitioned) FilterSelHashesCarry(hashes []uint64, sel []int32, carry []uint64) ([]int32, []uint64) {
+	parts := p.parts
+	np := uint64(len(parts))
+	n := 0
+	for i, r := range sel {
+		h := hashes[i]
+		if parts[h%np].MayContainHash(h) {
+			sel[n] = r
+			carry[n] = carry[i]
+			n++
+		}
+	}
+	return sel[:n], carry[:n]
+}
+
 // MayContainAligned probes partition part directly (§3.9 strategy 4,
 // "partition-aligned": the apply-side relation is partitioned the same way
 // as the hash-join build side).

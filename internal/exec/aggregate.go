@@ -151,8 +151,13 @@ const nullGroupCode = int64(-1)
 const nullGroupName = "<null>"
 
 // groupDictFor interns a string column once per run (cached across
-// specs sharing a key column). The interning map is setup-only: the
-// per-row fold path never hashes a string again.
+// specs sharing a key column). When the storage layer holds the column's
+// dictionary encoding, the group dictionary derives from it with one
+// int32 remap pass — no per-row string hashing at all; map interning
+// remains as the fallback. Setup-only either way: the per-row fold path
+// never hashes a string again. Group-code assignment order is immaterial
+// to results (groups are reported by name, and every mode of one run
+// shares this cached dictionary).
 func (ex *executor) groupDictFor(rel int, col string, vals []string) *groupDict {
 	key := fmt.Sprintf("%d.%s", rel, col)
 	ex.smu.Lock()
@@ -160,12 +165,50 @@ func (ex *executor) groupDictFor(rel int, col string, vals []string) *groupDict 
 	if d, ok := ex.dicts[key]; ok {
 		return d
 	}
+	d := groupDictFromStorage(ex.tables[rel], col)
+	if d == nil {
+		d = internGroupDict(vals)
+	}
+	if ex.dicts == nil {
+		ex.dicts = make(map[string]*groupDict)
+	}
+	ex.dicts[key] = d
+	return d
+}
+
+// groupDictFromStorage builds the group dictionary from the table's
+// dictionary encoding: the distinct values are already known, so the
+// per-row pass is an int32 code remap instead of a map probe per string.
+func groupDictFromStorage(tbl *storage.Table, col string) *groupDict {
+	sd, err := tbl.Dict(col)
+	if err != nil {
+		return nil
+	}
+	d := &groupDict{codes: make([]int32, len(sd.Codes))}
+	remap := make([]int32, len(sd.Values))
+	for i, v := range sd.Values {
+		if v == nullGroupName {
+			// A literal "<null>" value must share the null-extended rows'
+			// code, exactly as the map kernels merge both under one key.
+			remap[i] = int32(nullGroupCode)
+			continue
+		}
+		remap[i] = int32(len(d.names))
+		d.names = append(d.names, v)
+	}
+	for r, c := range sd.Codes {
+		d.codes[r] = remap[c]
+	}
+	return d
+}
+
+// internGroupDict is the map-interning fallback for columns without a
+// storage dictionary.
+func internGroupDict(vals []string) *groupDict {
 	d := &groupDict{codes: make([]int32, len(vals))}
 	seen := make(map[string]int32, 64)
 	for i, s := range vals {
 		if s == nullGroupName {
-			// A literal "<null>" value must share the null-extended rows'
-			// code, exactly as the map kernels merge both under one key.
 			d.codes[i] = int32(nullGroupCode)
 			continue
 		}
@@ -177,10 +220,6 @@ func (ex *executor) groupDictFor(rel int, col string, vals []string) *groupDict 
 		}
 		d.codes[i] = code
 	}
-	if ex.dicts == nil {
-		ex.dicts = make(map[string]*groupDict)
-	}
-	ex.dicts[key] = d
 	return d
 }
 
@@ -257,10 +296,10 @@ type aggPartial struct {
 	groupSums map[string]float64
 }
 
-// fold accumulates one batch into the partial. The group paths are the
-// engine's per-row aggregation hot loop: with the flat kernels each row
-// costs one code load plus one integer directory probe — no string
-// hashing, no map buckets.
+// fold accumulates one batch into the partial, row at a time — the
+// Options.ScalarProbe ablation baseline, the MapKernels fallback, and the
+// legacy aggregateRowSet path. The group paths with flat kernels cost one
+// code load, one hash mix and one integer directory probe per row.
 func (a *aggCols) fold(p *aggPartial, b *RowSet) {
 	switch a.spec.Kind {
 	case AggCountStar:
@@ -332,6 +371,107 @@ func (a *aggCols) fold(p *aggPartial, b *RowSet) {
 	}
 }
 
+// aggScratch is one worker's reusable fold scratch: the per-batch group
+// code, measure and hash vectors the vectorized fold gathers into —
+// recycled across batches so the steady-state fold loop allocates
+// nothing.
+type aggScratch struct {
+	codes  []int64
+	meas   []float64
+	hashes []uint64
+}
+
+func (scr *aggScratch) ensure(n int) {
+	if cap(scr.codes) < n {
+		scr.codes = make([]int64, n)
+		scr.meas = make([]float64, n)
+	}
+}
+
+// foldBatch is the vectorized fold: the group paths gather the code and
+// measure vectors once per batch — straight off the batch's dictCodes
+// side channel when it covers the key column, else through the interned
+// dictionary — hash the whole code vector once via HashVec, and fold
+// through AggTable.AddHash in a tight loop. Gather order is the scalar
+// fold's row order, so float addition order and the directory layout
+// (which depends only on the distinct keys) are bit-identical to fold's.
+// Non-group kinds are already single-pass column loops and delegate.
+// Returns the number of rows whose group code rode the batch channel.
+func (a *aggCols) foldBatch(p *aggPartial, b *Batch, scr *aggScratch) int64 {
+	switch a.spec.Kind {
+	case AggGroupCount:
+		if a.dict == nil {
+			break
+		}
+		if p.tab == nil {
+			p.tab = hashtab.NewAgg(len(a.dict.names) + 1)
+		}
+		n := b.rows.Len()
+		scr.ensure(n)
+		codes := scr.codes[:n]
+		var reused int64
+		if cc := b.codesFor(a.spec.KeyRel, a.spec.KeyCol); cc != nil {
+			for i, c := range cc {
+				codes[i] = int64(c)
+			}
+			reused = int64(n)
+		} else {
+			dc := a.dict.codes
+			for i, id := range b.rows.Col(a.spec.KeyRel) {
+				if id < 0 {
+					codes[i] = nullGroupCode
+				} else {
+					codes[i] = int64(dc[id])
+				}
+			}
+		}
+		scr.hashes = hashtab.HashVec(codes, scr.hashes)
+		for i, c := range codes {
+			p.tab.AddHash(c, scr.hashes[i], 1, 0)
+		}
+		return reused
+	case AggGroupRevenue:
+		if a.dict == nil {
+			break
+		}
+		if p.tab == nil {
+			p.tab = hashtab.NewAgg(len(a.dict.names) + 1)
+		}
+		keys := b.rows.Col(a.spec.KeyRel)
+		vals := b.rows.Col(a.spec.Rel)
+		scr.ensure(len(keys))
+		codes, meas := scr.codes[:0], scr.meas[:0]
+		var reused int64
+		if cc := b.codesFor(a.spec.KeyRel, a.spec.KeyCol); cc != nil {
+			for i := range keys {
+				if keys[i] < 0 || vals[i] < 0 {
+					continue
+				}
+				codes = append(codes, int64(cc[i]))
+				meas = append(meas, a.price[vals[i]]*(1-a.disc[vals[i]]))
+			}
+			reused = int64(len(keys))
+		} else {
+			dc := a.dict.codes
+			for i := range keys {
+				if keys[i] < 0 || vals[i] < 0 {
+					continue
+				}
+				codes = append(codes, int64(dc[keys[i]]))
+				meas = append(meas, a.price[vals[i]]*(1-a.disc[vals[i]]))
+			}
+		}
+		scr.codes, scr.meas = codes, meas // keep the grown backing arrays
+		scr.hashes = hashtab.HashVec(codes, scr.hashes)
+		for i, c := range codes {
+			p.tab.AddHash(c, scr.hashes[i], 0, meas[i])
+		}
+		return reused
+	}
+	a.fold(p, b.rows)
+	return 0
+}
+
 // aggSink is the streaming-aggregation result sink: partials per (worker,
 // spec), merged in finish. The group-aggregate merge is shared-nothing:
 // per-worker maps are sharded by group hash and the shards merge in
@@ -342,9 +482,17 @@ type aggSink struct {
 	cols     []aggCols
 	partials [][]aggPartial // [worker][spec]
 	rowsSeen []int64        // per worker
-	ph       BreakerPhases
-	res      *mem.Reservation
-	est      int64 // bytes force-accounted at construction
+	// scalar selects the row-at-a-time fold (Options.ScalarProbe); scrs is
+	// the per-worker vectorized-fold scratch, foldNanos / codeReused the
+	// per-worker fold wall time and dictCode-channel hit counts, summed
+	// into Phases.Fold and PipelineStat.FoldCodeReused at finish.
+	scalar     bool
+	scrs       []aggScratch
+	foldNanos  []int64
+	codeReused []int64
+	ph         BreakerPhases
+	res        *mem.Reservation
+	est        int64 // bytes force-accounted at construction
 }
 
 const (
@@ -358,9 +506,13 @@ const (
 
 func (ex *executor) newAggSink(rels query.RelSet, workers int) (sink, error) {
 	s := &aggSink{
-		ex:       ex,
-		partials: make([][]aggPartial, workers),
-		rowsSeen: make([]int64, workers),
+		ex:         ex,
+		partials:   make([][]aggPartial, workers),
+		rowsSeen:   make([]int64, workers),
+		scalar:     ex.scalarProbe,
+		scrs:       make([]aggScratch, workers),
+		foldNanos:  make([]int64, workers),
+		codeReused: make([]int64, workers),
 	}
 	for _, spec := range ex.aggSpecs {
 		a, err := ex.resolveAgg(spec)
@@ -396,11 +548,19 @@ func (ex *executor) newAggSink(rels query.RelSet, workers int) (sink, error) {
 // time is reported as the Merge phase.
 func (s *aggSink) phases() BreakerPhases { return s.ph }
 
-func (s *aggSink) consume(w int, b *RowSet) {
+func (s *aggSink) consume(w int, b *Batch) {
+	start := time.Now()
 	s.rowsSeen[w] += int64(b.Len())
-	for i := range s.cols {
-		s.cols[i].fold(&s.partials[w][i], b)
+	if s.scalar {
+		for i := range s.cols {
+			s.cols[i].fold(&s.partials[w][i], b.rows)
+		}
+	} else {
+		for i := range s.cols {
+			s.codeReused[w] += s.cols[i].foldBatch(&s.partials[w][i], b, &s.scrs[w])
+		}
 	}
+	s.foldNanos[w] += int64(time.Since(start))
 }
 
 func (s *aggSink) finish() error {
@@ -448,6 +608,9 @@ func (s *aggSink) finish() error {
 		}
 	}
 	s.ph.Merge = time.Since(start)
+	for _, ns := range s.foldNanos {
+		s.ph.Fold += time.Duration(ns)
+	}
 	// Top the reservation up to the observed state — exact directory
 	// footprints for the flat partial tables, the aggGroupBytes
 	// approximation for the map baseline and the merged result maps — so
@@ -534,14 +697,11 @@ func mergeAggTables(parts []*hashtab.AggTable, dop int) *hashtab.AggTable {
 	return out
 }
 
-// hashShard assigns a group key to one of n merge shards (FNV-1a).
+// hashShard assigns a group key to one of n merge shards, through the
+// shared hashtab mixer family (the engine keeps exactly one hash family
+// across its hot paths; this was the last ad-hoc string mixer).
 func hashShard(s string, n int) int {
-	h := uint32(2166136261)
-	for i := 0; i < len(s); i++ {
-		h ^= uint32(s[i])
-		h *= 16777619
-	}
-	return int(h % uint32(n))
+	return int(hashtab.HashString(s) % uint64(n))
 }
 
 // mergeGroupsPar merges per-worker group maps. Small merges stay serial;

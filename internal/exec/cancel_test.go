@@ -50,7 +50,7 @@ func (o *faultOp) Close() error {
 	return o.child.Close()
 }
 
-func (o *faultOp) NextBatch() (*RowSet, error) {
+func (o *faultOp) NextBatch() (*Batch, error) {
 	if o.failBatch {
 		return nil, o.err
 	}

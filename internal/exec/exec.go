@@ -122,21 +122,25 @@ type ScanRuntime struct {
 // once (bloom.KeyHash, the hash shared with the join tables) and both
 // filter probe positions derive from that one value. FilterSelHashes is
 // the vectorized form: it compacts a selection vector by a batch of
-// precomputed hashes.
+// precomputed hashes; FilterSelHashesCarry additionally compacts a
+// second vector in lockstep (the scan's batch hash side channel —
+// calling with carry == hashes is safe).
 type bloomHandle interface {
 	MayContain(key int64) bool
 	MayContainHash(h uint64) bool
 	FilterSelHashes(hashes []uint64, sel []int32) []int32
+	FilterSelHashesCarry(hashes []uint64, sel []int32, carry []uint64) ([]int32, []uint64)
 }
 
 type executor struct {
-	db         *storage.Database
-	block      *query.Block
-	dop        int
-	satLimit   float64
-	morsel     int
-	mapKernels bool
-	scalarScan bool
+	db          *storage.Database
+	block       *query.Block
+	dop         int
+	satLimit    float64
+	morsel      int
+	mapKernels  bool
+	scalarScan  bool
+	scalarProbe bool
 
 	tables  []*storage.Table // by relation index
 	filters map[int]bloomHandle
@@ -277,6 +281,13 @@ type Options struct {
 	// zone-map morsel skipping, and Bloom filters probe per key rather
 	// than per hashed batch. Results are bit-identical across modes.
 	ScalarScan bool
+	// ScalarProbe selects the row-at-a-time join-probe and aggregation-fold
+	// baseline the vectorized batch kernels replaced — the baseline side of
+	// the join/agg ablation (cmd/bench -experiment joinagg). Probes hash,
+	// look up, verify and emit per row, folds intern and accumulate per
+	// row, and batches carry no hash/dictCode side channels. Results are
+	// bit-identical across modes, including the grace spill-reload path.
+	ScalarProbe bool
 
 	// injectOp, when set (tests only), wraps each worker's operator chain
 	// of every pipeline — the failure-injection hook for cancellation and
@@ -350,6 +361,7 @@ func RunContext(ctx context.Context, db *storage.Database, block *query.Block, p
 		morsel:      morsel,
 		mapKernels:  opts.MapKernels,
 		scalarScan:  opts.ScalarScan,
+		scalarProbe: opts.ScalarProbe,
 		filters:     make(map[int]bloomHandle),
 		fstats:      make(map[int]*BloomRuntime),
 		specs:       make(map[int]plan.BloomSpec),
@@ -803,6 +815,9 @@ func (passAllFilter) MayContain(int64) bool      { return true }
 func (passAllFilter) MayContainHash(uint64) bool { return true }
 func (passAllFilter) FilterSelHashes(_ []uint64, sel []int32) []int32 {
 	return sel
+}
+func (passAllFilter) FilterSelHashesCarry(_ []uint64, sel []int32, carry []uint64) ([]int32, []uint64) {
+	return sel, carry[:len(sel)]
 }
 
 // yieldSlot releases the caller's global worker slot; acquireSlot takes

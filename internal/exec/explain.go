@@ -80,6 +80,14 @@ func breakerSuffix(ps PipelineStat) string {
 			fmt.Fprintf(&b, " [%s]", strings.Join(parts, " "))
 		}
 	}
+	// Fold is in-stream (summed across workers, overlapping the pipeline's
+	// streaming phase), so it renders beside FinishWall, not inside it.
+	if ps.Phases.Fold > 0 {
+		fmt.Fprintf(&b, " fold=%s", ps.Phases.Fold.Round(time.Microsecond))
+	}
+	if ps.FoldCodeReused > 0 {
+		fmt.Fprintf(&b, " dict-carried=%d", ps.FoldCodeReused)
+	}
 	if ps.Spill.Spilled() {
 		fmt.Fprintf(&b, " spill[bytes=%s parts=%d", mem.FormatBytes(ps.Spill.Bytes), ps.Spill.Partitions)
 		if ps.Spill.Depth > 0 {
@@ -111,6 +119,17 @@ func (r *Result) explainNode(b *strings.Builder, n plan.Node, depth int) {
 	if st := r.StatFor(n); st != nil {
 		fmt.Fprintf(b, " actual=%d batches=%d wall=%s",
 			st.RowsOut, st.Batches, st.Wall.Round(time.Microsecond))
+		// Vectorized-probe sub-phases and the hash-carry counter; all zero
+		// for non-join operators and the ScalarProbe ablation.
+		if st.Gather > 0 || st.Probe > 0 || st.Emit > 0 {
+			fmt.Fprintf(b, " [gather=%s probe=%s emit=%s]",
+				st.Gather.Round(time.Microsecond),
+				st.Probe.Round(time.Microsecond),
+				st.Emit.Round(time.Microsecond))
+		}
+		if st.HashReusedKeys > 0 {
+			fmt.Fprintf(b, " hash-carried=%d", st.HashReusedKeys)
+		}
 	} else if a := r.ActualFor(n); a >= 0 {
 		fmt.Fprintf(b, " actual=%.0f", a)
 	}

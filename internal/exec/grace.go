@@ -205,6 +205,7 @@ type graceProbeWorker struct {
 	g        *graceHashJoin
 	bufs     []*RowSet
 	scr      probeScratch // per-worker probe scratch for the drain
+	inBatch  Batch        // reused batch header wrapping reloaded chunks
 	done     bool         // this worker finished writing (markDone sent)
 	draining bool
 	stack    []spillPair
@@ -290,7 +291,7 @@ func (w *graceProbeWorker) flushAll() error {
 // active pair is joined and emitted per call, so the only drain-side
 // memory is the active pair's build table (broker-accounted) plus one
 // chunk; a pair's join output is never buffered whole.
-func (o *probeOp) graceNext() (*RowSet, error) {
+func (o *probeOp) graceNext() (*Batch, error) {
 	w := o.gw
 	g := w.g
 	sh := o.sh
@@ -317,7 +318,11 @@ func (o *probeOp) graceNext() (*RowSet, error) {
 				scratch.cols[c] = scratch.cols[c][:0]
 			}
 			appendRawChunk(scratch, cols)
-			out := sh.probeBatch(w.act.ht, scratch, &w.scr)
+			// Reloaded chunks carry no side channels: the probe re-hashes
+			// exactly as the in-memory scalar path would, so grace output
+			// stays bit-identical in both probe modes.
+			w.inBatch = Batch{rows: scratch}
+			out := sh.probeBatch(w.act.ht, &w.inBatch, &w.scr)
 			// Probe rows were already counted as RowsIn while routing;
 			// the drain only adds output rows.
 			sh.stats.observe(0, out.Len(), time.Since(start))
@@ -367,7 +372,7 @@ func (o *probeOp) graceNext() (*RowSet, error) {
 			continue
 		}
 		start := time.Now()
-		if err := w.route(in); err != nil {
+		if err := w.route(in.rows); err != nil {
 			return nil, err
 		}
 		sh.stats.observe(in.Len(), 0, time.Since(start))

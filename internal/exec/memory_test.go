@@ -333,7 +333,7 @@ type failAfterOp struct {
 
 func (o *failAfterOp) Open() error  { return o.child.Open() }
 func (o *failAfterOp) Close() error { return o.child.Close() }
-func (o *failAfterOp) NextBatch() (*RowSet, error) {
+func (o *failAfterOp) NextBatch() (*Batch, error) {
 	if o.seen >= o.after {
 		return nil, o.err
 	}

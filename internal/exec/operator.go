@@ -15,14 +15,17 @@ const DefaultMorselSize = 1024
 
 // PhysicalOperator is the morsel-driven execution interface. Each worker
 // of a pipeline owns a private operator chain; NextBatch pulls the next
-// batch of rows (a small RowSet in the usual late-materialization layout)
-// or nil at end of stream. Shared state behind the per-worker instances
-// (the morsel cursor, hash tables, sorted runs) is owned by the pipeline.
+// batch (a small RowSet in the usual late-materialization layout plus the
+// sel/hashes/dictCodes side channels — see Batch) or nil at end of
+// stream. Shared state behind the per-worker instances (the morsel
+// cursor, hash tables, sorted runs) is owned by the pipeline.
 type PhysicalOperator interface {
 	// Open prepares per-worker state before the first NextBatch.
 	Open() error
 	// NextBatch returns the next non-empty batch, or nil at end of stream.
-	NextBatch() (*RowSet, error)
+	// The returned batch is scratch owned by the operator, valid until its
+	// next NextBatch call.
+	NextBatch() (*Batch, error)
 	// Close releases per-worker state after the last NextBatch.
 	Close() error
 }
@@ -36,6 +39,14 @@ type opStats struct {
 	rowsOut   atomic.Int64
 	batches   atomic.Int64
 	wallNanos atomic.Int64
+	// Vectorized-probe sub-phases (gather keys / probe directory / emit
+	// pair-driven output) and the number of input rows whose key hashes
+	// arrived precomputed on the batch. Zero for non-join operators and
+	// for the scalar ablation path.
+	gatherNanos atomic.Int64
+	probeNanos  atomic.Int64
+	emitNanos   atomic.Int64
+	hashReused  atomic.Int64
 }
 
 func (s *opStats) observe(rowsIn, rowsOut int, d time.Duration) {
@@ -43,6 +54,14 @@ func (s *opStats) observe(rowsIn, rowsOut int, d time.Duration) {
 	s.rowsOut.Add(int64(rowsOut))
 	s.batches.Add(1)
 	s.wallNanos.Add(int64(d))
+}
+
+// observePhases folds one vectorized probe batch's sub-timings in.
+func (s *opStats) observePhases(gather, probe, emit time.Duration, reused int) {
+	s.gatherNanos.Add(int64(gather))
+	s.probeNanos.Add(int64(probe))
+	s.emitNanos.Add(int64(emit))
+	s.hashReused.Add(int64(reused))
 }
 
 // OpStat is the exported snapshot of one operator's runtime counters, the
@@ -60,16 +79,27 @@ type OpStat struct {
 	// Wall is the summed in-operator wall time across workers (it can
 	// exceed the pipeline's elapsed time under parallelism).
 	Wall time.Duration
+	// Gather/Probe/Emit split a vectorized join probe's wall time into its
+	// three kernel phases (all zero for other operators and for the
+	// ScalarProbe ablation).
+	Gather, Probe, Emit time.Duration
+	// HashReusedKeys counts input rows whose join-key hash arrived
+	// precomputed on the batch (scan Bloom probe → join probe hash carry).
+	HashReusedKeys int64
 }
 
 func (s *opStats) snapshot() OpStat {
 	return OpStat{
-		Label:   s.label,
-		Node:    s.node,
-		RowsIn:  s.rowsIn.Load(),
-		RowsOut: s.rowsOut.Load(),
-		Batches: s.batches.Load(),
-		Wall:    time.Duration(s.wallNanos.Load()),
+		Label:          s.label,
+		Node:           s.node,
+		RowsIn:         s.rowsIn.Load(),
+		RowsOut:        s.rowsOut.Load(),
+		Batches:        s.batches.Load(),
+		Wall:           time.Duration(s.wallNanos.Load()),
+		Gather:         time.Duration(s.gatherNanos.Load()),
+		Probe:          time.Duration(s.probeNanos.Load()),
+		Emit:           time.Duration(s.emitNanos.Load()),
+		HashReusedKeys: s.hashReused.Load(),
 	}
 }
 
@@ -87,6 +117,10 @@ type BreakerPhases struct {
 	Build time.Duration
 	// Bloom is the Bloom-filter population time (per-worker partials).
 	Bloom time.Duration
+	// Fold is the summed in-stream aggregation fold time across workers
+	// (unlike the finish phases above it overlaps the pipeline's streaming
+	// work, so it can exceed FinishWall).
+	Fold time.Duration
 }
 
 // SpillStat reports one pipeline's spill activity under a memory budget.
@@ -132,6 +166,11 @@ type PipelineStat struct {
 	FinishWall time.Duration
 	// Phases splits FinishWall into the breaker's measured phases.
 	Phases BreakerPhases
+	// FoldCodeReused counts aggregation-fold input rows whose group code
+	// arrived on the batch's dictCodes side channel (scan dictionary →
+	// fold carry); zero for non-aggregating pipelines and the ScalarProbe
+	// ablation.
+	FoldCodeReused int64
 	// Spill reports the pipeline's spill activity under a memory budget.
 	Spill SpillStat
 }

@@ -23,6 +23,7 @@ import (
 // Close, so the probe loop itself performs no atomic operations.
 type scanBloom struct {
 	h      bloomHandle
+	col    string // the filtered column (the first, for multi-column)
 	vals   []int64
 	vals2  []int64 // second column of a multi-column filter, or nil
 	st     *BloomRuntime
@@ -63,6 +64,18 @@ type scanSource struct {
 	zoneSkipped     atomic.Int64
 	zoneSkippedRows atomic.Int64
 	predIn, predOut []atomic.Int64 // one pair per kernel, compile order
+
+	// Batch side-channel requests, set by runPipeline after construction
+	// (they depend on the pipeline's downstream operators). carryIdx names
+	// the Bloom probe whose per-batch hash vector doubles as the batch's
+	// hash channel — the first probe operator keys on the same column, so
+	// its HashVec pass becomes redundant. codeDict/codeCol ask the scan to
+	// gather group-dictionary codes for an aggregation group key that lives
+	// on this relation.
+	carryIdx int // index into bfs, -1 when no hash carry
+	hashCol  string
+	codeDict *groupDict
+	codeCol  string
 }
 
 func (ex *executor) newScanSource(s *plan.Scan, stats *opStats) (*scanSource, error) {
@@ -74,9 +87,10 @@ func (ex *executor) newScanSource(s *plan.Scan, stats *opStats) (*scanSource, er
 	src := &scanSource{
 		s: s, tbl: tbl, kernels: kernels, scalar: ex.scalarScan,
 		n: tbl.NumRows(), morsel: ex.morsel, stats: stats,
-		stop:    &ex.stop,
-		predIn:  make([]atomic.Int64, len(kernels)),
-		predOut: make([]atomic.Int64, len(kernels)),
+		stop:     &ex.stop,
+		carryIdx: -1,
+		predIn:   make([]atomic.Int64, len(kernels)),
+		predOut:  make([]atomic.Int64, len(kernels)),
 	}
 	if !src.scalar {
 		// Zone maps: each prunable conjunct pairs with its column's
@@ -104,7 +118,7 @@ func (ex *executor) newScanSource(s *plan.Scan, stats *opStats) (*scanSource, er
 		if err != nil {
 			return nil, fmt.Errorf("exec: bloom %d: %w", id, err)
 		}
-		entry := &scanBloom{h: h, vals: col.Ints, st: st}
+		entry := &scanBloom{h: h, col: spec.ApplyCol, vals: col.Ints, st: st}
 		if spec.ApplyCol2 != "" {
 			col2, err := tbl.Column(spec.ApplyCol2)
 			if err != nil {
@@ -115,6 +129,32 @@ func (ex *executor) newScanSource(s *plan.Scan, stats *opStats) (*scanSource, er
 		src.bfs = append(src.bfs, entry)
 	}
 	return src, nil
+}
+
+// requestHashCarry asks the scan to publish its per-batch Bloom hash
+// vector as the batch's hash side channel for col. It takes effect only
+// when a single-column Bloom probe on that column exists — the hashes are
+// then computed anyway, and keeping them costs one compaction at most.
+// The last matching probe wins: its vector needs no further compaction.
+func (src *scanSource) requestHashCarry(col string) {
+	if src.scalar {
+		return
+	}
+	for k, b := range src.bfs {
+		if b.vals2 == nil && b.col == col {
+			src.carryIdx, src.hashCol = k, col
+		}
+	}
+}
+
+// requestDictCodes asks the scan to gather the group-dictionary codes of
+// col for every emitted row, so a downstream aggregation fold can skip
+// group-key interning (the dictCodes side channel).
+func (src *scanSource) requestDictCodes(col string, d *groupDict) {
+	if src.scalar || d == nil {
+		return
+	}
+	src.codeDict, src.codeCol = d, col
 }
 
 // skipMorsel consults the zone maps covering rows [lo, hi): true when some
@@ -174,6 +214,10 @@ type scanOp struct {
 	sel   []int32
 	keys  *[]int64 // keyVecPool scratch for batched Bloom key gathers
 	hs    []uint64
+	carry []uint64 // hash side channel scratch (separate from hs: later
+	// Bloom probes overwrite hs, the carry must survive them)
+	codes []int32 // dictCodes side channel scratch
+	out   Batch   // reused output batch header
 
 	localTested  []int64
 	localPassed  []int64
@@ -205,6 +249,12 @@ func (o *scanOp) Open() error {
 		o.keys = kp
 		o.hs = make([]uint64, src.morsel)
 	}
+	if src.carryIdx >= 0 {
+		o.carry = make([]uint64, src.morsel)
+	}
+	if src.codeDict != nil {
+		o.codes = make([]int32, src.morsel)
+	}
 	return nil
 }
 
@@ -235,7 +285,7 @@ func (o *scanOp) Close() error {
 	return nil
 }
 
-func (o *scanOp) NextBatch() (*RowSet, error) {
+func (o *scanOp) NextBatch() (*Batch, error) {
 	if o.src.scalar {
 		return o.nextScalar()
 	}
@@ -244,8 +294,10 @@ func (o *scanOp) NextBatch() (*RowSet, error) {
 
 // nextVector is the batch kernel path: claim a morsel, consult the zone
 // maps, run the adaptive kernel chain over the selection vector, then probe
-// the Bloom filters over gathered key batches hashed once per batch.
-func (o *scanOp) nextVector() (*RowSet, error) {
+// the Bloom filters over gathered key batches hashed once per batch. When
+// a side channel was requested, the batch also carries the surviving hash
+// vector of the carry Bloom probe and/or gathered group-dictionary codes.
+func (o *scanOp) nextVector() (*Batch, error) {
 	src := o.src
 	for {
 		if src.stop != nil && src.stop.Load() {
@@ -274,6 +326,7 @@ func (o *scanOp) nextVector() (*RowSet, error) {
 		if o.chain != nil {
 			sel = o.chain.EvalBatch(sel)
 		}
+		var carry []uint64
 		for k, b := range src.bfs {
 			if len(sel) == 0 {
 				break
@@ -291,8 +344,20 @@ func (o *scanOp) nextVector() (*RowSet, error) {
 			}
 			// One shared mix per key: HashVec fills the batch hash vector
 			// and both filter probe positions derive from it.
-			hs := hashtab.HashVec(keys, o.hs)
-			sel = b.h.FilterSelHashes(hs, sel)
+			switch {
+			case k == src.carryIdx:
+				// This probe's hashes become the batch's hash channel:
+				// hash into the carry buffer and compact it alongside sel.
+				hs := hashtab.HashVec(keys, o.carry)
+				sel, carry = b.h.FilterSelHashesCarry(hs, sel, hs)
+			case carry != nil:
+				// A later probe: compact the surviving carry in lockstep.
+				hs := hashtab.HashVec(keys, o.hs)
+				sel, carry = b.h.FilterSelHashesCarry(hs, sel, carry)
+			default:
+				hs := hashtab.HashVec(keys, o.hs)
+				sel = b.h.FilterSelHashes(hs, sel)
+			}
 			o.localPassed[k] += int64(len(sel))
 		}
 		src.stats.observe(hi-lo, len(sel), time.Since(start))
@@ -301,14 +366,26 @@ func (o *scanOp) nextVector() (*RowSet, error) {
 		}
 		out := NewRowSetCap(query.NewRelSet(src.s.Rel), len(sel))
 		out.cols[0] = append(out.cols[0], sel...)
-		return out, nil
+		o.out = Batch{rows: out, sel: out.cols[0]}
+		if carry != nil {
+			o.out.hashes, o.out.hashRel, o.out.hashCol = carry, src.s.Rel, src.hashCol
+		}
+		if src.codeDict != nil {
+			codes := o.codes[:len(sel)]
+			gd := src.codeDict.codes
+			for i, r := range sel {
+				codes[i] = gd[r]
+			}
+			o.out.dictCodes, o.out.codeRel, o.out.codeCol = codes, src.s.Rel, src.codeCol
+		}
+		return &o.out, nil
 	}
 }
 
 // nextScalar is the row-at-a-time ablation baseline (Options.ScalarScan):
 // kernels still bind columns once at compile, but rows are evaluated and
 // Bloom-probed one at a time, interface call per predicate per row.
-func (o *scanOp) nextScalar() (*RowSet, error) {
+func (o *scanOp) nextScalar() (*Batch, error) {
 	src := o.src
 	for {
 		if src.stop != nil && src.stop.Load() {
@@ -353,7 +430,8 @@ func (o *scanOp) nextScalar() (*RowSet, error) {
 		out.cols[0] = col
 		src.stats.observe(hi-lo, len(col), time.Since(start))
 		if len(col) > 0 {
-			return out, nil
+			o.out = Batch{rows: out, sel: col}
+			return &o.out, nil
 		}
 	}
 }
@@ -643,6 +721,8 @@ type probeShared struct {
 	outerVals [][]int64
 	outerRels []int
 	stats     *opStats
+	// scalar selects the row-at-a-time ablation kernel (Options.ScalarProbe).
+	scalar bool
 }
 
 func (ex *executor) newProbeShared(j *plan.Join, ht *hashTable, g *graceHashJoin,
@@ -651,6 +731,7 @@ func (ex *executor) newProbeShared(j *plan.Join, ht *hashTable, g *graceHashJoin
 		j: j, ht: ht,
 		outRels: inRels.Union(j.Inner.Rels()),
 		stats:   stats,
+		scalar:  ex.scalarProbe,
 	}
 	sh.wiring = newColWiring(sh.outRels, inRels, j.Inner.Rels())
 	for _, c := range j.Conds {
@@ -672,12 +753,38 @@ func (ex *executor) newProbeShared(j *plan.Join, ht *hashTable, g *graceHashJoin
 }
 
 // probeScratch is one worker's reusable probe-batch scratch: the
-// per-condition outer row-id columns and the per-batch key-hash vector,
-// recycled across morsels so the steady-state probe loop allocates
-// nothing but its output rows.
+// per-condition outer row-id columns, the gathered key and hash vectors,
+// the match-pair vectors, and the reused output row set — recycled across
+// morsels so the steady-state vectorized probe loop allocates nothing.
+// (Reusing the output is safe under the batch ownership contract: sinks
+// and downstream operators consume each batch before the worker's next
+// NextBatch on this operator.)
 type probeScratch struct {
 	outerIDs [][]int32
+	keys     []int64
 	hashes   []uint64
+	// candO/candI are the match-pair vectors of the probe phase; outO/outI
+	// hold the gap-filled pairs of a Left join after the extras filter.
+	candO, candI []int32
+	outO, outI   []int32
+	codes        []int32
+	out          *RowSet
+	outBatch     Batch
+}
+
+// ensureOut returns the reusable output row set sized to n rows.
+func (scr *probeScratch) ensureOut(rels query.RelSet, n int) *RowSet {
+	if scr.out == nil {
+		scr.out = NewRowSetCap(rels, n)
+	}
+	rs := scr.out
+	for c := range rs.cols {
+		if cap(rs.cols[c]) < n {
+			rs.cols[c] = make([]int32, n)
+		}
+		rs.cols[c] = rs.cols[c][:n]
+	}
+	return rs
 }
 
 // hashBatch fills the scratch hash vector for one batch: each outer key
@@ -699,6 +806,7 @@ func (scr *probeScratch) hashBatch(keyIDs []int32, keyVals []int64) []uint64 {
 // mode, through the partition files — see graceNext).
 type probeOp struct {
 	sh    *probeShared
+	ex    *executor
 	child PhysicalOperator
 	scr   probeScratch
 	gw    *graceProbeWorker
@@ -735,10 +843,200 @@ func (sh *probeShared) matchIn(ht *hashTable, outerIDs [][]int32, oi int, ii int
 }
 
 // probeBatch is the probe kernel: it joins one input batch against ht and
-// returns the output rows. It is shared by the streaming NextBatch path
+// returns the output batch. It is shared by the streaming NextBatch path
 // and the grace drain, which probes reloaded partition chunks through the
 // same code so every join type and extra condition behaves identically.
-func (sh *probeShared) probeBatch(ht *hashTable, in *RowSet, scr *probeScratch) *RowSet {
+// The returned batch is scr-backed scratch, valid until the next call.
+func (sh *probeShared) probeBatch(ht *hashTable, in *Batch, scr *probeScratch) *Batch {
+	if sh.scalar {
+		scr.outBatch = Batch{rows: sh.probeBatchScalar(ht, in.rows, scr)}
+		return &scr.outBatch
+	}
+	return sh.probeBatchVec(ht, in, scr)
+}
+
+// probeBatchVec is the vectorized probe kernel, in three phases. Gather:
+// resolve the per-condition outer row-id columns once, gather the key
+// column through them into scratch, and hash the whole vector once via
+// HashVec — or reuse the batch's carried hash vector when the scan's
+// Bloom probe already mixed this column. Probe: a tight monomorphic loop
+// per JoinType walks the flat directory and emits match-pair vectors
+// (outer batch position, build row id); extra non-hash conditions run as
+// a vectorized post-filter, one column loop per condition, over the pair
+// vectors. Emit: bulk per-column gathers driven by the pair vectors
+// materialize the output columns through the precomputed wiring. Output
+// row order is exactly the scalar kernel's: ascending outer position,
+// ascending build row id within a key (the payload order).
+func (sh *probeShared) probeBatchVec(ht *hashTable, in *Batch, scr *probeScratch) *Batch {
+	n := in.rows.Len()
+	gatherStart := time.Now()
+	if cap(scr.outerIDs) < len(sh.outerRels) {
+		scr.outerIDs = make([][]int32, len(sh.outerRels))
+	}
+	outerIDs := scr.outerIDs[:len(sh.outerRels)]
+	for e, rel := range sh.outerRels {
+		outerIDs[e] = in.rows.Col(rel)
+	}
+	keyIDs, keyVals := outerIDs[0], sh.outerVals[0]
+	if cap(scr.keys) < n {
+		scr.keys = make([]int64, n)
+	}
+	keys := scr.keys[:n]
+	for oi := 0; oi < n; oi++ {
+		keys[oi] = keyVals[keyIDs[oi]]
+	}
+	reused := 0
+	hs := in.hashesFor(sh.outerRels[0], sh.j.Conds[0].OuterCol)
+	if hs != nil {
+		reused = n
+	} else {
+		if cap(scr.hashes) < n {
+			scr.hashes = make([]uint64, n)
+		}
+		hs = hashtab.HashVec(keys, scr.hashes)
+	}
+	gatherWall := time.Since(gatherStart)
+
+	probeStart := time.Now()
+	extras := len(sh.outerVals) > 1
+	candO, candI := scr.candO[:0], scr.candI[:0]
+	switch sh.j.JoinType {
+	case query.Inner:
+		for oi := 0; oi < n; oi++ {
+			for _, ii := range ht.lookup(keys[oi], hs[oi]) {
+				candO = append(candO, int32(oi))
+				candI = append(candI, ii)
+			}
+		}
+		if extras {
+			candO, candI = sh.filterExtras(ht, outerIDs, candO, candI)
+		}
+	case query.Semi:
+		// First passing match per outer row; the extras check inlines
+		// because it decides which candidate is "first".
+		for oi := 0; oi < n; oi++ {
+			for _, ii := range ht.lookup(keys[oi], hs[oi]) {
+				if extras && !sh.matchIn(ht, outerIDs, oi, ii) {
+					continue
+				}
+				candO = append(candO, int32(oi))
+				candI = append(candI, ii)
+				break
+			}
+		}
+	case query.Anti:
+		for oi := 0; oi < n; oi++ {
+			found := false
+			for _, ii := range ht.lookup(keys[oi], hs[oi]) {
+				if !extras || sh.matchIn(ht, outerIDs, oi, ii) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				candO = append(candO, int32(oi))
+				candI = append(candI, nullRow)
+			}
+		}
+	case query.Left:
+		for oi := 0; oi < n; oi++ {
+			for _, ii := range ht.lookup(keys[oi], hs[oi]) {
+				candO = append(candO, int32(oi))
+				candI = append(candI, ii)
+			}
+		}
+		if extras {
+			candO, candI = sh.filterExtras(ht, outerIDs, candO, candI)
+		}
+	}
+	scr.candO, scr.candI = candO, candI // keep grown backing arrays
+	pairO, pairI := candO, candI
+	if sh.j.JoinType == query.Left {
+		// Gap fill: candO is ascending, so one merge walk emits every
+		// surviving match and null-extends outer rows with none.
+		outO, outI := scr.outO[:0], scr.outI[:0]
+		k := 0
+		for oi := 0; oi < n; oi++ {
+			had := false
+			for k < len(candO) && candO[k] == int32(oi) {
+				outO = append(outO, int32(oi))
+				outI = append(outI, candI[k])
+				k++
+				had = true
+			}
+			if !had {
+				outO = append(outO, int32(oi))
+				outI = append(outI, nullRow)
+			}
+		}
+		scr.outO, scr.outI = outO, outI
+		pairO, pairI = outO, outI
+	}
+	probeWall := time.Since(probeStart)
+
+	emitStart := time.Now()
+	np := len(pairO)
+	out := scr.ensureOut(sh.outRels, np)
+	w := sh.wiring
+	for c := range out.cols {
+		dst := out.cols[c]
+		if w.fromOuter[c] {
+			src := in.rows.cols[w.srcPos[c]]
+			for k, oi := range pairO {
+				dst[k] = src[oi]
+			}
+		} else {
+			src := ht.inner.cols[w.srcPos[c]]
+			for k, ii := range pairI {
+				if ii < 0 {
+					dst[k] = nullRow
+				} else {
+					dst[k] = src[ii]
+				}
+			}
+		}
+	}
+	scr.outBatch = Batch{rows: out}
+	if in.dictCodes != nil {
+		// Re-gather the group-code channel through the pair vectors; the
+		// code relation always sits on the outer (probe) spine, so pairO
+		// indexes it even for null-extended rows.
+		if cap(scr.codes) < np {
+			scr.codes = make([]int32, np)
+		}
+		codes := scr.codes[:np]
+		for k, oi := range pairO {
+			codes[k] = in.dictCodes[oi]
+		}
+		scr.outBatch.dictCodes = codes
+		scr.outBatch.codeRel, scr.outBatch.codeCol = in.codeRel, in.codeCol
+	}
+	sh.stats.observePhases(gatherWall, probeWall, time.Since(emitStart), reused)
+	return &scr.outBatch
+}
+
+// filterExtras is the vectorized post-filter for extra (non-hash equality)
+// join conditions: one column loop per condition compacts the match-pair
+// vectors in place, preserving order.
+func (sh *probeShared) filterExtras(ht *hashTable, outerIDs [][]int32, candO, candI []int32) ([]int32, []int32) {
+	for e := 1; e < len(sh.outerVals); e++ {
+		ov, ids, iv := sh.outerVals[e], outerIDs[e], ht.innerExtras[e-1]
+		w := 0
+		for k := range candO {
+			if ov[ids[candO[k]]] == iv[candI[k]] {
+				candO[w], candI[w] = candO[k], candI[k]
+				w++
+			}
+		}
+		candO, candI = candO[:w], candI[:w]
+	}
+	return candO, candI
+}
+
+// probeBatchScalar is the row-at-a-time ablation baseline
+// (Options.ScalarProbe): per-row hash, lookup, extras check and
+// appendJoined emit — the kernel the vectorized path replaced.
+func (sh *probeShared) probeBatchScalar(ht *hashTable, in *RowSet, scr *probeScratch) *RowSet {
 	n := in.Len()
 	out := NewRowSetCap(sh.outRels, n)
 	// Row-id column of the outer key relation per condition, resolved
@@ -800,12 +1098,19 @@ func (sh *probeShared) probeBatch(ht *hashTable, in *RowSet, scr *probeScratch) 
 	return out
 }
 
-func (o *probeOp) NextBatch() (*RowSet, error) {
+func (o *probeOp) NextBatch() (*Batch, error) {
 	if o.gw != nil {
 		return o.graceNext()
 	}
 	sh := o.sh
 	for {
+		// Morsel-boundary stop/yield discipline, as in the scan sources: a
+		// highly selective probe can spin through many empty-output batches,
+		// so each iteration honors the run-wide stop flag and offers the
+		// worker slot back to the scheduler before claiming more input.
+		if o.ex != nil && o.ex.stop.Load() {
+			return nil, nil
+		}
 		in, err := o.child.NextBatch()
 		if err != nil || in == nil {
 			return nil, err
@@ -815,6 +1120,9 @@ func (o *probeOp) NextBatch() (*RowSet, error) {
 		sh.stats.observe(in.Len(), out.Len(), time.Since(start))
 		if out.Len() > 0 {
 			return out, nil
+		}
+		if o.ex != nil && !o.ex.maybeYield() {
+			return nil, errSlotLost
 		}
 	}
 }
@@ -864,18 +1172,20 @@ func (ex *executor) newNLShared(j *plan.Join, inner *nlInner, inRels query.RelSe
 type nlProbeOp struct {
 	sh    *nlShared
 	child PhysicalOperator
+	out   Batch
 }
 
 func (o *nlProbeOp) Open() error  { return o.child.Open() }
 func (o *nlProbeOp) Close() error { return o.child.Close() }
 
-func (o *nlProbeOp) NextBatch() (*RowSet, error) {
+func (o *nlProbeOp) NextBatch() (*Batch, error) {
 	sh := o.sh
 	for {
-		in, err := o.child.NextBatch()
-		if err != nil || in == nil {
+		b, err := o.child.NextBatch()
+		if err != nil || b == nil {
 			return nil, err
 		}
+		in := b.rows
 		start := time.Now()
 		n := in.Len()
 		m := sh.inner.rs.Len()
@@ -900,7 +1210,8 @@ func (o *nlProbeOp) NextBatch() (*RowSet, error) {
 		}
 		sh.stats.observe(n, out.Len(), time.Since(start))
 		if out.Len() > 0 {
-			return out, nil
+			o.out = Batch{rows: out}
+			return &o.out, nil
 		}
 	}
 }
@@ -951,12 +1262,15 @@ func (ex *executor) newMergeSource(j *plan.Join, outer, inner *sortedInput, stat
 	}, nil
 }
 
-type mergeSourceOp struct{ src *mergeSource }
+type mergeSourceOp struct {
+	src *mergeSource
+	out Batch
+}
 
 func (o *mergeSourceOp) Open() error  { return nil }
 func (o *mergeSourceOp) Close() error { return nil }
 
-func (o *mergeSourceOp) NextBatch() (*RowSet, error) {
+func (o *mergeSourceOp) NextBatch() (*Batch, error) {
 	m := o.src
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -1030,5 +1344,6 @@ func (o *mergeSourceOp) NextBatch() (*RowSet, error) {
 		}
 		return nil, nil
 	}
-	return out, nil
+	o.out = Batch{rows: out}
+	return &o.out, nil
 }

@@ -57,11 +57,12 @@ func (ex *executor) runErr() error {
 }
 
 // sink consumes a pipeline's output batches. consume is called
-// concurrently by workers (disjoint worker indices); finish runs once
-// after all workers complete; phases reports the breaker's measured
-// finish-phase wall times after finish.
+// concurrently by workers (disjoint worker indices) and must finish with
+// the batch before returning — batches are operator-owned scratch (see
+// Batch); finish runs once after all workers complete; phases reports the
+// breaker's measured finish-phase wall times after finish.
 type sink interface {
-	consume(worker int, b *RowSet)
+	consume(worker int, b *Batch)
 	finish() error
 	phases() BreakerPhases
 }
@@ -83,14 +84,14 @@ func newPartsSink(rels query.RelSet, workers int) partsSink {
 	return partsSink{rels: rels, parts: make([]*RowSet, workers)}
 }
 
-func (s *partsSink) consume(w int, b *RowSet) {
+func (s *partsSink) consume(w int, b *Batch) {
 	if s.forceRes != nil {
-		s.forceRes.Force(batchBytes(b))
+		s.forceRes.Force(batchBytes(b.rows))
 	}
 	if s.parts[w] == nil {
 		s.parts[w] = NewRowSet(s.rels)
 	}
-	s.parts[w].appendBatch(b)
+	s.parts[w].appendBatch(b.rows)
 }
 
 func (s *partsSink) phases() BreakerPhases { return s.ph }
@@ -180,8 +181,8 @@ func (s *hashBuildSink) spillWorker(w int) int64 {
 	return freed
 }
 
-func (s *hashBuildSink) consume(w int, b *RowSet) {
-	delta := batchBytes(b)
+func (s *hashBuildSink) consume(w int, b *Batch) {
+	delta := batchBytes(b.rows)
 	if s.res.Grow(delta, func(int64) int64 { return s.spillWorker(w) }) {
 		s.partsSink.consume(w, b)
 		return
@@ -192,7 +193,7 @@ func (s *hashBuildSink) consume(w int, b *RowSet) {
 	if g == nil {
 		return // spill setup failed; the run is being cancelled
 	}
-	if err := g.routeBuild(b); err != nil {
+	if err := g.routeBuild(b.rows); err != nil {
 		s.spillErr.set(err)
 		s.ex.fail(err)
 	}
@@ -388,8 +389,8 @@ func (s *sortSink) spillRun(w int) int64 {
 	return freed
 }
 
-func (s *sortSink) consume(w int, b *RowSet) {
-	delta := batchBytes(b)
+func (s *sortSink) consume(w int, b *Batch) {
+	delta := batchBytes(b.rows)
 	if !s.res.Grow(delta, func(int64) int64 { return s.spillRun(w) }) {
 		// Even an empty buffer cannot make room: the batch itself exceeds
 		// the remaining budget. Take the overage — the rows will be
@@ -714,7 +715,7 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 				return err
 			}
 			factories = append(factories, func(c PhysicalOperator) PhysicalOperator {
-				return &probeOp{sh: sh, child: c}
+				return &probeOp{sh: sh, ex: ex, child: c}
 			})
 			opStatsList = append(opStatsList, st)
 			inRels = sh.outRels
@@ -737,6 +738,34 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 			inRels = sh.outRels
 		default:
 			return fmt.Errorf("exec: join %s cannot stream inside a pipeline (plan bug)", j.Method)
+		}
+	}
+
+	// Batch side-channel requests onto the scan source. Both are
+	// vector-path contracts (the ScalarProbe ablation must behave exactly
+	// like the row-at-a-time engine, so it asks for neither): the first
+	// hash probe keyed on a scan column can reuse the scan's Bloom hash
+	// vector, and an aggregation group key living on the scan relation can
+	// ride the batch as dictionary codes so the fold skips interning.
+	if scanSrc != nil && !ex.scalarProbe {
+		if len(pl.Ops) > 0 {
+			if j := pl.Ops[0]; j.Method == plan.HashJoin && len(j.Conds) > 0 &&
+				j.Conds[0].OuterRel == scanSrc.s.Rel {
+				scanSrc.requestHashCarry(j.Conds[0].OuterCol)
+			}
+		}
+		if pl.Sink == plan.SinkResult && !ex.mapKernels {
+			for _, spec := range ex.aggSpecs {
+				if spec.Kind != AggGroupCount && spec.Kind != AggGroupRevenue {
+					continue
+				}
+				if spec.KeyRel != scanSrc.s.Rel {
+					continue
+				}
+				if c, err := ex.tables[spec.KeyRel].Column(spec.KeyCol); err == nil && c.Strings != nil {
+					scanSrc.requestDictCodes(spec.KeyCol, ex.groupDictFor(spec.KeyRel, spec.KeyCol, c.Strings))
+				}
+			}
 		}
 	}
 
@@ -848,9 +877,7 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 		ex.record(j, int(opStatsList[i].rowsOut.Load()))
 		last = opStatsList[i]
 	}
-	ex.smu.Lock()
-	ex.pipeStats[pl.ID] = pstats
-	ex.pipes = append(ex.pipes, PipelineStat{
+	ps := PipelineStat{
 		ID:         pl.ID,
 		Label:      pl.Describe(),
 		Workers:    workers,
@@ -859,7 +886,15 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 		FinishWall: finishWall,
 		Phases:     snk.phases(),
 		Spill:      rec.snapshot(),
-	})
+	}
+	if as, ok := snk.(*aggSink); ok {
+		for _, n := range as.codeReused {
+			ps.FoldCodeReused += n
+		}
+	}
+	ex.smu.Lock()
+	ex.pipeStats[pl.ID] = pstats
+	ex.pipes = append(ex.pipes, ps)
 	ex.smu.Unlock()
 	return nil
 }

@@ -1,0 +1,615 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bfcbo/internal/catalog"
+	"bfcbo/internal/hashtab"
+	"bfcbo/internal/optimizer"
+	"bfcbo/internal/plan"
+	"bfcbo/internal/query"
+	"bfcbo/internal/storage"
+	"bfcbo/internal/tpch"
+)
+
+// The probe/fold A/B suite: the vectorized batch kernels (the default)
+// must be bit-identical to the row-at-a-time baseline they replaced
+// (Options.ScalarProbe) — the three-phase probe over every join type,
+// extra non-hash conditions, duplicate keys and empty batches, and the
+// vectorized aggregation fold including NaN float measures. Both kernels
+// share one match order (ascending outer position, ascending build row id
+// per key) and one fold order, so comparisons are exact.
+
+// orderedRows fingerprints a row set in its materialized order — the
+// strictest comparison, used where a single worker makes the order
+// deterministic. Columns of relations in skip are excluded, as in
+// canonicalRows.
+func orderedRows(rs *RowSet, skip query.RelSet) []string {
+	if rs == nil {
+		return nil
+	}
+	cols := make([][]int32, 0, len(rs.cols))
+	for _, rel := range rs.rels.Members() {
+		if !skip.Has(rel) {
+			cols = append(cols, rs.Col(rel))
+		}
+	}
+	rows := make([]string, rs.Len())
+	var sb strings.Builder
+	for i := range rows {
+		sb.Reset()
+		for _, col := range cols {
+			fmt.Fprintf(&sb, "%d,", col[i])
+		}
+		rows[i] = sb.String()
+	}
+	return rows
+}
+
+// TestScalarVsVectorProbeRandom is the property suite: randomized join
+// inputs — duplicate-heavy and sparse key domains, extra non-hash
+// conditions, selective and build-emptying predicates (which drive the
+// probe through long runs of empty batches) — across all four join types.
+// DOP 1 runs compare in materialized row order; DOP 3 runs compare
+// canonical forms (worker interleaving reorders result parts).
+func TestScalarVsVectorProbeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		nOuter := 1 + rng.Intn(2000)
+		nInner := 1 + rng.Intn(400)
+		dom := int64(1 + rng.Intn(40)) // small domains force duplicate keys
+
+		ok1 := make([]int64, nOuter)
+		ok2 := make([]int64, nOuter)
+		for i := range ok1 {
+			ok1[i] = rng.Int63n(dom)
+			ok2[i] = rng.Int63n(3)
+		}
+		ik1 := make([]int64, nInner)
+		ik2 := make([]int64, nInner)
+		for i := range ik1 {
+			ik1[i] = rng.Int63n(dom)
+			ik2[i] = rng.Int63n(3)
+		}
+		db := storage.NewDatabase()
+		schema := catalog.NewSchema()
+		outer, err := storage.NewTable("po", []storage.Column{
+			{Name: "k1", Kind: catalog.Int64, Ints: ok1},
+			{Name: "k2", Kind: catalog.Int64, Ints: ok2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inner, err := storage.NewTable("pi", []storage.Column{
+			{Name: "k1", Kind: catalog.Int64, Ints: ik1},
+			{Name: "k2", Kind: catalog.Int64, Ints: ik2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tb := range []*storage.Table{outer, inner} {
+			if err := db.AddTable(tb); err != nil {
+				t.Fatal(err)
+			}
+			if err := schema.AddTable(storage.Analyze(tb)); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Predicates: sometimes none, sometimes selective, sometimes
+		// emptying a whole side (an empty build side or an all-filtered
+		// probe side is a valid, interesting batch stream).
+		var innerPred, outerPred query.Predicate
+		switch rng.Intn(4) {
+		case 0:
+			innerPred = query.CmpInt{Col: "k1", Op: query.LT, Val: 0}
+		case 1:
+			innerPred = query.CmpInt{Col: "k1", Op: query.LT, Val: dom / 2}
+		}
+		if rng.Intn(4) == 0 {
+			outerPred = query.CmpInt{Col: "k1", Op: query.LT, Val: dom / 3}
+		}
+		conds := []plan.Cond{{OuterRel: 0, OuterCol: "k1", InnerRel: 1, InnerCol: "k1"}}
+		if trial%2 == 0 {
+			conds = append(conds, plan.Cond{OuterRel: 0, OuterCol: "k2", InnerRel: 1, InnerCol: "k2"})
+		}
+		morsel := []int{0, 64, 257}[trial%3]
+
+		for _, jt := range []query.JoinType{query.Inner, query.Left, query.Semi, query.Anti} {
+			var skip query.RelSet
+			if jt == query.Semi || jt == query.Anti {
+				skip = query.NewRelSet(1)
+			}
+			b := &query.Block{
+				Name: "prop",
+				Relations: []query.Relation{
+					{Alias: "o", Table: schema.MustTable("po"), Pred: outerPred},
+					{Alias: "i", Table: schema.MustTable("pi"), Pred: innerPred},
+				},
+				Clauses: []query.JoinClause{
+					{Type: jt, LeftRel: 0, LeftCol: "k1", RightRel: 1, RightCol: "k1", SubRels: skip},
+				},
+			}
+			p := &plan.Plan{Root: &plan.Join{
+				Method: plan.HashJoin, JoinType: jt,
+				Outer: &plan.Scan{Rel: 0, Alias: "o", Table: "po", Pred: outerPred},
+				Inner: &plan.Scan{Rel: 1, Alias: "i", Table: "pi", Pred: innerPred},
+				Conds: conds,
+			}}
+			vec1, err := Run(db, b, p, Options{DOP: 1, MorselSize: morsel})
+			if err != nil {
+				t.Fatalf("trial %d %s: vector dop 1: %v", trial, jt, err)
+			}
+			scl1, err := Run(db, b, p, Options{DOP: 1, MorselSize: morsel, ScalarProbe: true})
+			if err != nil {
+				t.Fatalf("trial %d %s: scalar dop 1: %v", trial, jt, err)
+			}
+			vr, sr := orderedRows(vec1.Out, skip), orderedRows(scl1.Out, skip)
+			if len(vr) != len(sr) {
+				t.Fatalf("trial %d %s dop 1: rows diverge: vector=%d scalar=%d",
+					trial, jt, len(vr), len(sr))
+			}
+			for i := range sr {
+				if vr[i] != sr[i] {
+					t.Fatalf("trial %d %s dop 1: row %d diverges in order: vector=%q scalar=%q",
+						trial, jt, i, vr[i], sr[i])
+				}
+			}
+			vec3, err := Run(db, b, p, Options{DOP: 3, MorselSize: morsel})
+			if err != nil {
+				t.Fatalf("trial %d %s: vector dop 3: %v", trial, jt, err)
+			}
+			scl3, err := Run(db, b, p, Options{DOP: 3, MorselSize: morsel, ScalarProbe: true})
+			if err != nil {
+				t.Fatalf("trial %d %s: scalar dop 3: %v", trial, jt, err)
+			}
+			vc, sc := canonicalRows(vec3.Out, skip), canonicalRows(scl3.Out, skip)
+			if len(vc) != len(sc) {
+				t.Fatalf("trial %d %s dop 3: rows diverge: vector=%d scalar=%d",
+					trial, jt, len(vc), len(sc))
+			}
+			for i := range sc {
+				if vc[i] != sc[i] {
+					t.Fatalf("trial %d %s dop 3: tuple %d diverges: vector=%q scalar=%q",
+						trial, jt, i, vc[i], sc[i])
+				}
+			}
+		}
+	}
+}
+
+func TestScalarVsVectorProbeTPCH(t *testing.T) {
+	ds := equivalenceDataset(t)
+	for _, q := range tpch.All() {
+		block := q.Build(ds.Schema)
+		opts := optimizer.DefaultOptions(0.01)
+		opts.Mode = optimizer.BFCBO
+		res, err := optimizer.Optimize(block, opts)
+		if err != nil {
+			t.Fatalf("Q%d: optimize: %v", q.Num, err)
+		}
+		skip := phantomRels(res.Plan)
+		for _, dop := range []int{1, 4} {
+			vec, err := Run(ds.DB, block, res.Plan, Options{DOP: dop})
+			if err != nil {
+				t.Fatalf("Q%d dop %d: vectorized probe: %v", q.Num, dop, err)
+			}
+			scl, err := Run(ds.DB, block, res.Plan, Options{DOP: dop, ScalarProbe: true})
+			if err != nil {
+				t.Fatalf("Q%d dop %d: scalar probe: %v", q.Num, dop, err)
+			}
+			if vec.Rows != scl.Rows {
+				t.Fatalf("Q%d dop %d: rows diverge: vector=%d scalar=%d",
+					q.Num, dop, vec.Rows, scl.Rows)
+			}
+			for _, na := range scl.Actuals {
+				if got := vec.ActualFor(na.Node); got != na.Actual {
+					t.Errorf("Q%d dop %d: node actual diverges: vector=%v scalar=%v",
+						q.Num, dop, got, na.Actual)
+				}
+			}
+			vr := canonicalRows(vec.Out, skip)
+			sr := canonicalRows(scl.Out, skip)
+			for i := range sr {
+				if vr[i] != sr[i] {
+					t.Fatalf("Q%d dop %d: output row %d diverges: vector=%q scalar=%q",
+						q.Num, dop, i, vr[i], sr[i])
+				}
+			}
+			// The ablation run must never enter the vectorized kernel: its
+			// probe sub-phase timers and carry counters stay zero.
+			for _, st := range scl.OpStats {
+				if st.Gather > 0 || st.Probe > 0 || st.Emit > 0 || st.HashReusedKeys > 0 {
+					t.Errorf("Q%d dop %d: scalar run has vector probe stats: %+v", q.Num, dop, st)
+				}
+			}
+		}
+	}
+}
+
+// The grace spill-reload path probes reloaded partition chunks through the
+// same batch kernel dispatch; a tiny budget forces every join through
+// spill/reload under both kernels, and results must stay identical.
+func TestScalarVsVectorProbeGrace(t *testing.T) {
+	ds := equivalenceDataset(t)
+	spillRoot := t.TempDir()
+	for _, num := range []int{5, 12, 21} {
+		q, _ := tpch.Get(num)
+		block := q.Build(ds.Schema)
+		opts := optimizer.DefaultOptions(0.01)
+		opts.Mode = optimizer.BFCBO
+		res, err := optimizer.Optimize(block, opts)
+		if err != nil {
+			t.Fatalf("Q%d: optimize: %v", num, err)
+		}
+		skip := phantomRels(res.Plan)
+		for _, dop := range []int{1, 4} {
+			vec, err := Run(ds.DB, block, res.Plan, Options{
+				DOP: dop, MemBudget: tinyBudget, SpillDir: spillRoot})
+			if err != nil {
+				t.Fatalf("Q%d dop %d: vector grace: %v", num, dop, err)
+			}
+			scl, err := Run(ds.DB, block, res.Plan, Options{
+				DOP: dop, MemBudget: tinyBudget, SpillDir: spillRoot, ScalarProbe: true})
+			if err != nil {
+				t.Fatalf("Q%d dop %d: scalar grace: %v", num, dop, err)
+			}
+			if vec.TotalSpill().Bytes == 0 {
+				t.Fatalf("Q%d dop %d: tiny budget did not spill", num, dop)
+			}
+			if vec.Rows != scl.Rows {
+				t.Fatalf("Q%d dop %d: grace rows diverge: vector=%d scalar=%d",
+					num, dop, vec.Rows, scl.Rows)
+			}
+			vr := canonicalRows(vec.Out, skip)
+			sr := canonicalRows(scl.Out, skip)
+			for i := range sr {
+				if vr[i] != sr[i] {
+					t.Fatalf("Q%d dop %d: grace row %d diverges: vector=%q scalar=%q",
+						num, dop, i, vr[i], sr[i])
+				}
+			}
+		}
+	}
+	assertNoSpillFiles(t, spillRoot)
+}
+
+// A Bloom-filtered probe-spine scan shares its hash work with the join:
+// the vectorized run must report carried hashes, and carrying must not
+// change results.
+func TestProbeHashCarry(t *testing.T) {
+	db, schema := fixture(t)
+	b := factDimBlock(schema, query.Inner)
+	_, vec := optimizeAndRun(t, db, b, optimizer.BFCBO, 2)
+	var reused int64
+	for _, st := range vec.OpStats {
+		reused += st.HashReusedKeys
+	}
+	if reused == 0 {
+		t.Fatalf("no probe hashes carried from the Bloom-filtered scan: %+v", vec.OpStats)
+	}
+}
+
+// The streaming aggregation sink must produce bit-identical counts and
+// float sums across the vectorized fold and the scalar ablation: the
+// vectorized gather preserves the scalar fold's row order and the AddHash
+// directory layout depends only on the distinct keys.
+func TestScalarVsVectorFoldAggregates(t *testing.T) {
+	db, b, p := aggBlockFixture(t)
+	specs := []AggSpec{
+		{Kind: AggCountStar},
+		{Kind: AggGroupCount, KeyRel: 1, KeyCol: "name", EstGroups: 8},
+		{Kind: AggGroupRevenue, KeyRel: 1, KeyCol: "name", Rel: 0, PriceCol: "price", DiscCol: "disc"},
+	}
+	for _, dop := range []int{1, 4} {
+		for _, morsel := range []int{16, 0} {
+			vec, err := Run(db, b, p, Options{DOP: dop, MorselSize: morsel, Aggregates: specs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			scl, err := Run(db, b, p, Options{DOP: dop, MorselSize: morsel, Aggregates: specs, ScalarProbe: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range specs {
+				v, s := vec.Aggregates[i], scl.Aggregates[i]
+				if v.Count != s.Count {
+					t.Fatalf("dop %d spec %d: count %d vs %d", dop, i, v.Count, s.Count)
+				}
+				if len(v.Groups) != len(s.Groups) || len(v.GroupSums) != len(s.GroupSums) {
+					t.Fatalf("dop %d spec %d: group shapes diverge: %+v vs %+v", dop, i, v, s)
+				}
+				for k, n := range s.Groups {
+					if v.Groups[k] != n {
+						t.Fatalf("dop %d spec %d: group %q: %d vs %d", dop, i, k, v.Groups[k], n)
+					}
+				}
+				for k, sum := range s.GroupSums {
+					if math.Float64bits(v.GroupSums[k]) != math.Float64bits(sum) {
+						t.Fatalf("dop %d spec %d: group sum %q: %v vs %v (must be bit-identical)",
+							dop, i, k, v.GroupSums[k], sum)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Scan-produced dictionary codes must ride the batch into the fold when
+// the group key column is on the probe spine — and the carried codes must
+// not change any group result.
+func TestFoldDictCarryFromScan(t *testing.T) {
+	const n = 4000
+	g := make([]string, n)
+	price := make([]float64, n)
+	disc := make([]float64, n)
+	for i := range g {
+		g[i] = fmt.Sprintf("g%d", i%8)
+		price[i] = float64(100 + i%50)
+		disc[i] = float64(i%4) / 10
+	}
+	tbl, err := storage.NewTable("dcarry", []storage.Column{
+		{Name: "g", Kind: catalog.String, Strings: g},
+		{Name: "p", Kind: catalog.Float64, Floats: price},
+		{Name: "d", Kind: catalog.Float64, Floats: disc},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDatabase()
+	if err := db.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	schema := catalog.NewSchema()
+	if err := schema.AddTable(storage.Analyze(tbl)); err != nil {
+		t.Fatal(err)
+	}
+	b := &query.Block{
+		Name:      "dictcarry",
+		Relations: []query.Relation{{Alias: "t", Table: schema.MustTable("dcarry")}},
+	}
+	p := &plan.Plan{Root: &plan.Scan{Rel: 0, Alias: "t", Table: "dcarry"}}
+	specs := []AggSpec{
+		{Kind: AggGroupCount, KeyRel: 0, KeyCol: "g"},
+		{Kind: AggGroupRevenue, KeyRel: 0, KeyCol: "g", Rel: 0, PriceCol: "p", DiscCol: "d"},
+	}
+	for _, dop := range []int{1, 2} {
+		vec, err := Run(db, b, p, Options{DOP: dop, MorselSize: 256, Aggregates: specs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scl, err := Run(db, b, p, Options{DOP: dop, MorselSize: 256, Aggregates: specs, ScalarProbe: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vecCarried, sclCarried int64
+		for _, ps := range vec.Pipelines {
+			vecCarried += ps.FoldCodeReused
+		}
+		for _, ps := range scl.Pipelines {
+			sclCarried += ps.FoldCodeReused
+		}
+		if vecCarried == 0 {
+			t.Fatalf("dop %d: no fold codes carried from the scan dictionary: %+v", dop, vec.Pipelines)
+		}
+		if sclCarried != 0 {
+			t.Fatalf("dop %d: scalar ablation carried %d fold codes", dop, sclCarried)
+		}
+		for i := range specs {
+			v, s := vec.Aggregates[i], scl.Aggregates[i]
+			for k, cnt := range s.Groups {
+				if v.Groups[k] != cnt {
+					t.Fatalf("dop %d spec %d: group %q: %d vs %d", dop, i, k, v.Groups[k], cnt)
+				}
+			}
+			for k, sum := range s.GroupSums {
+				if math.Float64bits(v.GroupSums[k]) != math.Float64bits(sum) {
+					t.Fatalf("dop %d spec %d: group sum %q diverges bitwise", dop, i, k)
+				}
+			}
+		}
+		if vec.Aggregates[0].Groups["g0"] != n/8 {
+			t.Fatalf("group g0 = %d, want %d", vec.Aggregates[0].Groups["g0"], n/8)
+		}
+	}
+}
+
+// NaN measures: the vectorized fold must propagate NaN partial sums
+// bit-identically to the scalar fold. Finite measures are powers of two
+// (exact float addition), so bit-identity holds at any DOP and morsel
+// interleaving; the poisoned group must come out NaN in both modes.
+func TestFoldNaNMeasures(t *testing.T) {
+	const n = 2000
+	g := make([]string, n)
+	price := make([]float64, n)
+	disc := make([]float64, n)
+	for i := range g {
+		g[i] = fmt.Sprintf("g%d", i%5)
+		price[i] = math.Pow(2, float64(i%10))
+		if i%5 == 3 && i%7 == 0 {
+			price[i] = math.NaN()
+		}
+	}
+	tbl, err := storage.NewTable("nanf", []storage.Column{
+		{Name: "g", Kind: catalog.String, Strings: g},
+		{Name: "p", Kind: catalog.Float64, Floats: price},
+		{Name: "d", Kind: catalog.Float64, Floats: disc},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDatabase()
+	if err := db.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	schema := catalog.NewSchema()
+	if err := schema.AddTable(storage.Analyze(tbl)); err != nil {
+		t.Fatal(err)
+	}
+	b := &query.Block{
+		Name:      "nan",
+		Relations: []query.Relation{{Alias: "t", Table: schema.MustTable("nanf")}},
+	}
+	p := &plan.Plan{Root: &plan.Scan{Rel: 0, Alias: "t", Table: "nanf"}}
+	specs := []AggSpec{
+		{Kind: AggSum, Rel: 0, Col: "p"},
+		{Kind: AggGroupRevenue, KeyRel: 0, KeyCol: "g", Rel: 0, PriceCol: "p", DiscCol: "d"},
+	}
+	for _, dop := range []int{1, 4} {
+		vec, err := Run(db, b, p, Options{DOP: dop, MorselSize: 64, Aggregates: specs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scl, err := Run(db, b, p, Options{DOP: dop, MorselSize: 64, Aggregates: specs, ScalarProbe: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(vec.Aggregates[0].Sum) != math.Float64bits(scl.Aggregates[0].Sum) {
+			t.Fatalf("dop %d: NaN sum diverges bitwise: %v vs %v",
+				dop, vec.Aggregates[0].Sum, scl.Aggregates[0].Sum)
+		}
+		vg, sg := vec.Aggregates[1].GroupSums, scl.Aggregates[1].GroupSums
+		if len(vg) != len(sg) {
+			t.Fatalf("dop %d: group count diverges: %d vs %d", dop, len(vg), len(sg))
+		}
+		for k, sum := range sg {
+			if math.Float64bits(vg[k]) != math.Float64bits(sum) {
+				t.Fatalf("dop %d: group %q sum diverges bitwise: %v vs %v", dop, k, vg[k], sum)
+			}
+		}
+		if !math.IsNaN(vg["g3"]) {
+			t.Fatalf("dop %d: poisoned group g3 = %v, want NaN", dop, vg["g3"])
+		}
+	}
+}
+
+// benchProbeFixture builds a standalone probe kernel: a 1024-row build
+// side keyed over 512 distinct values and a 1024-row probe batch, the
+// steady-state shape the CI 0-allocs gate measures.
+func benchProbeFixture(extras bool) (*probeShared, *hashTable, *Batch, *probeScratch) {
+	const nBuild, nProbe = 1024, 1024
+	innerRS := NewRowSet(query.NewRelSet(1))
+	ids := make([]int32, nBuild)
+	buildKeys := make([]int64, nBuild)
+	for i := range ids {
+		ids[i] = int32(i)
+		buildKeys[i] = int64(i % 512)
+	}
+	innerRS.cols[0] = ids
+	hashes := hashtab.HashVec(buildKeys, nil)
+	tab, err := hashtab.Build(buildKeys, hashes, nil)
+	if err != nil {
+		panic(err)
+	}
+	ht := &hashTable{inner: innerRS, innerKeys: buildKeys, tabs: []*hashtab.JoinTable{tab}}
+	conds := []plan.Cond{{OuterRel: 0, OuterCol: "k", InnerRel: 1, InnerCol: "k"}}
+	outerKeys := make([]int64, nProbe)
+	for i := range outerKeys {
+		outerKeys[i] = int64(i % 600) // ~85% hit rate
+	}
+	sh := &probeShared{
+		j:         &plan.Join{Method: plan.HashJoin, JoinType: query.Inner, Conds: conds},
+		ht:        ht,
+		outRels:   query.NewRelSet(0, 1),
+		outerVals: [][]int64{outerKeys},
+		outerRels: []int{0},
+		stats:     &opStats{},
+	}
+	if extras {
+		extraOuter := make([]int64, nProbe)
+		extraInner := make([]int64, nBuild)
+		for i := range extraOuter {
+			extraOuter[i] = int64(i % 2)
+		}
+		for i := range extraInner {
+			extraInner[i] = int64(i % 2)
+		}
+		sh.j.Conds = append(sh.j.Conds, plan.Cond{OuterRel: 0, OuterCol: "e", InnerRel: 1, InnerCol: "e"})
+		sh.outerVals = append(sh.outerVals, extraOuter)
+		sh.outerRels = append(sh.outerRels, 0)
+		ht.innerExtras = [][]int64{extraInner}
+	}
+	sh.wiring = newColWiring(sh.outRels, query.NewRelSet(0), query.NewRelSet(1))
+	inRS := NewRowSet(query.NewRelSet(0))
+	col := make([]int32, nProbe)
+	for i := range col {
+		col[i] = int32(i)
+	}
+	inRS.cols[0] = col
+	return sh, ht, &Batch{rows: inRS}, &probeScratch{}
+}
+
+// BenchmarkProbeBatch measures the steady-state vectorized probe kernel.
+// CI gates on 0 allocs/op: the per-worker scratch must absorb every
+// batch after warm-up.
+func BenchmarkProbeBatch(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		extras bool
+	}{{"hash-only", false}, {"extra-cond", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			sh, ht, in, scr := benchProbeFixture(cfg.extras)
+			if out := sh.probeBatch(ht, in, scr); out.Len() == 0 {
+				b.Fatal("probe produced no rows")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := sh.probeBatch(ht, in, scr)
+				if out.Len() == 0 {
+					b.Fatal("probe produced no rows")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAggFold measures the steady-state vectorized group fold. CI
+// gates on 0 allocs/op once the partial's table and the fold scratch are
+// warm.
+func BenchmarkAggFold(b *testing.B) {
+	const n, groups = 1024, 16
+	names := make([]string, groups)
+	for i := range names {
+		names[i] = fmt.Sprintf("g%d", i)
+	}
+	codes := make([]int32, n)
+	price := make([]float64, n)
+	disc := make([]float64, n)
+	for i := 0; i < n; i++ {
+		codes[i] = int32(i % groups)
+		price[i] = float64(100 + i)
+		disc[i] = float64(i%5) / 10
+	}
+	rs := NewRowSet(query.NewRelSet(0))
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	rs.cols[0] = ids
+	batch := &Batch{rows: rs}
+	dict := &groupDict{names: names, codes: codes}
+	for _, cfg := range []struct {
+		name string
+		spec AggSpec
+	}{
+		{"group-count", AggSpec{Kind: AggGroupCount, KeyRel: 0, KeyCol: "g"}},
+		{"group-revenue", AggSpec{Kind: AggGroupRevenue, KeyRel: 0, KeyCol: "g", Rel: 0, PriceCol: "p", DiscCol: "d"}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			a := &aggCols{spec: cfg.spec, price: price, disc: disc, dict: dict}
+			p := &aggPartial{}
+			scr := &aggScratch{}
+			a.foldBatch(p, batch, scr)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.foldBatch(p, batch, scr)
+			}
+		})
+	}
+}

@@ -67,6 +67,31 @@ func HashVec(keys []int64, dst []uint64) []uint64 {
 	return dst
 }
 
+// HashString mixes a string through the shared Hash family: 8-byte
+// little-endian chunks folded through the int64 mixer, seeded with the
+// length so prefixes of each other hash apart. It exists so string-keyed
+// paths (group-merge sharding) draw from the same mixer as every integer
+// hot path instead of keeping a private hash function.
+func HashString(s string) uint64 {
+	h := Hash(int64(len(s)))
+	for len(s) >= 8 {
+		var w uint64
+		for i := 0; i < 8; i++ {
+			w |= uint64(s[i]) << (8 * i)
+		}
+		h = Hash(int64(w ^ h))
+		s = s[8:]
+	}
+	if len(s) > 0 {
+		var w uint64
+		for i := 0; i < len(s); i++ {
+			w |= uint64(s[i]) << (8 * i)
+		}
+		h = Hash(int64(w ^ h))
+	}
+	return h
+}
+
 // tagOf derives the 8-bit directory tag from a hash. It reads bits
 // 24–31 — disjoint from both the directory index (top bits) and the
 // partition selector (h mod nparts, low bits) — and forces the high bit
@@ -247,10 +272,18 @@ func (t *AggTable) init(dir uint64) {
 // Add folds (cnt, sum) into key's accumulators, creating the group on
 // first touch.
 func (t *AggTable) Add(key int64, cnt int64, sum float64) {
+	t.AddHash(key, Hash(key), cnt, sum)
+}
+
+// AddHash is Add with the key's hash precomputed (h must equal
+// Hash(key)). The vectorized fold hashes a whole code vector once per
+// batch via HashVec and feeds each value here; because the directory's
+// layout depends only on the distinct keys and their hashes, a table fed
+// through AddHash is bit-identical to one fed through Add.
+func (t *AggTable) AddHash(key int64, h uint64, cnt int64, sum float64) {
 	if uint64(4*(t.n+1)) > 3*uint64(len(t.tags)) {
 		t.grow()
 	}
-	h := Hash(key)
 	tag := tagOf(h)
 	s := h >> t.shift
 	for {

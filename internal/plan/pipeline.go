@@ -273,7 +273,9 @@ func describe(n Node) string {
 }
 
 // Describe renders one pipeline as a single line, e.g.
-// "P2: Scan l -> HashJoin(inner) probe -> result".
+// "P2: Scan l -> HashJoin(inner) probe(l_orderkey) -> result".
+// Probe operators name their hash-key column so batch-level reports
+// (hash carry, probe sub-phases) can be read off the pipeline label.
 func (pl *Pipeline) Describe() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "P%d: %s", pl.ID, describe(pl.Source))
@@ -282,6 +284,9 @@ func (pl *Pipeline) Describe() string {
 	}
 	for _, op := range pl.Ops {
 		fmt.Fprintf(&b, " -> %s probe", describe(op))
+		if len(op.Conds) > 0 {
+			fmt.Fprintf(&b, "(%s)", op.Conds[0].OuterCol)
+		}
 	}
 	fmt.Fprintf(&b, " -> %s", pl.Sink)
 	if len(pl.Deps) > 0 {

@@ -89,7 +89,7 @@ func TestExplainPipelines(t *testing.T) {
 		Outer: scanNode(0, "a"), Inner: scanNode(1, "b"),
 		Conds: []Cond{{OuterRel: 0, OuterCol: "x", InnerRel: 1, InnerCol: "x"}}}
 	out := (&Plan{Root: j}).ExplainPipelines()
-	for _, want := range []string{"pipelines (2):", "P0: Scan b -> hash-build", "P1: Scan a -> HashJoin(inner) probe -> result (after P0)"} {
+	for _, want := range []string{"pipelines (2):", "P0: Scan b -> hash-build", "P1: Scan a -> HashJoin(inner) probe(x) -> result (after P0)"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("ExplainPipelines missing %q:\n%s", want, out)
 		}
