@@ -23,6 +23,7 @@ import (
 	"bfcbo/internal/datagen"
 	"bfcbo/internal/exec"
 	"bfcbo/internal/mem"
+	"bfcbo/internal/obs"
 	"bfcbo/internal/optimizer"
 	"bfcbo/internal/query"
 	"bfcbo/internal/sched"
@@ -55,9 +56,9 @@ type Config struct {
 	// LegacyExecutor selects the original operator-at-a-time materializing
 	// executor instead of the default morsel-driven pipelined one. It
 	// exists for A/B comparisons; the pipelined executor is the default.
-	// Legacy runs pass admission control but execute outside the
-	// worker-slot pool, so the DOP cap on total running workers holds
-	// per legacy query, not across them.
+	// Legacy runs pass admission control and hold one worker slot for
+	// their whole (single-threaded) run, so they queue fairly behind
+	// pipelined queries and report scheduler stats like any other query.
 	LegacyExecutor bool
 	// MemBudget bounds the bytes of operator state the executor holds in
 	// RAM (0 = unlimited). Joins and sorts whose memory grants are denied
@@ -80,6 +81,14 @@ type Config struct {
 	// queue before failing with sched.ErrQueueTimeout; 0 means wait until
 	// the caller's context cancels.
 	QueueTimeout time.Duration
+	// SlowQueryLog sizes the engine's flight recorder — the ring of recent
+	// queries retained with full EXPLAIN ANALYZE, scheduler/memory/spill
+	// stats, and lifecycle trace (served at /debug/queries when the debug
+	// endpoints are enabled). 0 defaults to 32; negative disables recording.
+	SlowQueryLog int
+	// SlowQueryMin gates flight-recorder admission: queries faster than
+	// this are not retained. Zero records every query.
+	SlowQueryMin time.Duration
 }
 
 // SchedStat is the per-query scheduling report: admission queue wait,
@@ -90,10 +99,13 @@ type SchedStat = sched.Stat
 // Engine bundles a generated database with planner, executor, and the
 // process-wide query scheduler all its runs are admitted through.
 type Engine struct {
-	cfg    Config
-	ds     *datagen.Dataset
-	broker *mem.Broker
-	sched  *sched.Scheduler
+	cfg     Config
+	ds      *datagen.Dataset
+	broker  *mem.Broker
+	sched   *sched.Scheduler
+	reg     *obs.Registry
+	metrics *obs.Metrics
+	rec     *obs.FlightRecorder
 }
 
 // Open generates the TPC-H dataset and returns a ready engine.
@@ -109,15 +121,62 @@ func Open(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	broker := mem.NewBroker(cfg.MemBudget)
-	return &Engine{
-		cfg: cfg, ds: ds, broker: broker,
-		sched: sched.New(sched.Config{
-			Slots:         cfg.DOP,
-			MaxConcurrent: cfg.MaxConcurrent,
-			QueueTimeout:  cfg.QueueTimeout,
-			Broker:        broker,
-		}),
-	}, nil
+	sch := sched.New(sched.Config{
+		Slots:         cfg.DOP,
+		MaxConcurrent: cfg.MaxConcurrent,
+		QueueTimeout:  cfg.QueueTimeout,
+		Broker:        broker,
+	})
+	reg := obs.NewRegistry()
+	var rec *obs.FlightRecorder
+	if cfg.SlowQueryLog >= 0 {
+		n := cfg.SlowQueryLog
+		if n == 0 {
+			n = 32
+		}
+		rec = obs.NewFlightRecorder(n)
+		rec.MinLatency = cfg.SlowQueryMin
+	}
+	e := &Engine{
+		cfg: cfg, ds: ds, broker: broker, sched: sch,
+		reg: reg, metrics: obs.NewMetrics(reg), rec: rec,
+	}
+	registerEngineMetrics(reg, sch, broker)
+	return e, nil
+}
+
+// registerEngineMetrics exposes the scheduler's and memory broker's live
+// state through gauge/counter funcs — read at scrape time, so the running
+// engine pays nothing for them.
+func registerEngineMetrics(reg *obs.Registry, sch *sched.Scheduler, broker *mem.Broker) {
+	reg.NewGaugeFunc("bfcbo_sched_slots", "Worker-slot pool capacity (DOP).",
+		func() float64 { return float64(sch.Capacity()) })
+	reg.NewGaugeFunc("bfcbo_sched_slots_in_use", "Worker slots currently held.",
+		func() float64 { return float64(sch.InUse()) })
+	reg.NewGaugeFunc("bfcbo_sched_queries_admitted", "Queries currently admitted (running).",
+		func() float64 { return float64(sch.Admitted()) })
+	reg.NewGaugeFunc("bfcbo_sched_queries_queued", "Queries waiting in the admission queue.",
+		func() float64 { return float64(sch.Queued()) })
+	reg.NewGaugeFunc("bfcbo_sched_slot_waiters", "Workers currently blocked on a slot.",
+		func() float64 { return float64(sch.SlotWaiters()) })
+	reg.NewCounterFunc("bfcbo_sched_admitted_total", "Queries admitted since engine open.",
+		func() int64 { return sch.Totals().Admitted })
+	reg.NewCounterFunc("bfcbo_sched_finished_total", "Admitted queries finished since engine open.",
+		func() int64 { return sch.Totals().Finished })
+	reg.NewCounterFunc("bfcbo_sched_queue_timeouts_total", "Admissions failed by queue timeout.",
+		func() int64 { return sch.Totals().Timeouts })
+	reg.NewCounterFunc("bfcbo_sched_rejected_total", "Admissions rejected outright.",
+		func() int64 { return sch.Totals().Rejections })
+	reg.NewGaugeFunc("bfcbo_mem_budget_bytes", "Executor memory budget (0 = unlimited).",
+		func() float64 { return float64(broker.Budget()) })
+	reg.NewGaugeFunc("bfcbo_mem_used_bytes", "Bytes currently reserved from the broker.",
+		func() float64 { return float64(broker.Used()) })
+	reg.NewGaugeFunc("bfcbo_mem_peak_bytes", "Peak bytes reserved since engine open.",
+		func() float64 { return float64(broker.Peak()) })
+	reg.NewCounterFunc("bfcbo_mem_denials_total", "Reservation grows denied by the budget.",
+		func() int64 { return broker.Denials() })
+	reg.NewCounterFunc("bfcbo_mem_spill_triggers_total", "Denied grows that triggered an operator spill.",
+		func() int64 { return broker.SpillTriggers() })
 }
 
 // MemoryBroker exposes the engine's process-wide memory broker (budget,
@@ -127,6 +186,15 @@ func (e *Engine) MemoryBroker() *mem.Broker { return e.broker }
 // Scheduler exposes the engine's process-wide query scheduler (slot pool
 // occupancy, admitted and queued query counts) for monitoring.
 func (e *Engine) Scheduler() *sched.Scheduler { return e.sched }
+
+// MetricsRegistry exposes the engine's metric registry: per-query latency
+// and wait histograms, engine-total counters, and live scheduler/broker
+// gauges, all exportable as Prometheus text via its WriteProm.
+func (e *Engine) MetricsRegistry() *obs.Registry { return e.reg }
+
+// FlightRecorder exposes the engine's slow-query flight recorder, or nil
+// when Config.SlowQueryLog is negative.
+func (e *Engine) FlightRecorder() *obs.FlightRecorder { return e.rec }
 
 // Dataset gives access to the underlying schema and storage for advanced
 // use (building custom query blocks).
@@ -182,6 +250,10 @@ type Output struct {
 	// admission queue wait, worker-slot wait and occupancy, and
 	// preempted-slot handoffs to concurrent queries.
 	Sched SchedStat
+	// Trace is the query's lifecycle trace — admission queue, per-pipeline
+	// spans, breaker finish phases — exportable as Chrome trace-event JSON
+	// via its WriteChrome (load in chrome://tracing or Perfetto).
+	Trace *obs.Trace
 }
 
 // Plan optimizes a block without executing it.
@@ -211,13 +283,19 @@ func (e *Engine) RunContext(ctx context.Context, b *query.Block, mode Mode) (*Ou
 		return nil, err
 	}
 	start := time.Now()
+	tr := obs.NewTrace(8)
 	r, err := exec.RunContext(ctx, e.ds.DB, b, res.Plan, exec.Options{
 		DOP: e.cfg.DOP, Legacy: e.cfg.LegacyExecutor,
 		Broker: e.broker, SpillDir: e.cfg.SpillDir,
-		Sched: e.sched,
+		Sched:   e.sched,
+		Metrics: e.metrics, Trace: tr,
 	})
 	execTime := time.Since(start)
 	if err != nil {
+		e.rec.Record(obs.QueryRecord{
+			ID: tr.QueryID, Label: tr.Label, Mode: mode.String(),
+			Start: start, Latency: execTime, Err: err.Error(), Trace: tr,
+		})
 		return nil, err
 	}
 	// ExecTime reports execution, not admission: time queued behind other
@@ -226,6 +304,18 @@ func (e *Engine) RunContext(ctx context.Context, b *query.Block, mode Mode) (*Ou
 		execTime = 0
 	}
 	analyzed := r.ExplainAnalyze(res.Plan)
+	sp := r.TotalSpill()
+	e.rec.Record(obs.QueryRecord{
+		ID: tr.QueryID, Label: tr.Label, Mode: mode.String(),
+		Start: start, Latency: execTime + r.Sched.QueueWait, Rows: r.Rows,
+		Explain:   analyzed,
+		QueueWait: r.Sched.QueueWait, SlotWait: r.Sched.SlotWait,
+		SlotBusy: r.Sched.SlotBusy, Handoffs: r.Sched.Handoffs,
+		MemPeak:    e.broker.Peak(),
+		SpillBytes: sp.Bytes, SpillRead: sp.BytesRead,
+		SpillParts: int64(sp.Partitions), SpillDepth: int64(sp.Depth),
+		Trace: tr,
+	})
 	return &Output{
 		Rows:           r.Rows,
 		Explain:        res.Plan.Explain() + analyzed,
@@ -237,8 +327,9 @@ func (e *Engine) RunContext(ctx context.Context, b *query.Block, mode Mode) (*Ou
 		ExplainAnalyze: analyzed,
 		OpStats:        r.OpStats,
 		Pipelines:      r.Pipelines,
-		Spill:          r.TotalSpill(),
+		Spill:          sp,
 		Sched:          r.Sched,
+		Trace:          tr,
 	}, nil
 }
 

@@ -15,11 +15,13 @@
 //	bench -experiment hashtable # map-vs-flat hash-kernel ablation (BENCH_PR5.json)
 //	bench -experiment scan     # scalar-vs-vectorized scan ablation (BENCH_PR6.json)
 //	bench -experiment joinagg  # scalar-vs-batched probe/fold ablation (BENCH_PR7.json)
+//	bench -experiment observability # metrics-vs-stats agreement + trace export (BENCH_PR8.json)
 //	bench -experiment all      # everything
 //
 // A global -mem-budget (e.g. "64MB") constrains the executor in every
-// experiment; -validate <path> checks a BENCH_PR3-style memory report or
-// a BENCH_PR4-style concurrency report (dispatching on content) and exits
+// experiment; -validate <path> checks a BENCH_PR3-style memory report, a
+// BENCH_PR4-style concurrency report, a BENCH_PR8-style observability
+// report, or a Chrome trace-event file (dispatching on content) and exits
 // (the CI bench smoke). -streams narrows the concurrency grid.
 package main
 
@@ -32,6 +34,7 @@ import (
 
 	"bfcbo/internal/bench"
 	"bfcbo/internal/mem"
+	"bfcbo/internal/obs"
 )
 
 func main() {
@@ -40,7 +43,7 @@ func main() {
 		seed     = flag.Uint64("seed", 2025, "data generation seed")
 		dop      = flag.Int("dop", 8, "degree of parallelism")
 		reps     = flag.Int("reps", 3, "repetitions per query (first is warm-up)")
-		exp      = flag.String("experiment", "all", "table2|table3|fig1|fig6|naive|mae|ablation|scaling|memory|concurrency|hashtable|scan|joinagg|all")
+		exp      = flag.String("experiment", "all", "table2|table3|fig1|fig6|naive|mae|ablation|scaling|memory|concurrency|hashtable|scan|joinagg|observability|all")
 		jout     = flag.String("json", "", "machine-readable report path (default: BENCH_PR2.json for table2, BENCH_PR3.json for memory, BENCH_PR4.json for concurrency, BENCH_PR5.json for hashtable, BENCH_PR6.json for scan, BENCH_PR7.json for joinagg; empty = default, \"-\" disables)")
 		budget   = flag.String("mem-budget", "", `executor memory budget for all experiments, e.g. "64MB" (empty = unlimited)`)
 		streams  = flag.String("streams", "", `concurrency experiment stream counts, e.g. "1,2,4,8" (empty = default; the streams=1 anchor and one multi-stream cell are always included)`)
@@ -49,8 +52,20 @@ func main() {
 	)
 	flag.Parse()
 	if *validate != "" {
+		// Chrome trace-event files have no report wrapper — sniff and check
+		// them before the report dispatch.
+		if data, err := os.ReadFile(*validate); err == nil && obs.IsChromeTrace(data) {
+			if err := obs.ValidateChrome(data); err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s: well-formed Chrome trace\n", *validate)
+			return
+		}
 		kind, check := "memory report", bench.ValidateMemoryJSON
 		switch {
+		case bench.IsObservabilityReport(*validate):
+			kind, check = "observability report", bench.ValidateObservabilityJSON
 		case bench.IsConcurrencyReport(*validate):
 			kind, check = "concurrency report", bench.ValidateConcurrencyJSON
 		case bench.IsHashtableReport(*validate):
@@ -242,6 +257,39 @@ func run(sf float64, seed uint64, dop, reps int, exp, jsonPath, budget, streamsL
 		}
 		return nil
 	}
+	runObservability := func() error {
+		h, err := mk(false)
+		if err != nil {
+			return err
+		}
+		rep, traces, err := h.RunObservability(nil, 4, iters)
+		if err != nil {
+			return err
+		}
+		bench.PrintObservability(w, rep)
+		if out := pathFor("BENCH_PR8.json"); out != "" {
+			if err := h.WriteObservabilityJSON(out, rep); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", out)
+			// The final repetition's traces ride along as a Chrome
+			// trace-event file next to the report.
+			tracePath := strings.TrimSuffix(out, ".json") + "_trace.json"
+			f, err := os.Create(tracePath)
+			if err != nil {
+				return err
+			}
+			if err := obs.WriteChromeAll(f, traces); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", tracePath)
+		}
+		return nil
+	}
 	runScaling := func() error {
 		h, err := mk(false)
 		if err != nil {
@@ -346,12 +394,14 @@ func run(sf float64, seed uint64, dop, reps int, exp, jsonPath, budget, streamsL
 		return runScan()
 	case "joinagg":
 		return runJoinAgg()
+	case "observability":
+		return runObservability()
 	case "all":
 		// runTable2 already covers the DOP scaling table in its JSON report.
 		for _, f := range []func() error{runTable2, runTable3,
 			func() error { return runFig(12, "Figure 1 — Q12") },
 			func() error { return runFig(7, "Figure 6 — Q7") },
-			runNaive, runMAE, runAblation, runMemory, runConcurrency, runHashtable, runScan, runJoinAgg} {
+			runNaive, runMAE, runAblation, runMemory, runConcurrency, runHashtable, runScan, runJoinAgg, runObservability} {
 			if err := f(); err != nil {
 				return err
 			}

@@ -13,6 +13,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -20,30 +21,33 @@ import (
 
 	"bfcbo"
 	"bfcbo/internal/mem"
+	"bfcbo/internal/obs"
 )
 
 func main() {
 	var (
-		sf      = flag.Float64("sf", 0.01, "TPC-H scale factor")
-		seed    = flag.Uint64("seed", 0, "data generation seed (0 = default)")
-		dop     = flag.Int("dop", 8, "degree of parallelism")
-		qnum    = flag.Int("q", 0, "TPC-H query number (1-22)")
-		sql     = flag.String("sql", "", "SQL text (overrides -q)")
-		modeS   = flag.String("mode", "bfcbo", "optimizer mode: nobf | bfpost | bfcbo | naive")
-		budget  = flag.String("mem-budget", "", `executor memory budget, e.g. "64MB" (empty = unlimited); joins and sorts over budget spill to temp files`)
-		timeout = flag.Duration("timeout", 0, "per-query deadline (0 = none); expiry cancels the run mid-pipeline")
-		streams = flag.Int("streams", 1, "run the query this many times concurrently through the engine scheduler")
-		maxConc = flag.Int("max-concurrent", 0, "admission cap on concurrent queries (0 = unlimited)")
+		sf       = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		seed     = flag.Uint64("seed", 0, "data generation seed (0 = default)")
+		dop      = flag.Int("dop", 8, "degree of parallelism")
+		qnum     = flag.Int("q", 0, "TPC-H query number (1-22)")
+		sql      = flag.String("sql", "", "SQL text (overrides -q)")
+		modeS    = flag.String("mode", "bfcbo", "optimizer mode: nobf | bfpost | bfcbo | naive")
+		budget   = flag.String("mem-budget", "", `executor memory budget, e.g. "64MB" (empty = unlimited); joins and sorts over budget spill to temp files`)
+		timeout  = flag.Duration("timeout", 0, "per-query deadline (0 = none); expiry cancels the run mid-pipeline")
+		streams  = flag.Int("streams", 1, "run the query this many times concurrently through the engine scheduler")
+		maxConc  = flag.Int("max-concurrent", 0, "admission cap on concurrent queries (0 = unlimited)")
+		obsAddr  = flag.String("obs-listen", "", `serve observability endpoints (/metrics, /debug/queries, /debug/trace/<id>) on this address, e.g. ":8080"; the process keeps serving after the query finishes`)
+		traceOut = flag.String("trace-out", "", "write the run's query-lifecycle trace(s) as Chrome trace-event JSON to this file (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
-	if err := run(*sf, *seed, *dop, *qnum, *sql, *modeS, *budget, *timeout, *streams, *maxConc); err != nil {
+	if err := run(*sf, *seed, *dop, *qnum, *sql, *modeS, *budget, *timeout, *streams, *maxConc, *obsAddr, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "bfcbo:", err)
 		os.Exit(1)
 	}
 }
 
 func run(sf float64, seed uint64, dop, qnum int, sql, modeS, budget string,
-	timeout time.Duration, streams, maxConc int) error {
+	timeout time.Duration, streams, maxConc int, obsAddr, traceOut string) error {
 	mode, err := parseMode(modeS)
 	if err != nil {
 		return err
@@ -58,6 +62,18 @@ func run(sf float64, seed uint64, dop, qnum int, sql, modeS, budget string,
 	})
 	if err != nil {
 		return err
+	}
+	if obsAddr != "" {
+		h := &obs.Handler{Registry: eng.MetricsRegistry(), Recorder: eng.FlightRecorder()}
+		srv := &http.Server{Addr: obsAddr, Handler: h}
+		ln := make(chan error, 1)
+		go func() { ln <- srv.ListenAndServe() }()
+		select {
+		case err := <-ln:
+			return fmt.Errorf("obs-listen: %w", err)
+		case <-time.After(50 * time.Millisecond):
+			fmt.Printf("observability on http://%s/metrics\n", obsAddr)
+		}
 	}
 	runOne := func() (*bfcbo.Output, error) {
 		ctx := context.Background()
@@ -79,6 +95,7 @@ func run(sf float64, seed uint64, dop, qnum int, sql, modeS, budget string,
 		return nil, fmt.Errorf("pass -q 1..22 or -sql (see -h)")
 	}
 	var out *bfcbo.Output
+	var traces []*obs.Trace
 	if streams > 1 {
 		// Concurrency demo: the same query on every stream, sharing the
 		// engine's worker-slot pool and memory budget.
@@ -109,8 +126,13 @@ func run(sf float64, seed uint64, dop, qnum int, sql, modeS, budget string,
 		fmt.Printf("%d streams in %s (%.1f queries/s)\n",
 			streams, wall.Round(time.Microsecond), float64(streams)/wall.Seconds())
 		out = outs[0]
+		for _, o := range outs {
+			traces = append(traces, o.Trace)
+		}
 	} else if out, err = runOne(); err != nil {
 		return err
+	} else {
+		traces = append(traces, out.Trace)
 	}
 	fmt.Print(out.Explain)
 	fmt.Printf("join order: %s\n", out.JoinOrder)
@@ -124,6 +146,24 @@ func run(sf float64, seed uint64, dop, qnum int, sql, modeS, budget string,
 	for _, bs := range out.BloomStats {
 		fmt.Printf("BF#%d [%s] inserted=%d tested=%d passed=%d saturation=%.3f\n",
 			bs.ID, bs.Strategy, bs.Inserted, bs.Tested, bs.Passed, bs.Saturation)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeAll(f, traces); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (%d queries)\n", traceOut, len(traces))
+	}
+	if obsAddr != "" {
+		fmt.Println("serving observability endpoints; Ctrl-C to exit")
+		select {}
 	}
 	return nil
 }

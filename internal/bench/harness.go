@@ -203,14 +203,15 @@ type PipelineCell struct {
 	Rows    int64   `json:"rows"`
 	WallMS  float64 `json:"wall_ms"`
 	// FinishMS is the sink's finish (breaker) time within WallMS.
-	FinishMS   float64 `json:"finish_ms"`
-	MergeMS    float64 `json:"merge_ms,omitempty"`
-	SortMS     float64 `json:"sort_ms,omitempty"`
-	BuildMS    float64 `json:"build_ms,omitempty"`
-	BloomMS    float64 `json:"bloom_ms,omitempty"`
-	SpillBytes int64   `json:"spill_bytes,omitempty"`
-	SpillParts int     `json:"spill_partitions,omitempty"`
-	SpillDepth int     `json:"spill_depth,omitempty"`
+	FinishMS       float64 `json:"finish_ms"`
+	MergeMS        float64 `json:"merge_ms,omitempty"`
+	SortMS         float64 `json:"sort_ms,omitempty"`
+	BuildMS        float64 `json:"build_ms,omitempty"`
+	BloomMS        float64 `json:"bloom_ms,omitempty"`
+	SpillBytes     int64   `json:"spill_bytes,omitempty"`
+	SpillReadBytes int64   `json:"spill_read_bytes,omitempty"`
+	SpillParts     int     `json:"spill_partitions,omitempty"`
+	SpillDepth     int     `json:"spill_depth,omitempty"`
 }
 
 func pipelineCells(stats []exec.PipelineStat) []PipelineCell {
@@ -222,8 +223,8 @@ func pipelineCells(stats []exec.PipelineStat) []PipelineCell {
 			WallMS: ms(ps.Wall), FinishMS: ms(ps.FinishWall),
 			MergeMS: ms(ps.Phases.Merge), SortMS: ms(ps.Phases.Sort),
 			BuildMS: ms(ps.Phases.Build), BloomMS: ms(ps.Phases.Bloom),
-			SpillBytes: ps.Spill.Bytes, SpillParts: ps.Spill.Partitions,
-			SpillDepth: ps.Spill.Depth,
+			SpillBytes: ps.Spill.Bytes, SpillReadBytes: ps.Spill.BytesRead,
+			SpillParts: ps.Spill.Partitions, SpillDepth: ps.Spill.Depth,
 		})
 	}
 	return out

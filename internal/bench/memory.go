@@ -30,10 +30,14 @@ type MemoryRow struct {
 	BudgetBytes int64   `json:"budget_bytes"`
 	ExecMS      float64 `json:"exec_ms"`
 	Rows        int     `json:"rows"`
-	// SpillBytes / SpillParts / SpillDepth total the run's spill files.
-	SpillBytes int64 `json:"spill_bytes"`
-	SpillParts int   `json:"spill_partitions"`
-	SpillDepth int   `json:"spill_depth"`
+	// SpillBytes / SpillParts / SpillDepth total the run's spill files;
+	// SpillReadBytes is the read-back volume (> SpillBytes under grace-join
+	// recursion, since repartition passes re-read what an earlier level
+	// wrote).
+	SpillBytes     int64 `json:"spill_bytes"`
+	SpillReadBytes int64 `json:"spill_read_bytes"`
+	SpillParts     int   `json:"spill_partitions"`
+	SpillDepth     int   `json:"spill_depth"`
 	// PeakBytes is the memory broker's high-water mark for the run.
 	PeakBytes int64 `json:"peak_bytes"`
 }
@@ -109,7 +113,8 @@ func (h *Harness) RunMemory(queries []int, dops []int, budgets []int64) ([]Memor
 				out = append(out, MemoryRow{
 					Query: num, DOP: dop, BudgetBytes: budget,
 					ExecMS: med.d.Seconds() * 1000, Rows: med.r.Rows,
-					SpillBytes: s.Bytes, SpillParts: s.Partitions, SpillDepth: s.Depth,
+					SpillBytes: s.Bytes, SpillReadBytes: s.BytesRead,
+					SpillParts: s.Partitions, SpillDepth: s.Depth,
 					PeakBytes: med.peak,
 				})
 			}

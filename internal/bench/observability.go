@@ -1,0 +1,341 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"bfcbo/internal/exec"
+	"bfcbo/internal/mem"
+	"bfcbo/internal/obs"
+	"bfcbo/internal/sched"
+)
+
+// The observability experiment (BENCH_PR8.json): the concurrency mix
+// executed with the metrics registry, per-query lifecycle traces, and the
+// flight recorder all wired, then the registry cross-checked against the
+// per-query SchedStat ground truth. The invariant under test: folding
+// metrics once per query at the end of RunContext loses nothing — the
+// latency histogram's sum and the slot-busy counter must agree with the
+// summed per-query stats within 1%, and the single-stream anchors must
+// stay within noise of the un-instrumented BENCH_PR7 numbers.
+
+// ObservabilityReport is the machine-readable experiment.
+type ObservabilityReport struct {
+	ScaleFactor float64 `json:"scale_factor"`
+	Seed        uint64  `json:"seed"`
+	DOP         int     `json:"dop"`
+	Streams     int     `json:"streams"`
+	// Queries counts every instrumented run folded into the registry
+	// (all repetitions, warm-up included — the registry saw them too).
+	Queries int     `json:"queries"`
+	WallMS  float64 `json:"wall_ms"`
+	QPS     float64 `json:"qps"`
+
+	// Ground truth: per-query measurements summed across all runs.
+	SumLatencyMS   float64 `json:"sum_latency_ms"`
+	SumSlotBusyMS  float64 `json:"sum_slot_busy_ms"`
+	SumQueueWaitMS float64 `json:"sum_queue_wait_ms"`
+
+	// The registry's view of the same totals.
+	HistLatencyCount  int64   `json:"hist_latency_count"`
+	HistLatencySumMS  float64 `json:"hist_latency_sum_ms"`
+	SlotBusyCounterMS float64 `json:"slot_busy_counter_ms"`
+
+	// Relative error of the registry vs ground truth, percent.
+	LatencyErrPct  float64 `json:"latency_err_pct"`
+	SlotBusyErrPct float64 `json:"slot_busy_err_pct"`
+
+	// TraceSpans totals the lifecycle spans of the final repetition's
+	// traces; FlightRecorded is the recorder's retained-entry count.
+	TraceSpans     int `json:"trace_spans"`
+	FlightRecorded int `json:"flight_recorded"`
+
+	// Metrics is the full registry snapshot after the multi-stream runs.
+	Metrics obs.Snapshot `json:"metrics"`
+
+	// SingleStream anchors executor latency (observability enabled)
+	// against BENCH_PR7's single-stream medians.
+	SingleStream []SingleStreamRow `json:"single_stream"`
+}
+
+// RunObservability executes the query mix with S concurrent streams and
+// full instrumentation, returning the report plus the final repetition's
+// traces (one per query run) for Chrome trace-event export.
+func (h *Harness) RunObservability(queries []int, S, perStream int) (*ObservabilityReport, []*obs.Trace, error) {
+	if len(queries) == 0 {
+		queries = DefaultScalingQueries()
+	}
+	if S <= 0 {
+		S = 4
+	}
+	if perStream <= 0 {
+		perStream = 2 * len(queries)
+	}
+	planned, err := h.concPlan(queries)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	reg := obs.NewRegistry()
+	m := obs.NewMetrics(reg)
+	rec := obs.NewFlightRecorder(16)
+	scheduler := sched.New(sched.Config{Slots: h.cfg.DOP})
+	broker := mem.NewBroker(h.cfg.MemBudget)
+
+	rep := &ObservabilityReport{
+		ScaleFactor: h.cfg.ScaleFactor, Seed: h.cfg.Seed,
+		DOP: h.cfg.DOP, Streams: S,
+	}
+	var traces []*obs.Trace
+	var sumLatency, sumSlotBusy, sumQueueWait time.Duration
+	var totalQueries int64
+	bestQPS := 0.0
+	for r := 0; r < h.cfg.Reps; r++ {
+		runtime.GC()
+		type streamAcc struct {
+			latency, slotBusy, queueWait time.Duration
+			traces                       []*obs.Trace
+			err                          error
+		}
+		accs := make([]streamAcc, S)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for s := 0; s < S; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				acc := &accs[s]
+				for k := 0; k < perStream; k++ {
+					pq := planned[(s+k)%len(planned)]
+					tr := obs.NewTrace(16)
+					t0 := time.Now()
+					res, err := exec.RunContext(context.Background(), h.ds.DB, pq.block, pq.plan, exec.Options{
+						DOP: h.cfg.DOP, Sched: scheduler, Broker: broker, SpillDir: h.cfg.SpillDir,
+						Metrics: m, Trace: tr,
+					})
+					lat := time.Since(t0)
+					if err != nil {
+						acc.err = fmt.Errorf("stream %d Q%d: %w", s, pq.num, err)
+						return
+					}
+					if res.Rows != pq.rows {
+						acc.err = fmt.Errorf("stream %d Q%d: rows %d != serial %d", s, pq.num, res.Rows, pq.rows)
+						return
+					}
+					acc.latency += lat
+					acc.slotBusy += res.Sched.SlotBusy
+					acc.queueWait += res.Sched.QueueWait
+					acc.traces = append(acc.traces, tr)
+					rec.Record(obs.QueryRecord{
+						ID: tr.QueryID, Label: tr.Label, Start: t0, Latency: lat,
+						Rows: res.Rows, QueueWait: res.Sched.QueueWait,
+						SlotWait: res.Sched.SlotWait, SlotBusy: res.Sched.SlotBusy,
+						Handoffs: res.Sched.Handoffs, Trace: tr,
+					})
+				}
+			}(s)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		var repTraces []*obs.Trace
+		for s := range accs {
+			if accs[s].err != nil {
+				return nil, nil, fmt.Errorf("bench: observability: %w", accs[s].err)
+			}
+			sumLatency += accs[s].latency
+			sumSlotBusy += accs[s].slotBusy
+			sumQueueWait += accs[s].queueWait
+			repTraces = append(repTraces, accs[s].traces...)
+		}
+		totalQueries += int64(S * perStream)
+		if qps := float64(S*perStream) / wall.Seconds(); qps > bestQPS {
+			bestQPS = qps
+			rep.WallMS = wall.Seconds() * 1000
+		}
+		traces = repTraces // keep the final repetition's traces for export
+	}
+
+	snap := reg.Snapshot()
+	lat := snap.Histograms["bfcbo_query_latency_seconds"]
+	rep.Queries = int(totalQueries)
+	rep.QPS = bestQPS
+	rep.SumLatencyMS = sumLatency.Seconds() * 1000
+	rep.SumSlotBusyMS = sumSlotBusy.Seconds() * 1000
+	rep.SumQueueWaitMS = sumQueueWait.Seconds() * 1000
+	rep.HistLatencyCount = lat.Count
+	rep.HistLatencySumMS = lat.Sum * 1000
+	rep.SlotBusyCounterMS = float64(snap.Counters["bfcbo_slot_busy_nanos_total"]) / 1e6
+	rep.LatencyErrPct = relErrPct(rep.HistLatencySumMS, rep.SumLatencyMS)
+	rep.SlotBusyErrPct = relErrPct(rep.SlotBusyCounterMS, rep.SumSlotBusyMS)
+	for _, tr := range traces {
+		rep.TraceSpans += len(tr.Spans())
+	}
+	rep.FlightRecorded = rec.Len()
+	rep.Metrics = snap
+
+	single, err := h.obsSingleStream(planned)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.SingleStream = single
+	return rep, traces, nil
+}
+
+// obsSingleStream measures per-query medians at streams=1 with metrics and
+// tracing enabled — the BENCH_PR7 comparison anchor demonstrating that the
+// fold-at-close instrumentation stays off the hot path. A separate registry
+// keeps these runs out of the multi-stream agreement check.
+func (h *Harness) obsSingleStream(planned []concPlanned) ([]SingleStreamRow, error) {
+	reg := obs.NewRegistry()
+	m := obs.NewMetrics(reg)
+	scheduler := sched.New(sched.Config{Slots: h.cfg.DOP})
+	broker := mem.NewBroker(h.cfg.MemBudget)
+	var single []SingleStreamRow
+	for _, pq := range planned {
+		var samples []time.Duration
+		lastRows := 0
+		for rep := 0; rep < h.cfg.Reps; rep++ {
+			runtime.GC()
+			start := time.Now()
+			r, err := exec.RunContext(context.Background(), h.ds.DB, pq.block, pq.plan, exec.Options{
+				DOP: h.cfg.DOP, Sched: scheduler, Broker: broker, SpillDir: h.cfg.SpillDir,
+				Metrics: m, Trace: obs.NewTrace(16),
+			})
+			elapsed := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("bench: observability Q%d single-stream: %w", pq.num, err)
+			}
+			lastRows = r.Rows
+			if h.cfg.Reps > 1 && rep == 0 {
+				continue
+			}
+			samples = append(samples, elapsed)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		med := samples[(len(samples)-1)/2]
+		single = append(single, SingleStreamRow{
+			Query: pq.num, DOP: h.cfg.DOP, ExecMS: med.Seconds() * 1000, Rows: lastRows,
+		})
+	}
+	return single, nil
+}
+
+// relErrPct is |a-b| as a percentage of b (0 when both are 0).
+func relErrPct(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return 100
+	}
+	return math.Abs(a-b) / b * 100
+}
+
+// PrintObservability renders the agreement summary.
+func PrintObservability(w io.Writer, r *ObservabilityReport) {
+	fmt.Fprintf(w, "observability agreement, %d streams x DOP %d (%d instrumented queries, %.1f qps)\n",
+		r.Streams, r.DOP, r.Queries, r.QPS)
+	fmt.Fprintf(w, "%-22s %14s %14s %8s\n", "", "registry", "per-query", "err")
+	fmt.Fprintf(w, "%-22s %14.3f %14.3f %7.3f%%\n",
+		"latency sum (ms)", r.HistLatencySumMS, r.SumLatencyMS, r.LatencyErrPct)
+	fmt.Fprintf(w, "%-22s %14.3f %14.3f %7.3f%%\n",
+		"slot busy (ms)", r.SlotBusyCounterMS, r.SumSlotBusyMS, r.SlotBusyErrPct)
+	fmt.Fprintf(w, "%-22s %14d %14d\n", "query count", r.HistLatencyCount, r.Queries)
+	fmt.Fprintf(w, "trace spans=%d flight-recorded=%d\n", r.TraceSpans, r.FlightRecorded)
+	fmt.Fprintf(w, "single-stream anchors (observability enabled):\n")
+	for _, s := range r.SingleStream {
+		fmt.Fprintf(w, "  Q%-3d dop=%d exec=%.3fms rows=%d\n", s.Query, s.DOP, s.ExecMS, s.Rows)
+	}
+}
+
+// WriteObservabilityJSON writes the experiment report to path.
+func (h *Harness) WriteObservabilityJSON(path string, r *ObservabilityReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ValidateObservabilityJSON checks that an observability report is
+// well-formed and that its registry agrees with the per-query ground
+// truth: the latency-histogram count matches the instrumented query
+// count, the latency-sum and slot-busy errors are within 1%, and the
+// snapshot's own invariants hold (bucket counts sum to the histogram
+// count; the queries counter matches). The CI bench smoke runs this
+// against the generated report.
+func ValidateObservabilityJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r ObservabilityReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Queries <= 0 || r.QPS <= 0 {
+		return fmt.Errorf("%s: no instrumented queries", path)
+	}
+	if r.HistLatencyCount != int64(r.Queries) {
+		return fmt.Errorf("%s: latency histogram count %d != %d queries",
+			path, r.HistLatencyCount, r.Queries)
+	}
+	if r.LatencyErrPct > 1.0 {
+		return fmt.Errorf("%s: latency sum disagrees with per-query stats by %.3f%% (> 1%%)",
+			path, r.LatencyErrPct)
+	}
+	if r.SlotBusyErrPct > 1.0 {
+		return fmt.Errorf("%s: slot-busy counter disagrees with per-query stats by %.3f%% (> 1%%)",
+			path, r.SlotBusyErrPct)
+	}
+	if r.TraceSpans <= 0 {
+		return fmt.Errorf("%s: no trace spans recorded", path)
+	}
+	if n := r.Metrics.Counters["bfcbo_queries_total"]; n != int64(r.Queries) {
+		return fmt.Errorf("%s: bfcbo_queries_total %d != %d queries", path, n, r.Queries)
+	}
+	lat, ok := r.Metrics.Histograms["bfcbo_query_latency_seconds"]
+	if !ok {
+		return fmt.Errorf("%s: snapshot missing bfcbo_query_latency_seconds", path)
+	}
+	var bucketSum int64
+	for _, c := range lat.Counts {
+		bucketSum += c
+	}
+	if bucketSum != lat.Count {
+		return fmt.Errorf("%s: latency bucket counts sum to %d, count is %d",
+			path, bucketSum, lat.Count)
+	}
+	if len(r.SingleStream) == 0 {
+		return fmt.Errorf("%s: no single-stream anchor rows", path)
+	}
+	for _, s := range r.SingleStream {
+		if s.ExecMS <= 0 {
+			return fmt.Errorf("%s: single-stream Q%d has non-positive exec_ms", path, s.Query)
+		}
+	}
+	return nil
+}
+
+// IsObservabilityReport sniffs whether the JSON file at path looks like an
+// ObservabilityReport (used by bench -validate to dispatch).
+func IsObservabilityReport(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return false
+	}
+	_, ok := probe["hist_latency_count"]
+	return ok
+}

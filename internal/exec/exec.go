@@ -5,12 +5,15 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bfcbo/internal/bloom"
 	"bfcbo/internal/cost"
 	"bfcbo/internal/mem"
+	"bfcbo/internal/obs"
 	"bfcbo/internal/plan"
 	"bfcbo/internal/query"
 	"bfcbo/internal/sched"
@@ -202,6 +205,9 @@ type executor struct {
 	// the run's spill subdirectory to its scheduler query ID.
 	ticket   *sched.Query
 	queryTag string
+
+	// trace, when non-nil, receives pipeline/breaker spans (Options.Trace).
+	trace *obs.Trace
 }
 
 // filter returns a built Bloom filter handle and its runtime record.
@@ -281,6 +287,15 @@ type Options struct {
 	// zone-map morsel skipping, and Bloom filters probe per key rather
 	// than per hashed batch. Results are bit-identical across modes.
 	ScalarScan bool
+	// Metrics, when non-nil, receives the run's folded totals — latency,
+	// scheduler stats, scan/probe/fold counters, spill bytes — in one cold
+	// pass when the run ends. Nothing on the per-row or per-batch hot path
+	// touches it (the per-worker local fold pattern).
+	Metrics *obs.Metrics
+	// Trace, when non-nil, collects the query's lifecycle spans (queue,
+	// pipelines, breaker finish phases) for Chrome trace-event export.
+	// Spans are recorded at pipeline granularity — a handful per query.
+	Trace *obs.Trace
 	// ScalarProbe selects the row-at-a-time join-probe and aggregation-fold
 	// baseline the vectorized batch kernels replaced — the baseline side of
 	// the join/agg ablation (cmd/bench -experiment joinagg). Probes hash,
@@ -313,7 +328,7 @@ func Run(db *storage.Database, block *query.Block, p *plan.Plan, opts Options) (
 // or deadline expiry — while queued or mid-run — trips the run-wide stop
 // flag, winds every pipeline down at the next morsel, and surfaces
 // ctx.Err().
-func RunContext(ctx context.Context, db *storage.Database, block *query.Block, p *plan.Plan, opts Options) (*Result, error) {
+func RunContext(ctx context.Context, db *storage.Database, block *query.Block, p *plan.Plan, opts Options) (res *Result, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -343,7 +358,6 @@ func RunContext(ctx context.Context, db *storage.Database, block *query.Block, p
 	desc := sched.QueryDesc{Label: block.Name, Priority: opts.Priority}
 	var pipes []*plan.Pipeline
 	if !opts.Legacy {
-		var err error
 		if pipes, err = plan.Decompose(p); err != nil {
 			return nil, err
 		}
@@ -351,11 +365,51 @@ func RunContext(ctx context.Context, db *storage.Database, block *query.Block, p
 		desc.Pipelines, desc.Edges = dag.Pipelines, dag.Edges
 		desc.MinMemory = sched.MinMemoryFor(broker, dag.SpillableSinks, minSpillableGrant)
 	}
+	admitStart := time.Now()
 	ticket, err := scheduler.Admit(ctx, desc)
 	if err != nil {
+		// A query turned away at admission (timeout, rejection, cancel)
+		// still counts: its whole life was queue wait.
+		if opts.Metrics != nil {
+			wait := time.Since(admitStart)
+			opts.Metrics.ObserveQuery(wait, wait, 0, 0, 0, 0, true)
+		}
 		return nil, err
 	}
 	defer ticket.Finish()
+	if opts.Trace != nil {
+		opts.Trace.QueryID = ticket.ID()
+		if opts.Trace.Label == "" {
+			opts.Trace.Label = block.Name
+		}
+		if qw := ticket.Stats().QueueWait; qw > 0 {
+			opts.Trace.Add("queue", "sched", 0, admitStart, qw)
+		}
+	}
+	// Fold the run's observability totals exactly once, on every exit path
+	// after admission — success, executor error, or cancellation. One cold
+	// pass per query; registered before ticket.Finish()'s LIFO turn so the
+	// occupancy integral is still live when read.
+	runStart := time.Now()
+	if opts.Metrics != nil || opts.Trace != nil {
+		defer func() {
+			if opts.Trace != nil {
+				opts.Trace.Add("query", "query", 0, runStart, time.Since(runStart))
+			}
+			if opts.Metrics != nil {
+				st := ticket.Stats()
+				rows := 0
+				if res != nil {
+					rows = res.Rows
+				}
+				opts.Metrics.ObserveQuery(time.Since(admitStart), st.QueueWait,
+					st.SlotWait, st.SlotBusy, st.Handoffs, rows, err != nil)
+				if res != nil {
+					foldResultMetrics(opts.Metrics, res)
+				}
+			}
+		}()
+	}
 	ex := &executor{
 		db: db, block: block, dop: dop, satLimit: opts.SaturationLimit,
 		morsel:      morsel,
@@ -378,6 +432,7 @@ func RunContext(ctx context.Context, db *storage.Database, block *query.Block, p
 		stopCh:      make(chan struct{}),
 		ticket:      ticket,
 		queryTag:    fmt.Sprintf("q%d", ticket.ID()),
+		trace:       opts.Trace,
 	}
 	// The query account and any spill files are torn down no matter how the
 	// run ends — success, error, or cancellation — so a budgeted run can
@@ -409,9 +464,24 @@ func RunContext(ctx context.Context, db *storage.Database, block *query.Block, p
 		ex.tables[i] = t
 	}
 	if opts.Legacy {
-		out, err := ex.node(p.Root)
-		if err != nil {
-			return nil, err
+		// The legacy interpreter leases one worker slot for its whole run:
+		// it reports SlotBusy/SlotWait through the same sched.Stat as the
+		// pipelined path (so EXPLAIN ANALYZE's scheduler line appears
+		// uniformly) and counts against the shared pool under concurrency.
+		// No deadlock risk — the pool is work-conserving and a legacy run
+		// never blocks on other workers while holding its slot.
+		if !ex.acquireSlot() {
+			if ferr := ex.runErr(); ferr != nil {
+				return nil, ferr
+			}
+			return nil, ctx.Err()
+		}
+		out, nerr := func() (*RowSet, error) {
+			defer ex.yieldSlot()
+			return ex.node(p.Root)
+		}()
+		if nerr != nil {
+			return nil, nerr
 		}
 		ex.out, ex.rows = out, out.Len()
 		if len(opts.Aggregates) > 0 {
@@ -427,7 +497,7 @@ func RunContext(ctx context.Context, db *storage.Database, block *query.Block, p
 	// Scan pipelines finish in DAG order, not relation order; sort the
 	// collected runtimes so reports are deterministic.
 	sort.Slice(ex.scanRt, func(i, j int) bool { return ex.scanRt[i].Rel < ex.scanRt[j].Rel })
-	res := &Result{
+	res = &Result{
 		Out: ex.out, Rows: ex.rows, Actuals: ex.actuals,
 		Pipelines: ex.pipes, Aggregates: ex.aggs,
 		Scans: ex.scanRt,
@@ -832,3 +902,33 @@ func (passAllFilter) FilterSelHashesCarry(_ []uint64, sel []int32, carry []uint6
 func (ex *executor) yieldSlot()        { ex.ticket.Release() }
 func (ex *executor) acquireSlot() bool { return ex.ticket.Acquire(ex.stopCh) }
 func (ex *executor) maybeYield() bool  { return ex.ticket.MaybeYield(ex.stopCh) }
+
+// foldResultMetrics lands one finished run's stat-struct totals in the
+// metrics registry. This is the whole per-query cost of the metrics layer:
+// the stats themselves were already folded from per-worker locals at
+// operator Close, so this single pass touches a few dozen counters.
+func foldResultMetrics(m *obs.Metrics, r *Result) {
+	for _, sc := range r.Scans {
+		m.MorselsScanned.Add(sc.Morsels)
+		m.MorselsSkipped.Add(sc.ZoneSkipped)
+		m.RowsZoneSkipped.Add(sc.ZoneSkippedRows)
+	}
+	for _, st := range r.OpStats {
+		if _, ok := st.Node.(*plan.Join); ok && strings.Contains(st.Label, "probe") {
+			m.ProbeRows.Add(st.RowsIn)
+			m.HashCarried.Add(st.HashReusedKeys)
+		}
+	}
+	for _, p := range r.Pipelines {
+		// Fold activity is only identifiable by its in-stream fold time or
+		// carried codes; pipelines without either contribute nothing here.
+		if p.Phases.Fold > 0 || p.FoldCodeReused > 0 {
+			m.FoldRows.Add(p.Rows)
+			m.DictCarried.Add(p.FoldCodeReused)
+		}
+	}
+	sp := r.TotalSpill()
+	m.SpillBytes.Add(sp.Bytes)
+	m.SpillReadBytes.Add(sp.BytesRead)
+	m.SpillParts.Add(int64(sp.Partitions))
+}

@@ -90,6 +90,9 @@ func breakerSuffix(ps PipelineStat) string {
 	}
 	if ps.Spill.Spilled() {
 		fmt.Fprintf(&b, " spill[bytes=%s parts=%d", mem.FormatBytes(ps.Spill.Bytes), ps.Spill.Partitions)
+		if ps.Spill.BytesRead > 0 {
+			fmt.Fprintf(&b, " read=%s", mem.FormatBytes(ps.Spill.BytesRead))
+		}
 		if ps.Spill.Depth > 0 {
 			fmt.Fprintf(&b, " depth=%d", ps.Spill.Depth)
 		}

@@ -222,6 +222,7 @@ func newGraceProbeWorker(g *graceHashJoin) *graceProbeWorker {
 // the query account's close).
 func (w *graceProbeWorker) closeActive() {
 	if w.act != nil {
+		w.g.probeRec.addBytesRead(w.act.r.BytesRead())
 		w.act.r.Close()
 		w.act = nil
 	}
@@ -307,6 +308,7 @@ func (o *probeOp) graceNext() (*Batch, error) {
 				return nil, err
 			}
 			if cols == nil {
+				g.probeRec.addBytesRead(w.act.r.BytesRead())
 				w.act.r.Close()
 				w.act.probe.Remove()
 				g.res.Release(w.act.est)
@@ -408,7 +410,7 @@ func (g *graceHashJoin) startPair(p spillPair, w *graceProbeWorker) error {
 		// partition): take the overage.
 		g.res.Force(est)
 	}
-	buildRS, err := readSpill(p.build, g.buildRels)
+	buildRS, err := readSpill(p.build, g.buildRels, g.probeRec)
 	if err != nil {
 		g.res.Release(est)
 		return err
@@ -462,7 +464,10 @@ func (g *graceHashJoin) repartition(p spillPair, w *graceProbeWorker) error {
 		if err != nil {
 			return err
 		}
-		defer r.Close()
+		defer func() {
+			rec.addBytesRead(r.BytesRead())
+			r.Close()
+		}()
 		var keys []int64
 		for {
 			cols, err := r.Next()
@@ -587,6 +592,7 @@ func (ex *executor) buildBloomsSpilled(j *plan.Join, g *graceHashJoin) error {
 		for {
 			cols, err := r.Next()
 			if err != nil {
+				g.buildRec.addBytesRead(r.BytesRead())
 				r.Close()
 				return err
 			}
@@ -604,6 +610,7 @@ func (ex *executor) buildBloomsSpilled(j *plan.Join, g *graceHashJoin) error {
 				}
 			}
 		}
+		g.buildRec.addBytesRead(r.BytesRead())
 		r.Close()
 	}
 	for _, s := range specs {

@@ -129,6 +129,12 @@ type SpillStat struct {
 	// Bytes is the encoded bytes written to spill files (build/probe
 	// partitions, sorted runs, recursive repartition passes).
 	Bytes int64
+	// BytesRead is the encoded bytes read back from spill files: grace
+	// partition loads and probe drains, repartition passes (which read a
+	// level to write the next), external-sort run merges, and spilled
+	// Bloom builds. A repartitioned byte is counted once per pass on each
+	// side, so BytesRead > Bytes signals recursion, not double counting.
+	BytesRead int64
 	// Partitions counts the spill files created: grace-join partition
 	// files (both sides, all levels) or external-sort runs.
 	Partitions int
@@ -143,6 +149,7 @@ func (s SpillStat) Spilled() bool { return s.Bytes > 0 || s.Partitions > 0 }
 // add accumulates another pipeline's counters (for run-level totals).
 func (s SpillStat) add(o SpillStat) SpillStat {
 	s.Bytes += o.Bytes
+	s.BytesRead += o.BytesRead
 	s.Partitions += o.Partitions
 	if o.Depth > s.Depth {
 		s.Depth = o.Depth

@@ -504,6 +504,7 @@ func (s *sortSink) finishExternal() (*sortedInput, error) {
 		for {
 			cols, err := r.Next()
 			if err != nil {
+				s.rec.addBytesRead(r.BytesRead())
 				r.Close()
 				return nil, err
 			}
@@ -515,6 +516,7 @@ func (s *sortSink) finishExternal() (*sortedInput, error) {
 				keys = append(keys, vals[id])
 			}
 		}
+		s.rec.addBytesRead(r.BytesRead())
 		r.Close()
 		w.Remove()
 		n := rs.Len() - off
@@ -890,6 +892,30 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 	if as, ok := snk.(*aggSink); ok {
 		for _, n := range as.codeReused {
 			ps.FoldCodeReused += n
+		}
+	}
+	if ex.trace != nil {
+		// One span per pipeline plus its breaker finish and measured finish
+		// phases — each pipeline gets its own trace lane (tid). The finish
+		// phases run sequentially inside the breaker, so laying them
+		// end-to-end from finishStart reconstructs the real timeline.
+		tid := pl.ID + 1
+		ex.trace.Add(fmt.Sprintf("pipeline %d: %s", pl.ID, pl.Describe()), "pipeline", tid, start, ps.Wall)
+		if finishWall > 0 {
+			ex.trace.Add("finish", "breaker", tid, finishStart, finishWall)
+			at := finishStart
+			for _, ph := range []struct {
+				name string
+				d    time.Duration
+			}{
+				{"merge", ps.Phases.Merge}, {"sort", ps.Phases.Sort},
+				{"build", ps.Phases.Build}, {"bloom", ps.Phases.Bloom},
+			} {
+				if ph.d > 0 {
+					ex.trace.Add(ph.name, "phase", tid, at, ph.d)
+					at = at.Add(ph.d)
+				}
+			}
 		}
 	}
 	ex.smu.Lock()

@@ -80,14 +80,24 @@ var keyVecPool = sync.Pool{
 // spillCounters are one pipeline's shared spill tallies, updated by
 // concurrent workers and snapshotted into PipelineStat.Spill.
 type spillCounters struct {
-	bytes atomic.Int64
-	parts atomic.Int64
-	depth atomic.Int32
+	bytes     atomic.Int64
+	bytesRead atomic.Int64
+	parts     atomic.Int64
+	depth     atomic.Int32
 }
 
 func (c *spillCounters) addBytes(n int64) {
 	if n > 0 {
 		c.bytes.Add(n)
+	}
+}
+
+// addBytesRead accounts encoded bytes decoded back from spill files —
+// callers report a reader's BytesRead once per file (or per drain), never
+// per row.
+func (c *spillCounters) addBytesRead(n int64) {
+	if n > 0 {
+		c.bytesRead.Add(n)
 	}
 }
 
@@ -105,6 +115,7 @@ func (c *spillCounters) bumpDepth(d int) {
 func (c *spillCounters) snapshot() SpillStat {
 	return SpillStat{
 		Bytes:      c.bytes.Load(),
+		BytesRead:  c.bytesRead.Load(),
 		Partitions: int(c.parts.Load()),
 		Depth:      int(c.depth.Load()),
 	}
@@ -143,13 +154,19 @@ func appendRawChunk(rs *RowSet, cols [][]int32) {
 	}
 }
 
-// readSpill materializes a whole spill file as one row set covering rels.
-func readSpill(w *spill.Writer, rels query.RelSet) (*RowSet, error) {
+// readSpill materializes a whole spill file as one row set covering rels,
+// accounting the decoded bytes to rec (nil = unaccounted).
+func readSpill(w *spill.Writer, rels query.RelSet, rec *spillCounters) (*RowSet, error) {
 	r, err := w.Reader()
 	if err != nil {
 		return nil, err
 	}
-	defer r.Close()
+	defer func() {
+		if rec != nil {
+			rec.addBytesRead(r.BytesRead())
+		}
+		r.Close()
+	}()
 	rs := NewRowSetCap(rels, int(w.Rows()))
 	for {
 		cols, err := r.Next()

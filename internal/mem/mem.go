@@ -27,10 +27,11 @@ type SpillFunc func(need int64) (freed int64)
 // workers of every pipeline request grants at batch granularity, so the
 // broker sits on the executor's hot path and must not serialize it.
 type Broker struct {
-	budget int64 // <= 0 means unlimited
-	used   atomic.Int64
-	peak   atomic.Int64
-	denied atomic.Int64
+	budget        int64 // <= 0 means unlimited
+	used          atomic.Int64
+	peak          atomic.Int64
+	denied        atomic.Int64
+	spillTriggers atomic.Int64
 }
 
 // NewBroker creates a broker with the given byte budget; budget <= 0 means
@@ -54,6 +55,12 @@ func (b *Broker) Peak() int64 { return b.peak.Load() }
 // Denials returns how many grant requests were denied (after any spill
 // callback ran).
 func (b *Broker) Denials() int64 { return b.denied.Load() }
+
+// SpillTriggers returns how many denied grants invoked a spill callback —
+// the broker-side count of spill events, distinct from Denials (a grant
+// can be denied with no callback attached, and a callback can free enough
+// for the retry to succeed, which never reaches Denials).
+func (b *Broker) SpillTriggers() int64 { return b.spillTriggers.Load() }
 
 // Free returns the bytes the broker could still grant without denial —
 // the admission hook the process-wide query scheduler consults so a query
@@ -184,6 +191,7 @@ func (r *Reservation) Grow(n int64, onDeny SpillFunc) bool {
 		return true
 	}
 	if onDeny != nil {
+		r.q.br.spillTriggers.Add(1)
 		onDeny(n)
 		if r.q.br.grant(n, false) {
 			r.held.Add(n)

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Handler serves the observability surface over HTTP:
+//
+//	/metrics           — Prometheus text exposition of the registry
+//	/debug/queries     — flight-recorder dump (slowest first), JSON
+//	/debug/trace/<id>  — one retained query's Chrome trace-event JSON
+//
+// Registry and Recorder may each be nil; the matching endpoints then
+// answer 404.
+type Handler struct {
+	Registry *Registry
+	Recorder *FlightRecorder
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/metrics":
+		if h.Registry == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = h.Registry.WriteProm(w)
+	case r.URL.Path == "/debug/queries":
+		if h.Recorder == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = h.Recorder.WriteJSON(w)
+	case strings.HasPrefix(r.URL.Path, "/debug/trace/"):
+		if h.Recorder == nil {
+			http.NotFound(w, r)
+			return
+		}
+		idStr := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+		id, err := strconv.ParseInt(idStr, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad query id %q", idStr), http.StatusBadRequest)
+			return
+		}
+		rec, ok := h.Recorder.Find(id)
+		if !ok || rec.Trace == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = rec.Trace.WriteChrome(w)
+	case r.URL.Path == "/":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "bfcbo observability endpoints:")
+		fmt.Fprintln(w, "  /metrics           Prometheus text exposition")
+		fmt.Fprintln(w, "  /debug/queries     slow-query flight recorder dump")
+		fmt.Fprintln(w, "  /debug/trace/<id>  Chrome trace-event JSON for one query")
+	default:
+		http.NotFound(w, r)
+	}
+}

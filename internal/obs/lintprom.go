@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// LintProm is a minimal Prometheus text-format (version 0.0.4) checker:
+// it verifies line grammar, that every sample's metric family was TYPE'd
+// before use, that histogram families expose monotonically non-decreasing
+// buckets ending in an +Inf bucket equal to _count, and that counter and
+// histogram values are non-negative. It is deliberately a subset of a real
+// Prometheus parser — enough to keep /metrics loadable and the exposition
+// honest in tests and CI.
+func LintProm(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	types := map[string]string{} // family -> type
+	// histogram bookkeeping per family
+	lastBucket := map[string]float64{} // cumulative count of last bucket seen
+	lastLe := map[string]float64{}     // last le bound seen
+	infBucket := map[string]float64{}
+	histCount := map[string]float64{}
+	sawInf := map[string]bool{}
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) < 4 {
+					return fmt.Errorf("line %d: TYPE missing kind", lineNo)
+				}
+				kind := strings.TrimSpace(fields[3])
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown TYPE %q", lineNo, kind)
+				}
+				if prev, ok := types[fields[2]]; ok && prev != kind {
+					return fmt.Errorf("line %d: family %s re-TYPEd %s -> %s", lineNo, fields[2], prev, kind)
+				}
+				types[fields[2]] = kind
+			}
+			continue
+		}
+		name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		family := name
+		suffix := ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, s)
+			if base != name {
+				if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+					family, suffix = base, s
+				}
+				break
+			}
+		}
+		kind, ok := types[family]
+		if !ok {
+			return fmt.Errorf("line %d: sample %s has no preceding TYPE", lineNo, name)
+		}
+		switch kind {
+		case "counter":
+			if value < 0 {
+				return fmt.Errorf("line %d: counter %s negative (%g)", lineNo, name, value)
+			}
+		case "histogram":
+			switch suffix {
+			case "_bucket":
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("line %d: histogram bucket %s missing le label", lineNo, name)
+				}
+				bound := math.Inf(1)
+				if le != "+Inf" {
+					bound, err = strconv.ParseFloat(le, 64)
+					if err != nil {
+						return fmt.Errorf("line %d: bad le %q: %v", lineNo, le, err)
+					}
+				}
+				if prev, seen := lastLe[family]; seen && bound <= prev {
+					return fmt.Errorf("line %d: histogram %s bucket bounds not ascending (%g after %g)", lineNo, family, bound, prev)
+				}
+				if value < lastBucket[family] {
+					return fmt.Errorf("line %d: histogram %s buckets not cumulative (%g after %g)", lineNo, family, value, lastBucket[family])
+				}
+				lastLe[family] = bound
+				lastBucket[family] = value
+				if math.IsInf(bound, 1) {
+					sawInf[family] = true
+					infBucket[family] = value
+				}
+			case "_count":
+				if value < 0 {
+					return fmt.Errorf("line %d: histogram %s negative count", lineNo, family)
+				}
+				histCount[family] = value
+			case "_sum":
+				// any float is fine
+			default:
+				return fmt.Errorf("line %d: bare sample %s for histogram family %s", lineNo, name, family)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for family, kind := range types {
+		if kind != "histogram" {
+			continue
+		}
+		if _, sampled := lastBucket[family]; !sampled {
+			continue // TYPE'd but no samples in this scrape — acceptable
+		}
+		if !sawInf[family] {
+			return fmt.Errorf("histogram %s has no +Inf bucket", family)
+		}
+		if c, ok := histCount[family]; ok && c != infBucket[family] {
+			return fmt.Errorf("histogram %s: +Inf bucket %g != _count %g", family, infBucket[family], c)
+		}
+	}
+	return nil
+}
+
+// parsePromSample splits `name{label="v",...} value` into its parts.
+func parsePromSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	} else {
+		name = rest[:i]
+		rest = rest[i:]
+	}
+	if name == "" || !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("bad metric name %q", name)
+	}
+	labels = map[string]string{}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		for _, pair := range splitLabels(rest[1:end]) {
+			eq := strings.Index(pair, "=")
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("bad label pair %q", pair)
+			}
+			k := strings.TrimSpace(pair[:eq])
+			v := strings.TrimSpace(pair[eq+1:])
+			if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return "", nil, 0, fmt.Errorf("label value not quoted in %q", pair)
+			}
+			unq, uerr := strconv.Unquote(v)
+			if uerr != nil {
+				return "", nil, 0, fmt.Errorf("bad label value %q: %v", v, uerr)
+			}
+			labels[k] = unq
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// value [timestamp]
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("expected value after %q", name)
+	}
+	switch fields[0] {
+	case "+Inf":
+		value = math.Inf(1)
+	case "-Inf":
+		value = math.Inf(-1)
+	case "NaN":
+		value = math.NaN()
+	default:
+		value, err = strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+		}
+	}
+	return name, labels, value, nil
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				if part := strings.TrimSpace(s[start:i]); part != "" {
+					out = append(out, part)
+				}
+				start = i + 1
+			}
+		}
+	}
+	if part := strings.TrimSpace(s[start:]); part != "" {
+		out = append(out, part)
+	}
+	return out
+}
+
+func validMetricName(s string) bool {
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return len(s) > 0
+}

@@ -1,0 +1,409 @@
+// Package obs is the engine's observability substrate: a process-wide
+// metrics registry (allocation-free counters, gauges, and fixed-bucket
+// histograms with Prometheus-style text exposition and an in-process
+// snapshot API), query-lifecycle tracing exportable as Chrome trace-event
+// JSON, and a slow-query flight recorder that retains the full EXPLAIN
+// ANALYZE, scheduling, memory, and spill picture of the worst recent
+// queries.
+//
+// Design rule: nothing in this package may allocate on a per-event hot
+// path. Counters and gauges are single atomic adds; histogram observation
+// is a linear scan over a small fixed bounds array plus two atomic adds;
+// span recording appends into a preallocated slice under a mutex (the
+// executor records spans at pipeline granularity, never per batch — hot
+// per-row/per-batch counters are folded from per-worker locals at Close,
+// the PR 6 pattern, and land here once per query).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind discriminates metric types in snapshots and exposition.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "unknown"
+	}
+}
+
+// Counter is a monotonically increasing metric. The zero value is usable
+// but a Counter should normally come from Registry.NewCounter so it is
+// exported and snapshotted.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored — counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. Stored as float64 bits so
+// fractional gauges (seconds, ratios) work; Set/Add are atomic.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetInt replaces the gauge value with an integer.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram: cumulative bucket counts over the
+// configured upper bounds plus an implicit +Inf bucket, with a running sum.
+// Observation is allocation-free: a linear scan over the (small) bounds
+// array and two atomic adds.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds, +Inf implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// LatencyBuckets is the default bound set for engine latencies, in seconds:
+// 100µs to ~100s in roughly 3× steps.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// metric is one registered metric and its identity.
+type metric struct {
+	name string
+	help string
+	kind Kind
+
+	counter *Counter
+	gauge   *Gauge
+	gfn     func() float64 // gauge func (live state, read at exposition)
+	cfn     func() int64   // counter func (cumulative state owned elsewhere)
+	hist    *Histogram
+}
+
+// Registry holds a set of named metrics. Registration is rare (startup);
+// reads and writes of the metrics themselves never touch the registry
+// lock. Registering a name twice returns the existing metric when the kind
+// matches (so several engines in one process share process-wide series);
+// func-backed metrics rebind to the newest function — last engine wins.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// Default is the process-wide registry the engine's metrics live in.
+var Default = NewRegistry()
+
+func (r *Registry) lookup(name string, kind Kind) (*metric, bool) {
+	if m, ok := r.byName[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, m.kind))
+		}
+		return m, true
+	}
+	return nil, false
+}
+
+func (r *Registry) add(m *metric) {
+	r.metrics = append(r.metrics, m)
+	r.byName[m.name] = m
+}
+
+// NewCounter registers (or returns the existing) counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.lookup(name, KindCounter); ok && m.counter != nil {
+		return m.counter
+	}
+	c := &Counter{}
+	r.add(&metric{name: name, help: help, kind: KindCounter, counter: c})
+	return c
+}
+
+// NewCounterFunc registers a counter whose cumulative value lives elsewhere
+// (e.g. the memory broker's denial count) and is read at exposition time —
+// zero wiring cost on the owner's hot path. Re-registration rebinds fn.
+func (r *Registry) NewCounterFunc(name, help string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.lookup(name, KindCounter); ok {
+		m.cfn = fn
+		return
+	}
+	r.add(&metric{name: name, help: help, kind: KindCounter, cfn: fn})
+}
+
+// NewGauge registers (or returns the existing) gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.lookup(name, KindGauge); ok && m.gauge != nil {
+		return m.gauge
+	}
+	g := &Gauge{}
+	r.add(&metric{name: name, help: help, kind: KindGauge, gauge: g})
+	return g
+}
+
+// NewGaugeFunc registers a gauge read from live state at exposition time
+// (slot pool occupancy, broker reservation level). Re-registration rebinds
+// fn — when several engines share one process-wide registry, the newest
+// engine's live state is the one exposed.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.lookup(name, KindGauge); ok {
+		m.gfn = fn
+		return
+	}
+	r.add(&metric{name: name, help: help, kind: KindGauge, gfn: fn})
+}
+
+// NewHistogram registers (or returns the existing) fixed-bucket histogram.
+// bounds must be ascending; they are copied.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.lookup(name, KindHistogram); ok && m.hist != nil {
+		return m.hist
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.add(&metric{name: name, help: help, kind: KindHistogram, hist: h})
+	return h
+}
+
+// HistSnapshot is the exported state of one histogram.
+type HistSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	// Counts are per-bucket (non-cumulative) counts, one per bound plus the
+	// final +Inf bucket.
+	Counts []int64 `json:"counts"`
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// within the winning bucket; returns 0 for an empty histogram. The +Inf
+// bucket reports its lower bound (the histogram cannot see past it).
+func (h HistSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := q * float64(h.Count)
+	var cum int64
+	for i, c := range h.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.Bounds[i-1]
+			}
+			if i >= len(h.Bounds) {
+				return lo // +Inf bucket
+			}
+			hi := h.Bounds[i]
+			frac := (rank - float64(prev)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+	}
+	if len(h.Bounds) > 0 {
+		return h.Bounds[len(h.Bounds)-1]
+	}
+	return 0
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry, the
+// in-process counterpart of the /metrics exposition (and the form bench
+// reports embed).
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]float64      `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistSnapshot),
+	}
+	for _, m := range metrics {
+		switch m.kind {
+		case KindCounter:
+			switch {
+			case m.counter != nil:
+				s.Counters[m.name] = m.counter.Value()
+			case m.cfn != nil:
+				s.Counters[m.name] = m.cfn()
+			}
+		case KindGauge:
+			switch {
+			case m.gauge != nil:
+				s.Gauges[m.name] = m.gauge.Value()
+			case m.gfn != nil:
+				s.Gauges[m.name] = m.gfn()
+			}
+		case KindHistogram:
+			h := m.hist
+			hs := HistSnapshot{
+				Count:  h.Count(),
+				Sum:    h.Sum(),
+				Bounds: append([]float64(nil), h.bounds...),
+				Counts: make([]int64, len(h.counts)),
+			}
+			for i := range h.counts {
+				hs.Counts[i] = h.counts[i].Load()
+			}
+			s.Histograms[m.name] = hs
+		}
+	}
+	return s
+}
+
+// WriteProm writes the registry in the Prometheus text exposition format
+// (text/plain; version=0.0.4): HELP/TYPE headers, counter/gauge samples,
+// and cumulative histogram buckets with _sum and _count series.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	sort.Slice(metrics, func(i, j int) bool { return metrics[i].name < metrics[j].name })
+	var b strings.Builder
+	for _, m := range metrics {
+		if m.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
+		switch m.kind {
+		case KindCounter:
+			var v int64
+			switch {
+			case m.counter != nil:
+				v = m.counter.Value()
+			case m.cfn != nil:
+				v = m.cfn()
+			}
+			fmt.Fprintf(&b, "%s %d\n", m.name, v)
+		case KindGauge:
+			var v float64
+			switch {
+			case m.gauge != nil:
+				v = m.gauge.Value()
+			case m.gfn != nil:
+				v = m.gfn()
+			}
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatProm(v))
+		case KindHistogram:
+			h := m.hist
+			var cum int64
+			for i, bound := range h.bounds {
+				cum += h.counts[i].Load()
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m.name, formatProm(bound), cum)
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+			fmt.Fprintf(&b, "%s_sum %s\n", m.name, formatProm(h.Sum()))
+			fmt.Fprintf(&b, "%s_count %d\n", m.name, h.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatProm renders a float the way Prometheus text format expects.
+func formatProm(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

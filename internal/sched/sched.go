@@ -95,10 +95,27 @@ type Stat struct {
 	Handoffs int64
 }
 
+// Totals are the scheduler's cumulative lifetime counters — the
+// fleet-level view the per-query Stat cannot give (observability gauges
+// and the /metrics exposition read these).
+type Totals struct {
+	// Admitted / Finished count queries past admission and past Finish.
+	Admitted, Finished int64
+	// Timeouts counts admissions abandoned on queue timeout, Rejections
+	// those turned away immediately under Config.Reject.
+	Timeouts, Rejections int64
+}
+
 // Scheduler owns the admission queue and the worker-slot pool.
 type Scheduler struct {
 	cfg    Config
 	nextID atomic.Int64
+
+	// Cumulative lifetime counters; see Totals.
+	totAdmitted   atomic.Int64
+	totFinished   atomic.Int64
+	totTimeouts   atomic.Int64
+	totRejections atomic.Int64
 	// nwait mirrors len(slotQ) so MaybeYield's per-batch fast path can
 	// skip the mutex while the pool is uncontended.
 	nwait atomic.Int32
@@ -146,6 +163,16 @@ func (s *Scheduler) Queued() int {
 
 // SlotWaiters returns the number of workers blocked waiting for a slot.
 func (s *Scheduler) SlotWaiters() int { return int(s.nwait.Load()) }
+
+// Totals snapshots the scheduler's cumulative lifetime counters.
+func (s *Scheduler) Totals() Totals {
+	return Totals{
+		Admitted:   s.totAdmitted.Load(),
+		Finished:   s.totFinished.Load(),
+		Timeouts:   s.totTimeouts.Load(),
+		Rejections: s.totRejections.Load(),
+	}
+}
 
 type slotWaiter struct {
 	q       *Query
@@ -224,6 +251,7 @@ func (s *Scheduler) Admit(ctx context.Context, d QueryDesc) (*Query, error) {
 	}
 	if s.cfg.Reject {
 		s.mu.Unlock()
+		s.totRejections.Add(1)
 		return nil, ErrRejected
 	}
 	w := &admitWaiter{d: d, ready: make(chan *Query, 1)}
@@ -267,6 +295,7 @@ func (s *Scheduler) Admit(ctx context.Context, d QueryDesc) (*Query, error) {
 		case <-ctx.Done():
 			return nil, s.abandonAdmit(w, ctx.Err())
 		case <-timeout:
+			s.totTimeouts.Add(1)
 			return nil, s.abandonAdmit(w, fmt.Errorf("%w after %s", ErrQueueTimeout, s.cfg.QueueTimeout))
 		case <-repumpC:
 			s.mu.Lock()
@@ -324,6 +353,7 @@ func (s *Scheduler) admitLocked(d QueryDesc) *Query {
 	}
 	s.admitted[q] = struct{}{}
 	s.memHeld += q.minMem
+	s.totAdmitted.Add(1)
 	return q
 }
 
@@ -359,6 +389,7 @@ func (q *Query) Finish() {
 	}
 	delete(s.admitted, q)
 	s.memHeld -= q.minMem
+	s.totFinished.Add(1)
 	s.grantLocked()
 	s.pumpLocked()
 	s.mu.Unlock()

@@ -241,6 +241,7 @@ type Reader struct {
 	path    string
 	scratch []byte
 	bufs    [][]int32
+	read    int64
 }
 
 // Reader opens the writer's file for reading. Finish is implied.
@@ -291,8 +292,13 @@ func (r *Reader) Next() ([][]int32, error) {
 			r.bufs[c][i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
 		}
 	}
+	r.read += int64(4 + 4*n*r.cols)
 	return r.bufs, nil
 }
+
+// BytesRead returns the encoded bytes decoded so far — one add per chunk,
+// so read-back accounting costs nothing on the row path.
+func (r *Reader) BytesRead() int64 { return r.read }
 
 // Close releases the read handle.
 func (r *Reader) Close() error { return r.f.Close() }
