@@ -25,6 +25,7 @@ import (
 	"bfcbo/internal/mem"
 	"bfcbo/internal/obs"
 	"bfcbo/internal/optimizer"
+	"bfcbo/internal/plan"
 	"bfcbo/internal/query"
 	"bfcbo/internal/sched"
 	"bfcbo/internal/sqlparser"
@@ -89,6 +90,12 @@ type Config struct {
 	// SlowQueryMin gates flight-recorder admission: queries faster than
 	// this are not retained. Zero records every query.
 	SlowQueryMin time.Duration
+	// WorkloadHistory sizes the engine's workload history store — the
+	// bounded per-fingerprint aggregate (exec count, p50/p95 latency,
+	// observed-vs-estimated operator rows, spill bytes) keyed by each
+	// query's normalized shape, served at /debug/workload. 0 defaults to
+	// obs.DefaultWorkloadShapes; negative disables the store.
+	WorkloadHistory int
 }
 
 // SchedStat is the per-query scheduling report: admission queue wait,
@@ -106,6 +113,8 @@ type Engine struct {
 	reg     *obs.Registry
 	metrics *obs.Metrics
 	rec     *obs.FlightRecorder
+	insp    *obs.Inspector
+	work    *obs.WorkloadStore
 }
 
 // Open generates the TPC-H dataset and returns a ready engine.
@@ -137,9 +146,14 @@ func Open(cfg Config) (*Engine, error) {
 		rec = obs.NewFlightRecorder(n)
 		rec.MinLatency = cfg.SlowQueryMin
 	}
+	var work *obs.WorkloadStore
+	if cfg.WorkloadHistory >= 0 {
+		work = obs.NewWorkloadStore(cfg.WorkloadHistory)
+	}
 	e := &Engine{
 		cfg: cfg, ds: ds, broker: broker, sched: sch,
 		reg: reg, metrics: obs.NewMetrics(reg), rec: rec,
+		insp: obs.NewInspector(), work: work,
 	}
 	registerEngineMetrics(reg, sch, broker)
 	return e, nil
@@ -195,6 +209,24 @@ func (e *Engine) MetricsRegistry() *obs.Registry { return e.reg }
 // FlightRecorder exposes the engine's slow-query flight recorder, or nil
 // when Config.SlowQueryLog is negative.
 func (e *Engine) FlightRecorder() *obs.FlightRecorder { return e.rec }
+
+// Inspector exposes the engine's in-flight query inspector: live
+// per-pipeline progress, scheduler and memory-grant state of every
+// running query (served at /debug/queries/live), plus Kill.
+func (e *Engine) Inspector() *obs.Inspector { return e.insp }
+
+// Workload exposes the engine's workload history store — per-fingerprint
+// exec counts, latency quantiles, and observed-vs-estimated cardinality
+// aggregates (served at /debug/workload) — or nil when
+// Config.WorkloadHistory is negative.
+func (e *Engine) Workload() *obs.WorkloadStore { return e.work }
+
+// Kill requests cancellation of a running query by the ID shown in
+// /debug/queries/live (and in Output.Trace.QueryID). The run's workers
+// stop at their next morsel boundary and the corresponding
+// Run/RunContext call returns an error wrapping obs.ErrKilled. Kill
+// reports whether the ID named an in-flight query.
+func (e *Engine) Kill(id int64) bool { return e.insp.Kill(id) }
 
 // Dataset gives access to the underlying schema and storage for advanced
 // use (building custom query blocks).
@@ -282,6 +314,11 @@ func (e *Engine) RunContext(ctx context.Context, b *query.Block, mode Mode) (*Ou
 	if err != nil {
 		return nil, err
 	}
+	// The fingerprint is the query's normalized shape identity — block +
+	// plan shape + mode, parameterized on literals — computed once per run
+	// here and carried through the inspector, the flight recorder, the
+	// workload history, and the workers' pprof labels.
+	fp := plan.Fingerprint(b, res.Plan)
 	start := time.Now()
 	tr := obs.NewTrace(8)
 	r, err := exec.RunContext(ctx, e.ds.DB, b, res.Plan, exec.Options{
@@ -289,12 +326,18 @@ func (e *Engine) RunContext(ctx context.Context, b *query.Block, mode Mode) (*Ou
 		Broker: e.broker, SpillDir: e.cfg.SpillDir,
 		Sched:   e.sched,
 		Metrics: e.metrics, Trace: tr,
+		Inspector: e.insp, Fingerprint: fp,
 	})
 	execTime := time.Since(start)
 	if err != nil {
 		e.rec.Record(obs.QueryRecord{
 			ID: tr.QueryID, Label: tr.Label, Mode: mode.String(),
-			Start: start, Latency: execTime, Err: err.Error(), Trace: tr,
+			Fingerprint: plan.FingerprintHex(fp),
+			Start:       start, Latency: execTime, Err: err.Error(), Trace: tr,
+		})
+		e.work.Observe(obs.WorkloadObservation{
+			Fingerprint: fp, Label: b.Name, Mode: mode.String(),
+			Latency: execTime, Failed: true,
 		})
 		return nil, err
 	}
@@ -307,7 +350,8 @@ func (e *Engine) RunContext(ctx context.Context, b *query.Block, mode Mode) (*Ou
 	sp := r.TotalSpill()
 	e.rec.Record(obs.QueryRecord{
 		ID: tr.QueryID, Label: tr.Label, Mode: mode.String(),
-		Start: start, Latency: execTime + r.Sched.QueueWait, Rows: r.Rows,
+		Fingerprint: plan.FingerprintHex(fp),
+		Start:       start, Latency: execTime + r.Sched.QueueWait, Rows: r.Rows,
 		Explain:   analyzed,
 		QueueWait: r.Sched.QueueWait, SlotWait: r.Sched.SlotWait,
 		SlotBusy: r.Sched.SlotBusy, Handoffs: r.Sched.Handoffs,
@@ -315,6 +359,20 @@ func (e *Engine) RunContext(ctx context.Context, b *query.Block, mode Mode) (*Ou
 		SpillBytes: sp.Bytes, SpillRead: sp.BytesRead,
 		SpillParts: int64(sp.Partitions), SpillDepth: int64(sp.Depth),
 		Trace: tr,
+	})
+	// Fold the run into its shape's workload-history aggregate: the same
+	// latency the flight recorder stores, plus the observed-vs-estimated
+	// operator cardinalities the ROADMAP's feedback loop will consume.
+	var opsActual, opsEst float64
+	for _, a := range r.Actuals {
+		opsActual += a.Actual
+		opsEst += a.Node.EstRows()
+	}
+	e.work.Observe(obs.WorkloadObservation{
+		Fingerprint: fp, Label: b.Name, Mode: mode.String(),
+		Latency: execTime + r.Sched.QueueWait, Rows: int64(r.Rows),
+		Ops: int64(len(r.Actuals)), OpsActualRows: opsActual, OpsEstRows: opsEst,
+		SpillBytes: sp.Bytes,
 	})
 	return &Output{
 		Rows:           r.Rows,

@@ -16,21 +16,28 @@
 //	bench -experiment scan     # scalar-vs-vectorized scan ablation (BENCH_PR6.json)
 //	bench -experiment joinagg  # scalar-vs-batched probe/fold ablation (BENCH_PR7.json)
 //	bench -experiment observability # metrics-vs-stats agreement + trace export (BENCH_PR8.json)
+//	bench -experiment workload # live-inspector + fingerprint-history audit (BENCH_PR9.json)
 //	bench -experiment all      # everything
 //
 // A global -mem-budget (e.g. "64MB") constrains the executor in every
 // experiment; -validate <path> checks a BENCH_PR3-style memory report, a
 // BENCH_PR4-style concurrency report, a BENCH_PR8-style observability
-// report, or a Chrome trace-event file (dispatching on content) and exits
-// (the CI bench smoke). -streams narrows the concurrency grid.
+// report, a BENCH_PR9-style workload report, or a Chrome trace-event file
+// (dispatching on content) and exits (the CI bench smoke). -streams
+// narrows the concurrency grid. -obs-listen serves the workload
+// experiment's live endpoints (/debug/queries/live, /debug/workload,
+// /debug/pprof/) while its streams run, so they can be scraped mid-bench.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"bfcbo/internal/bench"
 	"bfcbo/internal/mem"
@@ -43,12 +50,13 @@ func main() {
 		seed     = flag.Uint64("seed", 2025, "data generation seed")
 		dop      = flag.Int("dop", 8, "degree of parallelism")
 		reps     = flag.Int("reps", 3, "repetitions per query (first is warm-up)")
-		exp      = flag.String("experiment", "all", "table2|table3|fig1|fig6|naive|mae|ablation|scaling|memory|concurrency|hashtable|scan|joinagg|observability|all")
+		exp      = flag.String("experiment", "all", "table2|table3|fig1|fig6|naive|mae|ablation|scaling|memory|concurrency|hashtable|scan|joinagg|observability|workload|all")
 		jout     = flag.String("json", "", "machine-readable report path (default: BENCH_PR2.json for table2, BENCH_PR3.json for memory, BENCH_PR4.json for concurrency, BENCH_PR5.json for hashtable, BENCH_PR6.json for scan, BENCH_PR7.json for joinagg; empty = default, \"-\" disables)")
 		budget   = flag.String("mem-budget", "", `executor memory budget for all experiments, e.g. "64MB" (empty = unlimited)`)
 		streams  = flag.String("streams", "", `concurrency experiment stream counts, e.g. "1,2,4,8" (empty = default; the streams=1 anchor and one multi-stream cell are always included)`)
 		iters    = flag.Int("iters", 0, "concurrency experiment queries per stream (0 = default)")
 		validate = flag.String("validate", "", "validate a memory or concurrency report at this path and exit")
+		obsAddr  = flag.String("obs-listen", "", `serve the workload experiment's observability endpoints on this address (e.g. "127.0.0.1:8099") while it runs`)
 	)
 	flag.Parse()
 	if *validate != "" {
@@ -64,6 +72,8 @@ func main() {
 		}
 		kind, check := "memory report", bench.ValidateMemoryJSON
 		switch {
+		case bench.IsWorkloadReport(*validate):
+			kind, check = "workload report", bench.ValidateWorkloadJSON
 		case bench.IsObservabilityReport(*validate):
 			kind, check = "observability report", bench.ValidateObservabilityJSON
 		case bench.IsConcurrencyReport(*validate):
@@ -82,7 +92,7 @@ func main() {
 		fmt.Printf("%s: well-formed %s\n", *validate, kind)
 		return
 	}
-	if err := run(*sf, *seed, *dop, *reps, *exp, *jout, *budget, *streams, *iters); err != nil {
+	if err := run(*sf, *seed, *dop, *reps, *exp, *jout, *budget, *streams, *iters, *obsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
@@ -104,7 +114,7 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(sf float64, seed uint64, dop, reps int, exp, jsonPath, budget, streamsList string, iters int) error {
+func run(sf float64, seed uint64, dop, reps int, exp, jsonPath, budget, streamsList string, iters int, obsAddr string) error {
 	memBudget, err := mem.ParseBytes(budget)
 	if err != nil {
 		return err
@@ -290,6 +300,63 @@ func run(sf float64, seed uint64, dop, reps int, exp, jsonPath, budget, streamsL
 		}
 		return nil
 	}
+	runWorkload := func() error {
+		h, err := mk(false)
+		if err != nil {
+			return err
+		}
+		// The sinks are created up front so -obs-listen can serve them while
+		// the experiment's streams are still running — the CI smoke curls
+		// /debug/queries/live, /debug/workload and /debug/pprof/profile
+		// mid-bench.
+		sinks := &bench.ObsSinks{
+			Registry:  obs.NewRegistry(),
+			Inspector: obs.NewInspector(),
+			Workload:  obs.NewWorkloadStore(0),
+		}
+		if obsAddr != "" {
+			srv := &http.Server{Addr: obsAddr, Handler: &obs.Handler{
+				Registry: sinks.Registry, Inspector: sinks.Inspector, Workload: sinks.Workload,
+			}}
+			lnErr := make(chan error, 1)
+			go func() {
+				err := srv.ListenAndServe()
+				if err == http.ErrServerClosed {
+					err = nil
+				}
+				lnErr <- err
+			}()
+			select {
+			case err := <-lnErr:
+				if err == nil {
+					err = fmt.Errorf("server closed before serving")
+				}
+				return fmt.Errorf("obs-listen: %w", err)
+			case <-time.After(50 * time.Millisecond):
+				fmt.Fprintf(w, "serving observability on http://%s/ during the workload experiment\n", obsAddr)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+				defer cancel()
+				if err := srv.Shutdown(ctx); err != nil {
+					fmt.Fprintf(os.Stderr, "bench: obs-listen shutdown: %v\n", err)
+				}
+				<-lnErr
+			}()
+		}
+		rep, err := h.RunWorkload(nil, 4, iters, sinks)
+		if err != nil {
+			return err
+		}
+		bench.PrintWorkload(w, rep)
+		if out := pathFor("BENCH_PR9.json"); out != "" {
+			if err := bench.WriteWorkloadJSON(out, rep); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", out)
+		}
+		return nil
+	}
 	runScaling := func() error {
 		h, err := mk(false)
 		if err != nil {
@@ -396,12 +463,14 @@ func run(sf float64, seed uint64, dop, reps int, exp, jsonPath, budget, streamsL
 		return runJoinAgg()
 	case "observability":
 		return runObservability()
+	case "workload":
+		return runWorkload()
 	case "all":
 		// runTable2 already covers the DOP scaling table in its JSON report.
 		for _, f := range []func() error{runTable2, runTable3,
 			func() error { return runFig(12, "Figure 1 — Q12") },
 			func() error { return runFig(7, "Figure 6 — Q7") },
-			runNaive, runMAE, runAblation, runMemory, runConcurrency, runHashtable, runScan, runJoinAgg, runObservability} {
+			runNaive, runMAE, runAblation, runMemory, runConcurrency, runHashtable, runScan, runJoinAgg, runObservability, runWorkload} {
 			if err := f(); err != nil {
 				return err
 			}

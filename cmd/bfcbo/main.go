@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"bfcbo"
@@ -36,7 +38,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "per-query deadline (0 = none); expiry cancels the run mid-pipeline")
 		streams  = flag.Int("streams", 1, "run the query this many times concurrently through the engine scheduler")
 		maxConc  = flag.Int("max-concurrent", 0, "admission cap on concurrent queries (0 = unlimited)")
-		obsAddr  = flag.String("obs-listen", "", `serve observability endpoints (/metrics, /debug/queries, /debug/trace/<id>) on this address, e.g. ":8080"; the process keeps serving after the query finishes`)
+		obsAddr  = flag.String("obs-listen", "", `serve observability endpoints (/metrics, /debug/queries[/live|/kill], /debug/trace/<id>, /debug/workload, /debug/pprof/) on this address, e.g. ":8080"; the process keeps serving after the query finishes until Ctrl-C, then shuts the server down gracefully`)
 		traceOut = flag.String("trace-out", "", "write the run's query-lifecycle trace(s) as Chrome trace-event JSON to this file (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
@@ -63,17 +65,52 @@ func run(sf float64, seed uint64, dop, qnum int, sql, modeS, budget string,
 	if err != nil {
 		return err
 	}
+	// The obs server's lifecycle is owned here: serve errors land in lnErr
+	// (a late listen failure — port stolen, fd exhaustion — surfaces at
+	// exit instead of being dropped), and shutdown() drains in-flight
+	// scrapes with a timeout instead of leaking the listener.
+	var lnErr chan error
+	shutdown := func() error { return nil }
 	if obsAddr != "" {
-		h := &obs.Handler{Registry: eng.MetricsRegistry(), Recorder: eng.FlightRecorder()}
+		h := &obs.Handler{
+			Registry: eng.MetricsRegistry(), Recorder: eng.FlightRecorder(),
+			Inspector: eng.Inspector(), Workload: eng.Workload(),
+		}
 		srv := &http.Server{Addr: obsAddr, Handler: h}
-		ln := make(chan error, 1)
-		go func() { ln <- srv.ListenAndServe() }()
+		lnErr = make(chan error, 1)
+		go func() {
+			err := srv.ListenAndServe()
+			if err == http.ErrServerClosed {
+				err = nil
+			}
+			lnErr <- err
+		}()
 		select {
-		case err := <-ln:
+		case err := <-lnErr:
+			if err == nil {
+				err = fmt.Errorf("server closed before serving")
+			}
 			return fmt.Errorf("obs-listen: %w", err)
 		case <-time.After(50 * time.Millisecond):
 			fmt.Printf("observability on http://%s/metrics\n", obsAddr)
 		}
+		var once sync.Once
+		var shutErr error
+		shutdown = func() error {
+			once.Do(func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+				defer cancel()
+				if err := srv.Shutdown(ctx); err != nil {
+					shutErr = fmt.Errorf("obs-listen shutdown: %w", err)
+					return
+				}
+				if err := <-lnErr; err != nil {
+					shutErr = fmt.Errorf("obs-listen: %w", err)
+				}
+			})
+			return shutErr
+		}
+		defer shutdown() //nolint:errcheck // error path reported by the explicit call
 	}
 	runOne := func() (*bfcbo.Output, error) {
 		ctx := context.Background()
@@ -162,10 +199,16 @@ func run(sf float64, seed uint64, dop, qnum int, sql, modeS, budget string,
 		fmt.Printf("trace written to %s (%d queries)\n", traceOut, len(traces))
 	}
 	if obsAddr != "" {
+		// Keep serving until interrupted, then shut the server down
+		// gracefully — draining in-flight scrapes — instead of dying with
+		// the listener open.
 		fmt.Println("serving observability endpoints; Ctrl-C to exit")
-		select {}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		<-ctx.Done()
+		stop()
+		fmt.Println("\nshutting down observability server")
 	}
-	return nil
+	return shutdown()
 }
 
 func parseMode(s string) (bfcbo.Mode, error) {

@@ -1,0 +1,448 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"bfcbo/internal/exec"
+	"bfcbo/internal/mem"
+	"bfcbo/internal/obs"
+	"bfcbo/internal/plan"
+	"bfcbo/internal/sched"
+)
+
+// The workload experiment (BENCH_PR9.json): a multi-stream TPC-H mix runs
+// with the full PR 9 introspection stack live — in-flight inspector,
+// per-fingerprint workload history, flight recorder, pprof worker labels
+// — then three things are verified. (1) The per-fingerprint history
+// agrees with flight-recorder ground truth: every shape's exec count and
+// mean latency must match what the recorder retained, run for run.
+// (2) A sampler polling the live inspector throughout the run saw
+// queries in flight with per-pipeline morsel counters and completion
+// fractions advancing monotonically — no torn or retreating progress
+// under concurrent scrapes. (3) Single-stream DOP-8 medians, measured
+// with the inspector registered and fingerprints computed, anchor
+// against BENCH_PR8's — the whole layer must cost ≲2% on the hot path.
+
+// ObsSinks lets the caller supply the observability instances the
+// experiment instruments, so an HTTP handler (cmd/bench -obs-listen) can
+// serve /debug/queries/live and /debug/workload while the bench runs.
+// Nil fields are created privately.
+type ObsSinks struct {
+	Registry  *obs.Registry
+	Recorder  *obs.FlightRecorder
+	Inspector *obs.Inspector
+	Workload  *obs.WorkloadStore
+}
+
+// WorkloadFingerprintRow is one query shape's history entry checked
+// against ground truth.
+type WorkloadFingerprintRow struct {
+	Query       int    `json:"query"`
+	Fingerprint string `json:"fingerprint"`
+	// Count is the store's exec count; RecorderCount the flight-recorder
+	// ground truth (they must match exactly).
+	Count         int64   `json:"count"`
+	RecorderCount int64   `json:"recorder_count"`
+	MeanMS        float64 `json:"mean_ms"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	// LatencyAgreePct is the relative gap between the store's mean latency
+	// and the recorder's per-record mean for the same fingerprint.
+	LatencyAgreePct float64 `json:"latency_agree_pct"`
+	// ActualOverEst is the shape's observed/estimated operator-rows ratio
+	// (the plan-cache feedback signal).
+	ActualOverEst float64 `json:"actual_over_est"`
+}
+
+// WorkloadReport is the machine-readable experiment (BENCH_PR9.json).
+type WorkloadReport struct {
+	ScaleFactor float64 `json:"scale_factor"`
+	Seed        uint64  `json:"seed"`
+	DOP         int     `json:"dop"`
+	Streams     int     `json:"streams"`
+	PerStream   int     `json:"per_stream"`
+	// Workload is the per-fingerprint history vs ground truth ("workload"
+	// is this report's sniff key for bench -validate).
+	Workload []WorkloadFingerprintRow `json:"workload"`
+	// Live-inspector sampling during the multi-stream phase.
+	LiveSamples       int  `json:"live_samples"`
+	LiveMaxInFlight   int  `json:"live_max_in_flight"`
+	ProgressMonotonic bool `json:"progress_monotonic"`
+	// SingleStream anchors DOP-8 medians with the introspection layer on.
+	SingleStream []SingleStreamRow `json:"single_stream"`
+}
+
+// liveSampler polls an inspector while queries run, checking that every
+// query's total fraction and per-pipeline morsel counters only grow.
+type liveSampler struct {
+	insp *obs.Inspector
+
+	mu        sync.Mutex
+	samples   int
+	maxLive   int
+	monotonic bool
+	lastFrac  map[int64]float64
+	lastMors  map[int64]map[int]int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newLiveSampler(insp *obs.Inspector) *liveSampler {
+	s := &liveSampler{
+		insp: insp, monotonic: true,
+		lastFrac: make(map[int64]float64),
+		lastMors: make(map[int64]map[int]int64),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+func (s *liveSampler) loop() {
+	defer close(s.done)
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.sample()
+		}
+	}
+}
+
+func (s *liveSampler) sample() {
+	snaps := s.insp.Snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(snaps) > 0 {
+		s.samples++
+	}
+	if len(snaps) > s.maxLive {
+		s.maxLive = len(snaps)
+	}
+	for _, q := range snaps {
+		if q.Fraction < s.lastFrac[q.ID]-1e-9 {
+			s.monotonic = false
+		}
+		s.lastFrac[q.ID] = q.Fraction
+		pm := s.lastMors[q.ID]
+		if pm == nil {
+			pm = make(map[int]int64)
+			s.lastMors[q.ID] = pm
+		}
+		for _, p := range q.Pipelines {
+			if p.MorselsDone < pm[p.ID] {
+				s.monotonic = false
+			}
+			pm[p.ID] = p.MorselsDone
+		}
+	}
+}
+
+func (s *liveSampler) finish() (samples, maxLive int, monotonic bool) {
+	close(s.stop)
+	<-s.done
+	return s.samples, s.maxLive, s.monotonic
+}
+
+// RunWorkload executes the experiment: S streams × perStream queries of
+// the mix with full introspection, history-vs-recorder verification, and
+// instrumented single-stream anchors. sinks may be nil.
+func (h *Harness) RunWorkload(queries []int, S, perStream int, sinks *ObsSinks) (*WorkloadReport, error) {
+	if len(queries) == 0 {
+		queries = DefaultScalingQueries()
+	}
+	if S <= 0 {
+		S = 4
+	}
+	if perStream <= 0 {
+		perStream = 2 * len(queries)
+	}
+	planned, err := h.concPlan(queries)
+	if err != nil {
+		return nil, err
+	}
+	fps := make([]uint64, len(planned))
+	for i, pq := range planned {
+		fps[i] = plan.Fingerprint(pq.block, pq.plan)
+	}
+
+	if sinks == nil {
+		sinks = &ObsSinks{}
+	}
+	if sinks.Registry == nil {
+		sinks.Registry = obs.NewRegistry()
+	}
+	if sinks.Recorder == nil {
+		// Ground truth needs every multi-stream run retained.
+		sinks.Recorder = obs.NewFlightRecorder(S*perStream + 1)
+	}
+	if sinks.Inspector == nil {
+		sinks.Inspector = obs.NewInspector()
+	}
+	if sinks.Workload == nil {
+		sinks.Workload = obs.NewWorkloadStore(0)
+	}
+	metrics := obs.NewMetrics(sinks.Registry)
+	scheduler := sched.New(sched.Config{Slots: h.cfg.DOP})
+	broker := mem.NewBroker(h.cfg.MemBudget)
+
+	// Multi-stream phase under the live sampler. Each finished run is
+	// recorded into both the flight recorder and the workload store — the
+	// same double-entry bookkeeping Engine.RunContext does — so the
+	// history can be audited against per-record ground truth afterwards.
+	sampler := newLiveSampler(sinks.Inspector)
+	errs := make([]error, S)
+	var wg sync.WaitGroup
+	for s := 0; s < S; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for k := 0; k < perStream; k++ {
+				i := (s + k) % len(planned)
+				pq := planned[i]
+				start := time.Now()
+				r, err := exec.RunContext(context.Background(), h.ds.DB, pq.block, pq.plan, exec.Options{
+					DOP: h.cfg.DOP, Sched: scheduler, Broker: broker, SpillDir: h.cfg.SpillDir,
+					Metrics: metrics, Trace: obs.NewTrace(16),
+					Inspector: sinks.Inspector, Fingerprint: fps[i],
+				})
+				lat := time.Since(start)
+				if err != nil {
+					errs[s] = fmt.Errorf("stream %d Q%d: %w", s, pq.num, err)
+					return
+				}
+				if r.Rows != pq.rows {
+					errs[s] = fmt.Errorf("stream %d Q%d: rows %d != serial %d", s, pq.num, r.Rows, pq.rows)
+					return
+				}
+				var opsActual, opsEst float64
+				for _, a := range r.Actuals {
+					opsActual += a.Actual
+					opsEst += a.Node.EstRows()
+				}
+				sinks.Recorder.Record(obs.QueryRecord{
+					ID: r.Sched.QueueWait.Nanoseconds() ^ int64(s*perStream+k), Label: pq.block.Name,
+					Fingerprint: plan.FingerprintHex(fps[i]),
+					Start:       start, Latency: lat, Rows: r.Rows,
+				})
+				sinks.Workload.Observe(obs.WorkloadObservation{
+					Fingerprint: fps[i], Label: pq.block.Name, Latency: lat,
+					Rows: int64(r.Rows), Ops: int64(len(r.Actuals)),
+					OpsActualRows: opsActual, OpsEstRows: opsEst,
+					SpillBytes: r.TotalSpill().Bytes,
+				})
+			}
+		}(s)
+	}
+	wg.Wait()
+	samples, maxLive, monotonic := sampler.finish()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("bench: workload: %w", err)
+		}
+	}
+	if n := sinks.Inspector.Len(); n != 0 {
+		return nil, fmt.Errorf("bench: workload: %d queries still registered live after the run", n)
+	}
+
+	// Audit the history against recorder ground truth, per fingerprint.
+	recCount := make(map[string]int64)
+	recLatNs := make(map[string]int64)
+	for _, qr := range sinks.Recorder.Recent() {
+		recCount[qr.Fingerprint]++
+		recLatNs[qr.Fingerprint] += int64(qr.Latency)
+	}
+	var rows []WorkloadFingerprintRow
+	for i, pq := range planned {
+		hex := plan.FingerprintHex(fps[i])
+		entry, ok := sinks.Workload.Find(fps[i])
+		if !ok {
+			return nil, fmt.Errorf("bench: workload: Q%d fingerprint %s missing from store", pq.num, hex)
+		}
+		row := WorkloadFingerprintRow{
+			Query: pq.num, Fingerprint: hex,
+			Count: entry.Count, RecorderCount: recCount[hex],
+			MeanMS: entry.MeanMS, P50MS: entry.P50MS, P95MS: entry.P95MS,
+			ActualOverEst: entry.ActualOverEst,
+		}
+		if recCount[hex] > 0 {
+			recMeanMS := float64(recLatNs[hex]) / float64(recCount[hex]) / 1e6
+			row.LatencyAgreePct = relErrPct(entry.MeanMS, recMeanMS)
+		}
+		if row.Count != row.RecorderCount {
+			return nil, fmt.Errorf("bench: workload: Q%d history count %d != recorder %d",
+				pq.num, row.Count, row.RecorderCount)
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Query < rows[j].Query })
+
+	single, err := h.workloadSingleStream(planned, fps)
+	if err != nil {
+		return nil, err
+	}
+	return &WorkloadReport{
+		ScaleFactor: h.cfg.ScaleFactor, Seed: h.cfg.Seed, DOP: h.cfg.DOP,
+		Streams: S, PerStream: perStream,
+		Workload:    rows,
+		LiveSamples: samples, LiveMaxInFlight: maxLive, ProgressMonotonic: monotonic,
+		SingleStream: single,
+	}, nil
+}
+
+// workloadSingleStream measures per-query medians at streams=1 with the
+// whole introspection layer enabled — inspector registration, progress
+// folds, fingerprint bookkeeping, pprof labels — the BENCH_PR8 anchor
+// showing the layer stays off the hot path.
+func (h *Harness) workloadSingleStream(planned []concPlanned, fps []uint64) ([]SingleStreamRow, error) {
+	reg := obs.NewRegistry()
+	m := obs.NewMetrics(reg)
+	insp := obs.NewInspector()
+	work := obs.NewWorkloadStore(0)
+	scheduler := sched.New(sched.Config{Slots: h.cfg.DOP})
+	broker := mem.NewBroker(h.cfg.MemBudget)
+	var single []SingleStreamRow
+	for i, pq := range planned {
+		var samples []time.Duration
+		lastRows := 0
+		for rep := 0; rep < h.cfg.Reps; rep++ {
+			runtime.GC()
+			start := time.Now()
+			r, err := exec.RunContext(context.Background(), h.ds.DB, pq.block, pq.plan, exec.Options{
+				DOP: h.cfg.DOP, Sched: scheduler, Broker: broker, SpillDir: h.cfg.SpillDir,
+				Metrics: m, Trace: obs.NewTrace(16),
+				Inspector: insp, Fingerprint: fps[i],
+			})
+			elapsed := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("bench: workload Q%d single-stream: %w", pq.num, err)
+			}
+			work.Observe(obs.WorkloadObservation{
+				Fingerprint: fps[i], Label: pq.block.Name, Latency: elapsed, Rows: int64(r.Rows),
+			})
+			lastRows = r.Rows
+			if h.cfg.Reps > 1 && rep == 0 {
+				continue
+			}
+			samples = append(samples, elapsed)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		med := samples[(len(samples)-1)/2]
+		single = append(single, SingleStreamRow{
+			Query: pq.num, DOP: h.cfg.DOP, ExecMS: med.Seconds() * 1000, Rows: lastRows,
+		})
+	}
+	return single, nil
+}
+
+// PrintWorkload renders the history summary.
+func PrintWorkload(w io.Writer, r *WorkloadReport) {
+	fmt.Fprintf(w, "workload fingerprint history, %d streams x DOP %d (%d per stream)\n",
+		r.Streams, r.DOP, r.PerStream)
+	fmt.Fprintf(w, "%-6s %-18s %6s %8s %9s %9s %9s %10s\n",
+		"query", "fingerprint", "count", "rec-cnt", "mean-ms", "p50-ms", "p95-ms", "act/est")
+	for _, row := range r.Workload {
+		fmt.Fprintf(w, "Q%-5d %-18s %6d %8d %9.3f %9.3f %9.3f %10.3f\n",
+			row.Query, row.Fingerprint, row.Count, row.RecorderCount,
+			row.MeanMS, row.P50MS, row.P95MS, row.ActualOverEst)
+	}
+	fmt.Fprintf(w, "live inspector: %d samples, max %d in flight, monotonic=%v\n",
+		r.LiveSamples, r.LiveMaxInFlight, r.ProgressMonotonic)
+	fmt.Fprintf(w, "single-stream anchors (introspection on):\n")
+	for _, s := range r.SingleStream {
+		fmt.Fprintf(w, "  Q%-3d dop=%d exec=%.3fms rows=%d\n", s.Query, s.DOP, s.ExecMS, s.Rows)
+	}
+}
+
+// WriteWorkloadJSON writes the experiment report to path.
+func WriteWorkloadJSON(path string, r *WorkloadReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ValidateWorkloadJSON checks that a workload report is well-formed: it
+// parses, every fingerprint row has count parity with the recorder,
+// agreeing mean latencies (≤0.5% — both sides store the same measured
+// values), distinct fingerprints across queries, ordered quantiles, and
+// the live sampler saw monotonic progress. The CI bench smoke runs this
+// against the generated report.
+func ValidateWorkloadJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r WorkloadReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Workload) == 0 {
+		return fmt.Errorf("%s: no workload rows", path)
+	}
+	seen := map[string]int{}
+	for _, row := range r.Workload {
+		if row.Count <= 0 {
+			return fmt.Errorf("%s: Q%d has no executions", path, row.Query)
+		}
+		if row.Count != row.RecorderCount {
+			return fmt.Errorf("%s: Q%d count %d != recorder %d", path, row.Query, row.Count, row.RecorderCount)
+		}
+		if row.LatencyAgreePct > 0.5 {
+			return fmt.Errorf("%s: Q%d history mean disagrees with recorder by %.2f%%",
+				path, row.Query, row.LatencyAgreePct)
+		}
+		if row.P50MS <= 0 || row.P95MS < row.P50MS {
+			return fmt.Errorf("%s: Q%d has disordered latency quantiles", path, row.Query)
+		}
+		if prev, dup := seen[row.Fingerprint]; dup {
+			return fmt.Errorf("%s: Q%d and Q%d share fingerprint %s", path, prev, row.Query, row.Fingerprint)
+		}
+		seen[row.Fingerprint] = row.Query
+	}
+	if r.LiveSamples <= 0 || r.LiveMaxInFlight <= 0 {
+		return fmt.Errorf("%s: live sampler saw no in-flight queries", path)
+	}
+	if !r.ProgressMonotonic {
+		return fmt.Errorf("%s: live progress was not monotonic", path)
+	}
+	if len(r.SingleStream) == 0 {
+		return fmt.Errorf("%s: no single-stream anchor rows", path)
+	}
+	for _, s := range r.SingleStream {
+		if s.ExecMS <= 0 {
+			return fmt.Errorf("%s: single-stream Q%d has non-positive exec_ms", path, s.Query)
+		}
+	}
+	return nil
+}
+
+// IsWorkloadReport sniffs whether the JSON file at path looks like a
+// WorkloadReport (used by bench -validate to dispatch).
+func IsWorkloadReport(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return false
+	}
+	_, ok := probe["workload"]
+	_, ok2 := probe["live_samples"]
+	return ok && ok2
+}

@@ -208,6 +208,16 @@ type executor struct {
 
 	// trace, when non-nil, receives pipeline/breaker spans (Options.Trace).
 	trace *obs.Trace
+
+	// live, when non-nil, is this run's entry in the in-flight query
+	// inspector: per-pipeline progress cells the workers fold into at
+	// morsel boundaries, plus the kill hook routing Inspector.Kill into
+	// fail(). pctx and fpHex feed the workers' pprof labels
+	// (query/fingerprint/pipeline) so CPU profiles attribute samples to
+	// queries.
+	live  *obs.LiveQuery
+	pctx  context.Context
+	fpHex string
 }
 
 // filter returns a built Bloom filter handle and its runtime record.
@@ -296,6 +306,17 @@ type Options struct {
 	// pipelines, breaker finish phases) for Chrome trace-event export.
 	// Spans are recorded at pipeline granularity — a handful per query.
 	Trace *obs.Trace
+	// Inspector, when non-nil, registers the run with the in-flight query
+	// inspector for the duration of execution: live per-pipeline progress
+	// (morsels, rows scanned/emitted, completion fraction), scheduler and
+	// memory-grant state, and a kill hook routed into the run-wide stop
+	// flag. Progress folds happen at morsel boundaries only — no per-row
+	// atomics, no allocation.
+	Inspector *obs.Inspector
+	// Fingerprint, when non-zero, is the query's normalized shape identity
+	// (plan.Fingerprint), shown by the inspector and stamped on the
+	// workers' pprof labels.
+	Fingerprint uint64
 	// ScalarProbe selects the row-at-a-time join-probe and aggregation-fold
 	// baseline the vectorized batch kernels replaced — the baseline side of
 	// the join/agg ablation (cmd/bench -experiment joinagg). Probes hash,
@@ -433,6 +454,10 @@ func RunContext(ctx context.Context, db *storage.Database, block *query.Block, p
 		ticket:      ticket,
 		queryTag:    fmt.Sprintf("q%d", ticket.ID()),
 		trace:       opts.Trace,
+		pctx:        ctx,
+	}
+	if opts.Fingerprint != 0 {
+		ex.fpHex = plan.FingerprintHex(opts.Fingerprint)
 	}
 	// The query account and any spill files are torn down no matter how the
 	// run ends — success, error, or cancellation — so a budgeted run can
@@ -462,6 +487,35 @@ func RunContext(ctx context.Context, db *storage.Database, block *query.Block, p
 			return nil, fmt.Errorf("exec: relation %s: %w", r.Alias, err)
 		}
 		ex.tables[i] = t
+	}
+	// Publish the run to the in-flight inspector. Planned morsel counts
+	// fix each pipeline's progress denominator up front: exact for scans
+	// (the shared cursor claims every morsel, even ones zone-maps skip),
+	// planner-estimated for merge sources — snapshot fractions cap below
+	// 1 until the sink finishes, so estimates cannot make progress
+	// retreat. Deregistration is deferred, covering every exit path.
+	if opts.Inspector != nil && !opts.Legacy {
+		lq := obs.NewLiveQuery(ticket.ID(), block.Name, ex.fpHex, p.Mode)
+		for _, pl := range pipes {
+			var planned, srcRows int64
+			if s, ok := pl.Source.(*plan.Scan); ok {
+				srcRows = int64(ex.tables[s.Rel].NumRows())
+				planned = (srcRows + int64(morsel) - 1) / int64(morsel)
+			} else {
+				planned = (int64(pl.Source.EstRows()) + int64(morsel) - 1) / int64(morsel)
+			}
+			lq.AddPipeline(pl.ID, pl.Describe(), planned, int64(morsel), srcRows)
+		}
+		lq.OnKill(func() { ex.fail(fmt.Errorf("exec: %w", obs.ErrKilled)) })
+		lq.SetSchedFn(func() obs.LiveSched {
+			st := ticket.Stats()
+			return obs.LiveSched{Held: ticket.Held(), QueueWait: st.QueueWait,
+				SlotWait: st.SlotWait, SlotBusy: st.SlotBusy, Handoffs: st.Handoffs}
+		})
+		lq.SetMemFn(ex.memq.Used)
+		ex.live = lq
+		opts.Inspector.Register(lq)
+		defer opts.Inspector.Deregister(lq.ID)
 	}
 	if opts.Legacy {
 		// The legacy interpreter leases one worker slot for its whole run:

@@ -1,13 +1,16 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
 
 	"bfcbo/internal/mem"
+	"bfcbo/internal/obs"
 	"bfcbo/internal/plan"
 	"bfcbo/internal/query"
 	"bfcbo/internal/spill"
@@ -697,8 +700,7 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 	}
 
 	// Shared operator state, in stream order.
-	type opFactory func(child PhysicalOperator) PhysicalOperator
-	var factories []opFactory
+	var factories []func(child PhysicalOperator) PhysicalOperator
 	opStatsList := make([]*opStats, 0, len(pl.Ops))
 	inRels := pl.Source.Rels()
 	for _, j := range pl.Ops {
@@ -776,76 +778,31 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 		return err
 	}
 
+	// Live-inspector cell for this pipeline (nil when the run is not
+	// registered). Workers fold morsel counts and row totals into it at
+	// batch boundaries — never per row, never allocating.
+	var lp *obs.PipeProgress
+	if ex.live != nil {
+		if lp = ex.live.Pipeline(pl.ID); lp != nil {
+			lp.Running()
+		}
+	}
+	// pprof labels attribute every worker's CPU samples to the query, its
+	// shape fingerprint, and this pipeline; set once per worker launch.
+	labels := pprof.Labels("query", ex.queryTag,
+		"fingerprint", ex.fpHex, "pipeline", fmt.Sprintf("P%d", pl.ID))
+	lctx := ex.pctx
+	if lctx == nil {
+		lctx = context.Background()
+	}
+
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			// Acquire one global worker slot — leased from the process-wide
-			// scheduler, so concurrently admitted queries cap their total
-			// running workers at the pool capacity, not at DOP each. A
-			// false acquire means the run was canceled while queued.
-			holding := ex.acquireSlot()
-			if !holding {
-				return
-			}
-			defer func() {
-				if holding {
-					ex.yieldSlot()
-				}
-			}()
-			op := newSource()
-			for _, f := range factories {
-				op = f(op)
-			}
-			if ex.injectOp != nil {
-				op = ex.injectOp(pl, w, op)
-			}
-			fail := func(err error) {
-				errs[w] = err
-				ex.fail(err)
-			}
-			// Open and Close always pair: a chain operator that opened its
-			// child must release it even when Open itself failed, a batch
-			// errored, or the run was canceled mid-stream.
-			if err := op.Open(); err != nil {
-				fail(err)
-				op.Close()
-				return
-			}
-			defer func() {
-				if err := op.Close(); err != nil && errs[w] == nil {
-					fail(err)
-				}
-			}()
-			// The stop check makes the first error — anywhere in the run —
-			// cancel sibling workers between batches; the morsel sources
-			// check it too, so a worker inside NextBatch stops claiming
-			// morsels instead of draining the source.
-			for !ex.stop.Load() {
-				b, err := op.NextBatch()
-				if err != nil {
-					if err == errSlotLost {
-						// The grace barrier yielded the slot and the run was
-						// canceled before it could be re-acquired.
-						holding = false
-						return
-					}
-					fail(err)
-					return
-				}
-				if b == nil {
-					return
-				}
-				snk.consume(w, b)
-				// Morsel-boundary preemption: hand the slot to a starved
-				// concurrent query when over fair share.
-				if !ex.maybeYield() {
-					holding = false
-					return
-				}
-			}
+			pprof.Do(lctx, labels, func(context.Context) { ex.workerLoop(pl, w, newSource, factories, snk, lp, srcStats, errs) })
 		}(w)
 	}
 	wg.Wait()
@@ -869,6 +826,9 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 		return err
 	}
 	finishWall := time.Since(finishStart)
+	if lp != nil {
+		lp.Done()
+	}
 
 	// Per-node actuals: every plan node appears in exactly one pipeline
 	// position (scans and merge joins as sources, other joins as ops), so
@@ -923,6 +883,87 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 	ex.pipes = append(ex.pipes, ps)
 	ex.smu.Unlock()
 	return nil
+}
+
+// workerLoop is one pipeline worker's life: lease a global slot, build
+// the private operator chain, pull batches until end of stream or the
+// run-wide stop, and fold live progress into the inspector cell at each
+// morsel boundary. It runs under the worker's pprof labels
+// (query/fingerprint/pipeline), so CPU samples attribute to the query.
+func (ex *executor) workerLoop(pl *plan.Pipeline, w int,
+	newSource func() PhysicalOperator,
+	factories []func(child PhysicalOperator) PhysicalOperator,
+	snk sink, lp *obs.PipeProgress, srcStats *opStats, errs []error) {
+	// Acquire one global worker slot — leased from the process-wide
+	// scheduler, so concurrently admitted queries cap their total
+	// running workers at the pool capacity, not at DOP each. A
+	// false acquire means the run was canceled while queued.
+	holding := ex.acquireSlot()
+	if !holding {
+		return
+	}
+	defer func() {
+		if holding {
+			ex.yieldSlot()
+		}
+	}()
+	op := newSource()
+	for _, f := range factories {
+		op = f(op)
+	}
+	if ex.injectOp != nil {
+		op = ex.injectOp(pl, w, op)
+	}
+	fail := func(err error) {
+		errs[w] = err
+		ex.fail(err)
+	}
+	// Open and Close always pair: a chain operator that opened its
+	// child must release it even when Open itself failed, a batch
+	// errored, or the run was canceled mid-stream.
+	if err := op.Open(); err != nil {
+		fail(err)
+		op.Close()
+		return
+	}
+	defer func() {
+		if err := op.Close(); err != nil && errs[w] == nil {
+			fail(err)
+		}
+	}()
+	// The stop check makes the first error — anywhere in the run —
+	// cancel sibling workers between batches; the morsel sources
+	// check it too, so a worker inside NextBatch stops claiming
+	// morsels instead of draining the source.
+	for !ex.stop.Load() {
+		b, err := op.NextBatch()
+		if err != nil {
+			if err == errSlotLost {
+				// The grace barrier yielded the slot and the run was
+				// canceled before it could be re-acquired.
+				holding = false
+				return
+			}
+			fail(err)
+			return
+		}
+		if b == nil {
+			return
+		}
+		snk.consume(w, b)
+		if lp != nil {
+			// Morsel-boundary progress fold: this batch's emitted rows plus
+			// the source's cumulative scanned total — two atomic adds and a
+			// max-publish per morsel, nothing per row, no allocation.
+			lp.Fold(int64(b.Len()), srcStats.rowsIn.Load())
+		}
+		// Morsel-boundary preemption: hand the slot to a starved
+		// concurrent query when over fair share.
+		if !ex.maybeYield() {
+			holding = false
+			return
+		}
+	}
 }
 
 // newSink builds the pipeline's sink for its breaker kind. Spillable

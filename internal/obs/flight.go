@@ -11,13 +11,16 @@ import (
 // QueryRecord is one flight-recorder entry: everything needed to debug a
 // slow query after the fact without re-running it.
 type QueryRecord struct {
-	ID      int64         `json:"id"`
-	Label   string        `json:"label"`
-	Mode    string        `json:"mode,omitempty"`
-	Start   time.Time     `json:"start"`
-	Latency time.Duration `json:"latency"`
-	Rows    int           `json:"rows"`
-	Err     string        `json:"err,omitempty"`
+	ID    int64  `json:"id"`
+	Label string `json:"label"`
+	Mode  string `json:"mode,omitempty"`
+	// Fingerprint is the query's normalized shape identity (16 hex
+	// digits), the key joining recorder entries to the workload history.
+	Fingerprint string        `json:"fingerprint,omitempty"`
+	Start       time.Time     `json:"start"`
+	Latency     time.Duration `json:"latency"`
+	Rows        int           `json:"rows"`
+	Err         string        `json:"err,omitempty"`
 
 	// Explain is the full EXPLAIN ANALYZE text captured at finish.
 	Explain string `json:"explain,omitempty"`

@@ -3,21 +3,38 @@ package obs
 import (
 	"fmt"
 	"net/http"
+	httppprof "net/http/pprof"
 	"strconv"
 	"strings"
 )
 
 // Handler serves the observability surface over HTTP:
 //
-//	/metrics           — Prometheus text exposition of the registry
-//	/debug/queries     — flight-recorder dump (slowest first), JSON
-//	/debug/trace/<id>  — one retained query's Chrome trace-event JSON
+//	/metrics                    — Prometheus text exposition of the registry
+//	/debug/queries              — flight-recorder dump (slowest first), JSON
+//	/debug/queries/live         — in-flight queries with live progress, JSON
+//	/debug/queries/kill?id=<id> — cancel a running query (POST or GET)
+//	/debug/trace/<id>           — one retained query's Chrome trace-event JSON
+//	/debug/workload             — per-fingerprint workload history, JSON
+//	/debug/pprof/*              — Go runtime profiles; CPU samples carry
+//	                              query/fingerprint/pipeline labels
 //
-// Registry and Recorder may each be nil; the matching endpoints then
-// answer 404.
+// Registry, Recorder, Inspector and Workload may each be nil; the
+// matching endpoints then answer 404. Every response sets an explicit
+// Content-Type, and every error — unknown path, bad id, missing
+// subsystem — carries a JSON body, so scrapers never see an empty 200.
 type Handler struct {
-	Registry *Registry
-	Recorder *FlightRecorder
+	Registry  *Registry
+	Recorder  *FlightRecorder
+	Inspector *Inspector
+	Workload  *WorkloadStore
+}
+
+// jsonError writes a JSON error body with the given status.
+func jsonError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"error\":%q}\n", fmt.Sprintf(format, args...))
 }
 
 // ServeHTTP implements http.Handler.
@@ -25,43 +42,94 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == "/metrics":
 		if h.Registry == nil {
-			http.NotFound(w, r)
+			jsonError(w, http.StatusNotFound, "metrics registry not enabled")
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = h.Registry.WriteProm(w)
 	case r.URL.Path == "/debug/queries":
 		if h.Recorder == nil {
-			http.NotFound(w, r)
+			jsonError(w, http.StatusNotFound, "flight recorder not enabled")
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_ = h.Recorder.WriteJSON(w)
+	case r.URL.Path == "/debug/queries/live":
+		if h.Inspector == nil {
+			jsonError(w, http.StatusNotFound, "live inspector not enabled")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = h.Inspector.WriteJSON(w)
+	case r.URL.Path == "/debug/queries/kill":
+		if h.Inspector == nil {
+			jsonError(w, http.StatusNotFound, "live inspector not enabled")
+			return
+		}
+		idStr := r.URL.Query().Get("id")
+		id, err := strconv.ParseInt(idStr, 10, 64)
+		if err != nil {
+			jsonError(w, http.StatusBadRequest, "bad query id %q", idStr)
+			return
+		}
+		if !h.Inspector.Kill(id) {
+			jsonError(w, http.StatusNotFound, "query %d is not in flight", id)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\"killed\":%d}\n", id)
+	case r.URL.Path == "/debug/workload":
+		if h.Workload == nil {
+			jsonError(w, http.StatusNotFound, "workload history not enabled")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = h.Workload.WriteJSON(w)
 	case strings.HasPrefix(r.URL.Path, "/debug/trace/"):
 		if h.Recorder == nil {
-			http.NotFound(w, r)
+			jsonError(w, http.StatusNotFound, "flight recorder not enabled")
 			return
 		}
 		idStr := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
 		id, err := strconv.ParseInt(idStr, 10, 64)
 		if err != nil {
-			http.Error(w, fmt.Sprintf("bad query id %q", idStr), http.StatusBadRequest)
+			jsonError(w, http.StatusBadRequest, "bad query id %q", idStr)
 			return
 		}
 		rec, ok := h.Recorder.Find(id)
 		if !ok || rec.Trace == nil {
-			http.NotFound(w, r)
+			jsonError(w, http.StatusNotFound, "no retained trace for query %d", id)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_ = rec.Trace.WriteChrome(w)
+	case r.URL.Path == "/debug/pprof" || strings.HasPrefix(r.URL.Path, "/debug/pprof/"):
+		// The stdlib pprof handlers set their own Content-Type (and
+		// Content-Disposition for binary profiles). CPU profiles taken here
+		// attribute samples per query via the executor's pprof labels.
+		switch r.URL.Path {
+		case "/debug/pprof/cmdline":
+			httppprof.Cmdline(w, r)
+		case "/debug/pprof/profile":
+			httppprof.Profile(w, r)
+		case "/debug/pprof/symbol":
+			httppprof.Symbol(w, r)
+		case "/debug/pprof/trace":
+			httppprof.Trace(w, r)
+		default:
+			httppprof.Index(w, r)
+		}
 	case r.URL.Path == "/":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "bfcbo observability endpoints:")
-		fmt.Fprintln(w, "  /metrics           Prometheus text exposition")
-		fmt.Fprintln(w, "  /debug/queries     slow-query flight recorder dump")
-		fmt.Fprintln(w, "  /debug/trace/<id>  Chrome trace-event JSON for one query")
+		fmt.Fprintln(w, "  /metrics                     Prometheus text exposition")
+		fmt.Fprintln(w, "  /debug/queries               slow-query flight recorder dump")
+		fmt.Fprintln(w, "  /debug/queries/live          in-flight queries with live progress")
+		fmt.Fprintln(w, "  /debug/queries/kill?id=<id>  cancel a running query")
+		fmt.Fprintln(w, "  /debug/trace/<id>            Chrome trace-event JSON for one query")
+		fmt.Fprintln(w, "  /debug/workload              per-fingerprint workload history")
+		fmt.Fprintln(w, "  /debug/pprof/                runtime profiles (query-labeled CPU samples)")
 	default:
-		http.NotFound(w, r)
+		jsonError(w, http.StatusNotFound, "unknown path %q", r.URL.Path)
 	}
 }

@@ -232,6 +232,15 @@ func (q *Query) Stats() Stat {
 	}
 }
 
+// Held reports the worker slots the query holds right now — the live
+// companion to Stats' occupancy integral, read by the in-flight query
+// inspector.
+func (q *Query) Held() int {
+	q.s.mu.Lock()
+	defer q.s.mu.Unlock()
+	return q.held
+}
+
 // Admit registers a query and blocks until it is admitted, its context
 // cancels, or the queue timeout expires. The returned ticket must be
 // Finished when the query completes.

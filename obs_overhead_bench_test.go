@@ -1,0 +1,46 @@
+package bfcbo
+
+import (
+	"context"
+	"testing"
+
+	"bfcbo/internal/exec"
+	"bfcbo/internal/obs"
+	"bfcbo/internal/plan"
+)
+
+func BenchmarkLiveInstrumentationOverhead(b *testing.B) {
+	e, err := Open(Config{ScaleFactor: 0.02, Seed: 2025, DOP: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, q := range []int{5, 21} {
+		blk, err := e.TPCH(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := e.Plan(blk, BFCBO)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fp := plan.Fingerprint(blk, res.Plan)
+		for _, cfg := range []struct {
+			name string
+			insp *obs.Inspector
+			fp   uint64
+		}{
+			{"bare", nil, 0},
+			{"instrumented", obs.NewInspector(), fp},
+		} {
+			b.Run(blk.Name+"/"+cfg.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := exec.RunContext(context.Background(), e.Dataset().DB, blk, res.Plan, exec.Options{
+						DOP: 8, Inspector: cfg.insp, Fingerprint: cfg.fp,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
