@@ -17,11 +17,14 @@ package bfcbo
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand/v2"
 	"time"
 
 	"bfcbo/internal/datagen"
 	"bfcbo/internal/exec"
+	"bfcbo/internal/faults"
 	"bfcbo/internal/mem"
 	"bfcbo/internal/obs"
 	"bfcbo/internal/optimizer"
@@ -96,6 +99,59 @@ type Config struct {
 	// query's normalized shape, served at /debug/workload. 0 defaults to
 	// obs.DefaultWorkloadShapes; negative disables the store.
 	WorkloadHistory int
+	// Faults, when non-empty, installs the process-wide deterministic
+	// fault injector from a spec like
+	// "seed=42,spill.write=0.01,exec.panic=0.005,spill.diskfull=64MB"
+	// (see internal/faults.Parse for the grammar). The injector is
+	// process-global — every engine in the process shares it — and stays
+	// installed until faults.Disable. Empty leaves the injector alone.
+	Faults string
+	// Overload sets the scheduler's overload-shedding thresholds; the
+	// zero value disables shedding. When either signal trips — admission
+	// queue-wait p95 above MaxQueueWaitP95, or broker free fraction
+	// below MinFreeFraction — non-priority admissions fail fast with an
+	// error wrapping ErrOverloaded that carries a retry-after hint.
+	Overload OverloadConfig
+	// Retry is the engine's opt-in policy for transparently retrying
+	// queries that failed transiently (overload shedding, admission
+	// queue timeout, injected transient faults). The zero value disables
+	// retries. Deterministic failures — SQL errors, cancellation, kills,
+	// contained panics with non-error values — are never retried.
+	Retry RetryPolicy
+	// Audit, when set, runs the post-query invariant audit (broker holds
+	// zero bytes, scheduler shows no slots/admissions/waiters, no
+	// leftover spill files) after every query that finishes with no
+	// other query in flight, folding any violation into the returned
+	// error. Meant for tests and chaos runs. Spill files are audited
+	// only when SpillDir is set explicitly.
+	Audit bool
+}
+
+// OverloadConfig re-exports the scheduler's overload-controller
+// thresholds for Config.Overload; see sched.OverloadConfig.
+type OverloadConfig = sched.OverloadConfig
+
+// ErrOverloaded is the sentinel wrapped by shed admissions; callers that
+// manage their own retries can match it with errors.Is and read the
+// retry-after hint via sched.OverloadError.
+var ErrOverloaded = sched.ErrOverloaded
+
+// RetryPolicy bounds the engine's automatic retry of transient query
+// failures. Backoff is exponential with jitter: attempt n sleeps
+// between d and 1.5·d where d = min(BaseBackoff·2ⁿ, MaxBackoff), raised
+// to the scheduler's retry-after hint when the failure carries one.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the first failure
+	// (0 disables retrying).
+	MaxRetries int
+	// BaseBackoff is the first retry's nominal delay; 0 means 10ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth; 0 means 2s.
+	MaxBackoff time.Duration
+	// Budget caps the total time spent sleeping between retries; once
+	// the next backoff would exceed it, the last error is returned
+	// instead. 0 means no budget cap.
+	Budget time.Duration
 }
 
 // SchedStat is the per-query scheduling report: admission queue wait,
@@ -125,6 +181,13 @@ func Open(cfg Config) (*Engine, error) {
 	if cfg.DOP <= 0 {
 		cfg.DOP = 8
 	}
+	if cfg.Faults != "" {
+		inj, err := faults.Parse(cfg.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("bfcbo: Config.Faults: %w", err)
+		}
+		faults.Enable(inj)
+	}
 	ds, err := datagen.Generate(datagen.Config{ScaleFactor: cfg.ScaleFactor, Seed: cfg.Seed})
 	if err != nil {
 		return nil, err
@@ -135,6 +198,7 @@ func Open(cfg Config) (*Engine, error) {
 		MaxConcurrent: cfg.MaxConcurrent,
 		QueueTimeout:  cfg.QueueTimeout,
 		Broker:        broker,
+		Overload:      cfg.Overload,
 	})
 	reg := obs.NewRegistry()
 	var rec *obs.FlightRecorder
@@ -191,6 +255,10 @@ func registerEngineMetrics(reg *obs.Registry, sch *sched.Scheduler, broker *mem.
 		func() int64 { return broker.Denials() })
 	reg.NewCounterFunc("bfcbo_mem_spill_triggers_total", "Denied grows that triggered an operator spill.",
 		func() int64 { return broker.SpillTriggers() })
+	reg.NewCounterFunc("bfcbo_sched_shed_total", "Admissions shed by the overload controller.",
+		func() int64 { return sch.Totals().Shed })
+	reg.NewCounterFunc("bfcbo_faults_injected_total", "Faults fired by the process-wide injector (0 when disabled).",
+		faults.TotalFired)
 }
 
 // MemoryBroker exposes the engine's process-wide memory broker (budget,
@@ -309,6 +377,11 @@ func (e *Engine) Run(b *query.Block, mode Mode) (*Output, error) {
 // one Engine; they share the DOP-sized worker-slot pool (legacy-executor
 // runs excepted — see Config.LegacyExecutor) and the memory budget, and
 // each gets its own spill subdirectory.
+//
+// Under Config.Retry, transient failures — overload sheds, admission
+// queue timeouts, injected transient faults — are retried with
+// exponential backoff before the error surfaces; each attempt is a full
+// re-execution with its own flight-recorder entry.
 func (e *Engine) RunContext(ctx context.Context, b *query.Block, mode Mode) (*Output, error) {
 	res, err := e.Plan(b, mode)
 	if err != nil {
@@ -319,6 +392,81 @@ func (e *Engine) RunContext(ctx context.Context, b *query.Block, mode Mode) (*Ou
 	// here and carried through the inspector, the flight recorder, the
 	// workload history, and the workers' pprof labels.
 	fp := plan.Fingerprint(b, res.Plan)
+	out, err := e.runOnce(ctx, b, mode, res, fp)
+	var slept time.Duration
+	for retries := 0; err != nil && retries < e.cfg.Retry.MaxRetries && transientErr(err); retries++ {
+		d := e.cfg.Retry.backoff(retries, err)
+		if e.cfg.Retry.Budget > 0 && slept+d > e.cfg.Retry.Budget {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return nil, errors.Join(err, ctx.Err())
+		case <-time.After(d):
+		}
+		slept += d
+		e.metrics.Retries.Inc()
+		out, err = e.runOnce(ctx, b, mode, res, fp)
+	}
+	if e.cfg.Audit && e.sched.Admitted() == 0 {
+		// Only audit spill files under an explicitly configured dir —
+		// a shared os.TempDir() can hold other processes' files.
+		if aerr := exec.Audit(exec.AuditState{
+			Broker: e.broker, Sched: e.sched, SpillDir: e.cfg.SpillDir,
+		}); aerr != nil {
+			err = errors.Join(err, aerr)
+			out = nil
+		}
+	}
+	return out, err
+}
+
+// transientErr reports whether a failed run may be retried: the failure
+// must be environmental (shedding, queue timeout, injected transient
+// fault), not a property of the query. Cancellation and kills are the
+// caller's decision and never retried; contained panics retry only when
+// the panic value itself was a transient injected fault.
+func transientErr(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, obs.ErrKilled) {
+		return false
+	}
+	if errors.Is(err, sched.ErrQueueTimeout) || errors.Is(err, sched.ErrOverloaded) {
+		return true
+	}
+	var f *faults.Fault
+	return errors.As(err, &f) && f.Transient()
+}
+
+// backoff computes the sleep before re-attempt n (0-based): exponential
+// from BaseBackoff capped at MaxBackoff, raised to the failure's
+// retry-after hint when it carries one, plus up to 50% jitter so
+// concurrently shed queries don't re-arrive in lockstep.
+func (p RetryPolicy) backoff(n int, err error) time.Duration {
+	base, ceil := p.BaseBackoff, p.MaxBackoff
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if ceil <= 0 {
+		ceil = 2 * time.Second
+	}
+	d := base
+	for i := 0; i < n && d < ceil; i++ {
+		d *= 2
+	}
+	if d > ceil {
+		d = ceil
+	}
+	var ra interface{ RetryAfter() time.Duration }
+	if errors.As(err, &ra) && ra.RetryAfter() > d {
+		d = ra.RetryAfter()
+	}
+	return d + rand.N(d/2+1)
+}
+
+// runOnce executes one attempt of an already-planned query: admission,
+// execution, metrics fold, flight-recorder and workload-history entries.
+func (e *Engine) runOnce(ctx context.Context, b *query.Block, mode Mode, res *optimizer.Result, fp uint64) (*Output, error) {
 	start := time.Now()
 	tr := obs.NewTrace(8)
 	r, err := exec.RunContext(ctx, e.ds.DB, b, res.Plan, exec.Options{
@@ -330,6 +478,13 @@ func (e *Engine) RunContext(ctx context.Context, b *query.Block, mode Mode) (*Ou
 	})
 	execTime := time.Since(start)
 	if err != nil {
+		var pe *exec.PanicError
+		if errors.As(err, &pe) {
+			e.metrics.PanicsRecovered.Inc()
+		}
+		if errors.Is(err, sched.ErrOverloaded) {
+			e.metrics.QueriesShed.Inc()
+		}
 		e.rec.Record(obs.QueryRecord{
 			ID: tr.QueryID, Label: tr.Label, Mode: mode.String(),
 			Fingerprint: plan.FingerprintHex(fp),

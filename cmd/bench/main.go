@@ -17,13 +17,15 @@
 //	bench -experiment joinagg  # scalar-vs-batched probe/fold ablation (BENCH_PR7.json)
 //	bench -experiment observability # metrics-vs-stats agreement + trace export (BENCH_PR8.json)
 //	bench -experiment workload # live-inspector + fingerprint-history audit (BENCH_PR9.json)
+//	bench -experiment faults   # fault-injection chaos + disabled-injector anchors (BENCH_PR10.json)
 //	bench -experiment all      # everything
 //
 // A global -mem-budget (e.g. "64MB") constrains the executor in every
 // experiment; -validate <path> checks a BENCH_PR3-style memory report, a
 // BENCH_PR4-style concurrency report, a BENCH_PR8-style observability
-// report, a BENCH_PR9-style workload report, or a Chrome trace-event file
-// (dispatching on content) and exits (the CI bench smoke). -streams
+// report, a BENCH_PR9-style workload report, a BENCH_PR10-style faults
+// report, or a Chrome trace-event file (dispatching on content) and
+// exits (the CI bench smoke). -streams
 // narrows the concurrency grid. -obs-listen serves the workload
 // experiment's live endpoints (/debug/queries/live, /debug/workload,
 // /debug/pprof/) while its streams run, so they can be scraped mid-bench.
@@ -50,7 +52,7 @@ func main() {
 		seed     = flag.Uint64("seed", 2025, "data generation seed")
 		dop      = flag.Int("dop", 8, "degree of parallelism")
 		reps     = flag.Int("reps", 3, "repetitions per query (first is warm-up)")
-		exp      = flag.String("experiment", "all", "table2|table3|fig1|fig6|naive|mae|ablation|scaling|memory|concurrency|hashtable|scan|joinagg|observability|workload|all")
+		exp      = flag.String("experiment", "all", "table2|table3|fig1|fig6|naive|mae|ablation|scaling|memory|concurrency|hashtable|scan|joinagg|observability|workload|faults|all")
 		jout     = flag.String("json", "", "machine-readable report path (default: BENCH_PR2.json for table2, BENCH_PR3.json for memory, BENCH_PR4.json for concurrency, BENCH_PR5.json for hashtable, BENCH_PR6.json for scan, BENCH_PR7.json for joinagg; empty = default, \"-\" disables)")
 		budget   = flag.String("mem-budget", "", `executor memory budget for all experiments, e.g. "64MB" (empty = unlimited)`)
 		streams  = flag.String("streams", "", `concurrency experiment stream counts, e.g. "1,2,4,8" (empty = default; the streams=1 anchor and one multi-stream cell are always included)`)
@@ -72,6 +74,8 @@ func main() {
 		}
 		kind, check := "memory report", bench.ValidateMemoryJSON
 		switch {
+		case bench.IsFaultsReport(*validate):
+			kind, check = "faults report", bench.ValidateFaultsJSON
 		case bench.IsWorkloadReport(*validate):
 			kind, check = "workload report", bench.ValidateWorkloadJSON
 		case bench.IsObservabilityReport(*validate):
@@ -357,6 +361,24 @@ func run(sf float64, seed uint64, dop, reps int, exp, jsonPath, budget, streamsL
 		}
 		return nil
 	}
+	runFaults := func() error {
+		h, err := mk(false)
+		if err != nil {
+			return err
+		}
+		rep, err := h.RunFaults(nil, 4, iters)
+		if err != nil {
+			return err
+		}
+		bench.PrintFaults(w, rep)
+		if out := pathFor("BENCH_PR10.json"); out != "" {
+			if err := bench.WriteFaultsJSON(out, rep); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", out)
+		}
+		return nil
+	}
 	runScaling := func() error {
 		h, err := mk(false)
 		if err != nil {
@@ -465,12 +487,14 @@ func run(sf float64, seed uint64, dop, reps int, exp, jsonPath, budget, streamsL
 		return runObservability()
 	case "workload":
 		return runWorkload()
+	case "faults":
+		return runFaults()
 	case "all":
 		// runTable2 already covers the DOP scaling table in its JSON report.
 		for _, f := range []func() error{runTable2, runTable3,
 			func() error { return runFig(12, "Figure 1 — Q12") },
 			func() error { return runFig(7, "Figure 6 — Q7") },
-			runNaive, runMAE, runAblation, runMemory, runConcurrency, runHashtable, runScan, runJoinAgg, runObservability, runWorkload} {
+			runNaive, runMAE, runAblation, runMemory, runConcurrency, runHashtable, runScan, runJoinAgg, runObservability, runWorkload, runFaults} {
 			if err := f(); err != nil {
 				return err
 			}

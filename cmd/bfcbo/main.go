@@ -28,28 +28,57 @@ import (
 
 func main() {
 	var (
-		sf       = flag.Float64("sf", 0.01, "TPC-H scale factor")
-		seed     = flag.Uint64("seed", 0, "data generation seed (0 = default)")
-		dop      = flag.Int("dop", 8, "degree of parallelism")
-		qnum     = flag.Int("q", 0, "TPC-H query number (1-22)")
-		sql      = flag.String("sql", "", "SQL text (overrides -q)")
-		modeS    = flag.String("mode", "bfcbo", "optimizer mode: nobf | bfpost | bfcbo | naive")
-		budget   = flag.String("mem-budget", "", `executor memory budget, e.g. "64MB" (empty = unlimited); joins and sorts over budget spill to temp files`)
-		timeout  = flag.Duration("timeout", 0, "per-query deadline (0 = none); expiry cancels the run mid-pipeline")
-		streams  = flag.Int("streams", 1, "run the query this many times concurrently through the engine scheduler")
-		maxConc  = flag.Int("max-concurrent", 0, "admission cap on concurrent queries (0 = unlimited)")
-		obsAddr  = flag.String("obs-listen", "", `serve observability endpoints (/metrics, /debug/queries[/live|/kill], /debug/trace/<id>, /debug/workload, /debug/pprof/) on this address, e.g. ":8080"; the process keeps serving after the query finishes until Ctrl-C, then shuts the server down gracefully`)
-		traceOut = flag.String("trace-out", "", "write the run's query-lifecycle trace(s) as Chrome trace-event JSON to this file (open in chrome://tracing or Perfetto)")
+		sf        = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		seed      = flag.Uint64("seed", 0, "data generation seed (0 = default)")
+		dop       = flag.Int("dop", 8, "degree of parallelism")
+		qnum      = flag.Int("q", 0, "TPC-H query number (1-22)")
+		sql       = flag.String("sql", "", "SQL text (overrides -q)")
+		modeS     = flag.String("mode", "bfcbo", "optimizer mode: nobf | bfpost | bfcbo | naive")
+		budget    = flag.String("mem-budget", "", `executor memory budget, e.g. "64MB" (empty = unlimited); joins and sorts over budget spill to temp files`)
+		timeout   = flag.Duration("timeout", 0, "per-query deadline (0 = none); expiry cancels the run mid-pipeline")
+		streams   = flag.Int("streams", 1, "run the query this many times concurrently through the engine scheduler")
+		maxConc   = flag.Int("max-concurrent", 0, "admission cap on concurrent queries (0 = unlimited)")
+		obsAddr   = flag.String("obs-listen", "", `serve observability endpoints (/metrics, /query, /debug/queries[/live|/kill], /debug/trace/<id>, /debug/workload, /debug/pprof/) on this address, e.g. ":8080"; the process keeps serving after the query finishes until Ctrl-C, then shuts the server down gracefully`)
+		traceOut  = flag.String("trace-out", "", "write the run's query-lifecycle trace(s) as Chrome trace-event JSON to this file (open in chrome://tracing or Perfetto)")
+		faultSpec = flag.String("faults", "", `deterministic fault-injection spec, e.g. "seed=42,spill.write=0.01,exec.panic=0.005,spill.diskfull=64MB" (empty = injector off)`)
+		retries   = flag.Int("retries", 0, "retry transiently failed queries (shed/queue-timeout/injected) up to this many times with exponential backoff")
+		shedWait  = flag.Duration("shed-queue-p95", 0, "shed new admissions while queue-wait p95 exceeds this (0 = signal off)")
+		shedFree  = flag.Float64("shed-min-free", 0, "shed new admissions while the memory broker's free fraction is below this (0 = signal off)")
 	)
 	flag.Parse()
-	if err := run(*sf, *seed, *dop, *qnum, *sql, *modeS, *budget, *timeout, *streams, *maxConc, *obsAddr, *traceOut); err != nil {
+	if err := run(runConfig{
+		sf: *sf, seed: *seed, dop: *dop, qnum: *qnum, sql: *sql, modeS: *modeS,
+		budget: *budget, timeout: *timeout, streams: *streams, maxConc: *maxConc,
+		obsAddr: *obsAddr, traceOut: *traceOut, faults: *faultSpec,
+		retries: *retries, shedWait: *shedWait, shedFree: *shedFree,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "bfcbo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sf float64, seed uint64, dop, qnum int, sql, modeS, budget string,
-	timeout time.Duration, streams, maxConc int, obsAddr, traceOut string) error {
+// runConfig carries the parsed flags; the list outgrew a readable
+// positional signature.
+type runConfig struct {
+	sf                float64
+	seed              uint64
+	dop, qnum         int
+	sql, modeS        string
+	budget            string
+	timeout           time.Duration
+	streams, maxConc  int
+	obsAddr, traceOut string
+	faults            string
+	retries           int
+	shedWait          time.Duration
+	shedFree          float64
+}
+
+func run(rc runConfig) error {
+	sf, seed, dop, qnum := rc.sf, rc.seed, rc.dop, rc.qnum
+	sql, modeS, budget := rc.sql, rc.modeS, rc.budget
+	timeout, streams, maxConc := rc.timeout, rc.streams, rc.maxConc
+	obsAddr, traceOut := rc.obsAddr, rc.traceOut
 	mode, err := parseMode(modeS)
 	if err != nil {
 		return err
@@ -61,6 +90,11 @@ func run(sf float64, seed uint64, dop, qnum int, sql, modeS, budget string,
 	eng, err := bfcbo.Open(bfcbo.Config{
 		ScaleFactor: sf, Seed: seed, DOP: dop, MemBudget: memBudget,
 		MaxConcurrent: maxConc,
+		Faults:        rc.faults,
+		Retry:         bfcbo.RetryPolicy{MaxRetries: rc.retries},
+		Overload: bfcbo.OverloadConfig{
+			MaxQueueWaitP95: rc.shedWait, MinFreeFraction: rc.shedFree,
+		},
 	})
 	if err != nil {
 		return err
@@ -75,6 +109,13 @@ func run(sf float64, seed uint64, dop, qnum int, sql, modeS, budget string,
 		h := &obs.Handler{
 			Registry: eng.MetricsRegistry(), Recorder: eng.FlightRecorder(),
 			Inspector: eng.Inspector(), Workload: eng.Workload(),
+			RunSQL: func(ctx context.Context, sql string) (int, error) {
+				o, err := eng.RunSQLContext(ctx, sql, mode)
+				if err != nil {
+					return 0, err
+				}
+				return o.Rows, nil
+			},
 		}
 		srv := &http.Server{Addr: obsAddr, Handler: h}
 		lnErr = make(chan error, 1)

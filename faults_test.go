@@ -1,0 +1,209 @@
+package bfcbo
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"bfcbo/internal/exec"
+	"bfcbo/internal/faults"
+	"bfcbo/internal/sched"
+)
+
+// Engine-level robustness: the retry policy's transient/deterministic
+// classification and backoff math, the Config.Faults installer, the
+// audit flag, and the fault/recovery metric series on /metrics.
+
+func TestTransientErrClassification(t *testing.T) {
+	ferr := &faults.Fault{Site: faults.ExecError, Seq: 3}
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{errors.New("exec: merge join supports inner joins only"), false},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{sched.ErrQueueTimeout, true},
+		{sched.ErrOverloaded, true},
+		{&sched.OverloadError{After: time.Second, Reason: "test"}, true},
+		{ferr, true},
+		// A contained panic is retryable only when the panic value was a
+		// transient injected fault; a string panic (the rowset paths) is
+		// deterministic and must not be retried.
+		{&exec.PanicError{Query: "q1", Where: "worker", Value: ferr}, true},
+		{&exec.PanicError{Query: "q1", Where: "worker", Value: "no relation 3 in row set"}, false},
+	}
+	for i, c := range cases {
+		if got := transientErr(c.err); got != c.want {
+			t.Errorf("case %d (%v): transient = %v, want %v", i, c.err, got, c.want)
+		}
+	}
+}
+
+func TestRetryBackoff(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond}
+	plain := errors.New("transient-ish")
+	for n, want := range []time.Duration{10, 20, 40, 80, 80} {
+		want *= time.Millisecond
+		for trial := 0; trial < 16; trial++ {
+			d := p.backoff(n, plain)
+			if d < want || d > want+want/2 {
+				t.Fatalf("backoff(%d) = %s, want [%s, %s]", n, d, want, want+want/2)
+			}
+		}
+	}
+	// A shed query's retry-after hint raises the floor above the
+	// exponential schedule.
+	shed := &sched.OverloadError{After: 300 * time.Millisecond, Reason: "test"}
+	if d := p.backoff(0, shed); d < 300*time.Millisecond || d > 450*time.Millisecond {
+		t.Fatalf("backoff with retry-after hint = %s, want [300ms, 450ms]", d)
+	}
+}
+
+// TestEngineRetriesExhaustTyped: with a 100%-probability injected worker
+// error every attempt fails, so the engine must burn exactly MaxRetries
+// re-attempts, surface the typed fault, count the retries on /metrics —
+// and the opt-in audit must still find the engine spotless.
+func TestEngineRetriesExhaustTyped(t *testing.T) {
+	spillDir := t.TempDir()
+	e, err := Open(Config{
+		ScaleFactor: 0.003, Seed: 9, DOP: 4, SpillDir: spillDir,
+		Retry: RetryPolicy{MaxRetries: 2, BaseBackoff: time.Millisecond},
+		Audit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Enable(faults.New(11, map[faults.Site]float64{faults.ExecError: 1}))
+	defer faults.Disable()
+
+	b, err := e.TPCH(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Run(b, BFCBO)
+	if err == nil {
+		t.Fatal("every attempt fails, yet Run returned nil")
+	}
+	var f *faults.Fault
+	if !errors.As(err, &f) || f.Site != faults.ExecError {
+		t.Fatalf("exhausted retries surfaced an untyped error: %v", err)
+	}
+
+	// Scrape while the injector is still installed — the injected-fault
+	// series is a counter func over the live injector.
+	var buf bytes.Buffer
+	if err := e.MetricsRegistry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	prom := buf.String()
+	if !strings.Contains(prom, "bfcbo_query_retries_total 2") {
+		t.Errorf("want 2 retries:\n%s", grepProm(prom, "retries|faults|shed|panics"))
+	}
+	// At least one fault per attempt (concurrent workers may each fire
+	// one before the stop flag propagates, so the exact count varies).
+	if v := promValue(t, prom, "bfcbo_faults_injected_total"); v < 3 {
+		t.Errorf("faults injected = %d, want >= 3 (one per attempt)", v)
+	}
+
+	faults.Disable()
+	if out, err := e.Run(b, BFCBO); err != nil || out.Rows == 0 {
+		t.Fatalf("engine unhealthy after chaos: rows=%v err=%v", out, err)
+	}
+}
+
+// TestEngineShedMetricAndNoRetryWithoutPolicy: an injected admission
+// shed surfaces ErrOverloaded with a retry-after hint; without a retry
+// policy the engine gives up immediately and counts one shed query.
+func TestEngineShedMetricAndNoRetryWithoutPolicy(t *testing.T) {
+	e, err := Open(Config{ScaleFactor: 0.003, Seed: 9, DOP: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Enable(faults.New(5, map[faults.Site]float64{faults.SchedAdmit: 1}))
+	defer faults.Disable()
+
+	b, err := e.TPCH(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Run(b, BFCBO)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("injected admission shed: err = %v, want ErrOverloaded", err)
+	}
+	var oe *sched.OverloadError
+	if !errors.As(err, &oe) || oe.RetryAfter() <= 0 {
+		t.Fatalf("shed error carries no retry-after: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := e.MetricsRegistry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	prom := buf.String()
+	for _, want := range []string{
+		"bfcbo_queries_shed_total 1",
+		"bfcbo_sched_shed_total 1",
+		"bfcbo_query_retries_total 0",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("metrics missing %q:\n%s", want, grepProm(prom, "retries|shed"))
+		}
+	}
+}
+
+// TestConfigFaultsSpec: Config.Faults installs the process-wide injector
+// and bad specs fail Open.
+func TestConfigFaultsSpec(t *testing.T) {
+	defer faults.Disable()
+	if _, err := Open(Config{ScaleFactor: 0.003, Faults: "seed=1,nonsense=0.5"}); err == nil {
+		t.Fatal("bad fault spec accepted")
+	}
+	e, err := Open(Config{ScaleFactor: 0.003, Seed: 9, DOP: 2,
+		Faults: "seed=1,exec.error=1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.TPCH(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Run(b, BFCBO)
+	var f *faults.Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("spec-installed injector fired nothing: %v", err)
+	}
+}
+
+// promValue extracts one counter's value from a Prometheus exposition.
+func promValue(t *testing.T, prom, name string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(prom, "\n") {
+		var v int64
+		if n, _ := fmt.Sscanf(line, name+" %d", &v); n == 1 && !strings.HasPrefix(line, "#") {
+			return v
+		}
+	}
+	t.Fatalf("metric %s not in exposition", name)
+	return 0
+}
+
+// grepProm filters a Prometheus exposition to lines matching any of the
+// |-separated substrings, for readable test failures.
+func grepProm(prom, pat string) string {
+	var out []string
+	for _, line := range strings.Split(prom, "\n") {
+		for _, p := range strings.Split(pat, "|") {
+			if strings.Contains(line, p) {
+				out = append(out, line)
+				break
+			}
+		}
+	}
+	return strings.Join(out, "\n")
+}

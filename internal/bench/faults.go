@@ -1,0 +1,351 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"bfcbo/internal/exec"
+	"bfcbo/internal/faults"
+	"bfcbo/internal/mem"
+	"bfcbo/internal/sched"
+	"bfcbo/internal/spill"
+)
+
+// The faults experiment (BENCH_PR10.json) proves the two halves of the
+// PR 10 contract. (1) Overhead: with the injector DISABLED, single-stream
+// DOP-8 medians anchor against BENCH_PR9's — the fault sites compiled
+// into the spill/mem/sched/exec hot paths must cost nothing measurable
+// (each disabled check is one atomic pointer load; the 0 allocs/op gate
+// on the check itself lives in internal/faults's benchmarks). (2) Chaos:
+// with a seeded fault schedule hitting every site family, a multi-stream
+// mix must end every query either bit-identical to its fault-free
+// baseline or failing with a typed error — zero untyped failures, zero
+// crashes — and the shared broker/slot state must audit clean after.
+
+// FaultsOutcomeRow tallies one query's outcomes under injection.
+type FaultsOutcomeRow struct {
+	Query int `json:"query"`
+	Runs  int `json:"runs"`
+	// OK runs matched the fault-free baseline row count exactly.
+	OK int `json:"ok"`
+	// TypedFailures is every failed run — all carried typed errors
+	// (untyped failures abort the experiment).
+	TypedFailures int `json:"typed_failures"`
+	// Shed / Panics / SpillErrs break the typed failures down by family
+	// (a failure can count in more than one: a panic whose value is an
+	// injected fault is both).
+	Shed      int `json:"shed"`
+	Panics    int `json:"panics"`
+	SpillErrs int `json:"spill_errs"`
+}
+
+// FaultsReport is the machine-readable experiment (BENCH_PR10.json).
+type FaultsReport struct {
+	ScaleFactor  float64 `json:"scale_factor"`
+	Seed         uint64  `json:"seed"`
+	DOP          int     `json:"dop"`
+	InjectorSeed uint64  `json:"injector_seed"`
+	Streams      int     `json:"streams"`
+	PerStream    int     `json:"per_stream"`
+	// SingleStream anchors injector-disabled DOP-8 medians (the
+	// BENCH_PR9 comparison proving the sites are free when off).
+	SingleStream []SingleStreamRow `json:"single_stream"`
+	// Faulted is the per-query outcome tally under injection
+	// ("faulted" is this report's sniff key for bench -validate).
+	Faulted []FaultsOutcomeRow `json:"faulted"`
+	// FaultsFired is the injector's total across all sites.
+	FaultsFired uint64 `json:"faults_fired"`
+	// UntypedFailures must be zero; kept in the report so the validator
+	// re-checks it.
+	UntypedFailures int `json:"untyped_failures"`
+	// AuditClean records the post-storm invariant audit (broker bytes,
+	// slot pool, leftover spill files).
+	AuditClean bool `json:"audit_clean"`
+}
+
+// faultsTyped mirrors the engine's failure taxonomy check.
+func faultsTyped(err error) bool {
+	var f *faults.Fault
+	var pe *exec.PanicError
+	return errors.As(err, &f) || errors.As(err, &pe) ||
+		errors.Is(err, exec.ErrInternal) ||
+		errors.Is(err, spill.ErrIO) || errors.Is(err, spill.ErrDiskFull) ||
+		errors.Is(err, sched.ErrQueueTimeout) || errors.Is(err, sched.ErrOverloaded)
+}
+
+// RunFaults executes the experiment: disabled-injector anchors first,
+// then S streams × perStream queries under the seeded schedule.
+func (h *Harness) RunFaults(queries []int, S, perStream int) (*FaultsReport, error) {
+	if len(queries) == 0 {
+		queries = DefaultScalingQueries()
+	}
+	if S <= 0 {
+		S = 4
+	}
+	if perStream <= 0 {
+		perStream = 2 * len(queries)
+	}
+	planned, err := h.concPlan(queries)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1 — injector disabled: the overhead anchors. Hard-disable in
+	// case a previous experiment left an injector installed.
+	faults.Disable()
+	single, err := h.faultsSingleStream(planned)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2 — seeded chaos. The injector seed derives from the harness
+	// seed so the whole report reproduces from one number. A small memory
+	// budget forces spill traffic through the spill.* sites; queue-wait
+	// shedding stays off (the sched.admit site covers shedding
+	// deterministically instead of depending on machine-speed p95s).
+	// Spill sites fire per chunk and a 64KB budget pushes thousands of
+	// chunks per query, so their probabilities sit low enough that a
+	// decent fraction of runs survives — the report must show both
+	// outcomes (bit-identical successes AND typed failures).
+	injSeed := h.cfg.Seed*2 + 1
+	inj := faults.New(injSeed, map[faults.Site]float64{
+		faults.SpillWrite:  0.0005,
+		faults.SpillRead:   0.0005,
+		faults.SpillSync:   0.002,
+		faults.SpillRemove: 0.002,
+		faults.MemDeny:     0.05,
+		faults.ExecError:   0.001,
+		faults.ExecPanic:   0.0005,
+		faults.SchedAdmit:  0.05,
+		faults.SchedSlot:   0.01,
+	})
+	inj.SetSlotDelay(200 * time.Microsecond)
+	faults.Enable(inj)
+	defer faults.Disable()
+
+	broker := mem.NewBroker(64 << 10)
+	scheduler := sched.New(sched.Config{
+		Slots: h.cfg.DOP, MaxConcurrent: S, QueueTimeout: 30 * time.Second,
+	})
+	spillDir := h.cfg.SpillDir
+	if spillDir == "" {
+		spillDir, err = os.MkdirTemp("", "bfcbo-bench-faults")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(spillDir)
+	}
+
+	type tally struct {
+		runs, ok, typed, shed, panics, spillErrs int
+	}
+	tallies := make([]tally, len(planned))
+	var mu sync.Mutex
+	errCh := make([]error, S)
+	var wg sync.WaitGroup
+	for s := 0; s < S; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for k := 0; k < perStream; k++ {
+				i := (s + k) % len(planned)
+				pq := planned[i]
+				r, err := exec.RunContext(context.Background(), h.ds.DB, pq.block, pq.plan, exec.Options{
+					DOP: h.cfg.DOP, Sched: scheduler, Broker: broker, SpillDir: spillDir,
+				})
+				mu.Lock()
+				t := &tallies[i]
+				t.runs++
+				if err != nil {
+					if !faultsTyped(err) {
+						mu.Unlock()
+						errCh[s] = fmt.Errorf("stream %d Q%d: UNTYPED failure under injection: %w", s, pq.num, err)
+						return
+					}
+					t.typed++
+					if errors.Is(err, sched.ErrOverloaded) {
+						t.shed++
+					}
+					var pe *exec.PanicError
+					if errors.As(err, &pe) {
+						t.panics++
+					}
+					if errors.Is(err, spill.ErrIO) || errors.Is(err, spill.ErrDiskFull) {
+						t.spillErrs++
+					}
+					mu.Unlock()
+					continue
+				}
+				if r.Rows != pq.rows {
+					mu.Unlock()
+					errCh[s] = fmt.Errorf("stream %d Q%d: rows %d != fault-free baseline %d", s, pq.num, r.Rows, pq.rows)
+					return
+				}
+				t.ok++
+				mu.Unlock()
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errCh {
+		if err != nil {
+			return nil, fmt.Errorf("bench: faults: %w", err)
+		}
+	}
+
+	faults.Disable()
+	auditClean := exec.Audit(exec.AuditState{
+		Broker: broker, Sched: scheduler, SpillDir: spillDir,
+	}) == nil
+
+	var rows []FaultsOutcomeRow
+	for i, pq := range planned {
+		t := tallies[i]
+		rows = append(rows, FaultsOutcomeRow{
+			Query: pq.num, Runs: t.runs, OK: t.ok, TypedFailures: t.typed,
+			Shed: t.shed, Panics: t.panics, SpillErrs: t.spillErrs,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Query < rows[j].Query })
+
+	var fired uint64
+	for _, st := range inj.Stats() {
+		fired += st.Fired
+	}
+	return &FaultsReport{
+		ScaleFactor: h.cfg.ScaleFactor, Seed: h.cfg.Seed, DOP: h.cfg.DOP,
+		InjectorSeed: injSeed, Streams: S, PerStream: perStream,
+		SingleStream: single, Faulted: rows,
+		FaultsFired: fired, UntypedFailures: 0, AuditClean: auditClean,
+	}, nil
+}
+
+// faultsSingleStream measures per-query medians with the injector
+// disabled — the plain executor path plus the compiled-in fault checks,
+// directly comparable to BENCH_PR9's single_stream anchors.
+func (h *Harness) faultsSingleStream(planned []concPlanned) ([]SingleStreamRow, error) {
+	var single []SingleStreamRow
+	for _, pq := range planned {
+		var samples []time.Duration
+		lastRows := 0
+		for rep := 0; rep < h.cfg.Reps; rep++ {
+			runtime.GC()
+			start := time.Now()
+			r, err := exec.Run(h.ds.DB, pq.block, pq.plan, exec.Options{
+				DOP: h.cfg.DOP, SpillDir: h.cfg.SpillDir,
+			})
+			elapsed := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("bench: faults Q%d anchor: %w", pq.num, err)
+			}
+			lastRows = r.Rows
+			if h.cfg.Reps > 1 && rep == 0 {
+				continue
+			}
+			samples = append(samples, elapsed)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		med := samples[(len(samples)-1)/2]
+		single = append(single, SingleStreamRow{
+			Query: pq.num, DOP: h.cfg.DOP, ExecMS: med.Seconds() * 1000, Rows: lastRows,
+		})
+	}
+	return single, nil
+}
+
+// PrintFaults renders the chaos summary.
+func PrintFaults(w io.Writer, r *FaultsReport) {
+	fmt.Fprintf(w, "fault injection: %d streams x DOP %d (%d per stream), injector seed %d\n",
+		r.Streams, r.DOP, r.PerStream, r.InjectorSeed)
+	fmt.Fprintf(w, "%-6s %6s %6s %8s %6s %8s %10s\n",
+		"query", "runs", "ok", "typed", "shed", "panics", "spill-errs")
+	for _, row := range r.Faulted {
+		fmt.Fprintf(w, "Q%-5d %6d %6d %8d %6d %8d %10d\n",
+			row.Query, row.Runs, row.OK, row.TypedFailures, row.Shed, row.Panics, row.SpillErrs)
+	}
+	fmt.Fprintf(w, "faults fired: %d  untyped failures: %d  post-storm audit clean: %v\n",
+		r.FaultsFired, r.UntypedFailures, r.AuditClean)
+	fmt.Fprintf(w, "single-stream anchors (injector disabled):\n")
+	for _, s := range r.SingleStream {
+		fmt.Fprintf(w, "  Q%-3d dop=%d exec=%.3fms rows=%d\n", s.Query, s.DOP, s.ExecMS, s.Rows)
+	}
+}
+
+// WriteFaultsJSON writes the experiment report to path.
+func WriteFaultsJSON(path string, r *FaultsReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ValidateFaultsJSON checks a faults report: it parses, the injector
+// actually fired, every run is accounted for as ok-or-typed with zero
+// untyped failures, the post-storm audit was clean, and the disabled
+// anchors exist with positive medians. The CI chaos smoke runs this
+// against the generated report.
+func ValidateFaultsJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r FaultsReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Faulted) == 0 {
+		return fmt.Errorf("%s: no faulted rows", path)
+	}
+	for _, row := range r.Faulted {
+		if row.Runs <= 0 {
+			return fmt.Errorf("%s: Q%d has no runs", path, row.Query)
+		}
+		if row.OK+row.TypedFailures != row.Runs {
+			return fmt.Errorf("%s: Q%d outcomes don't account for every run: %d ok + %d typed != %d",
+				path, row.Query, row.OK, row.TypedFailures, row.Runs)
+		}
+	}
+	if r.UntypedFailures != 0 {
+		return fmt.Errorf("%s: %d untyped failures", path, r.UntypedFailures)
+	}
+	if r.FaultsFired == 0 {
+		return fmt.Errorf("%s: injector fired no faults — the chaos phase proved nothing", path)
+	}
+	if !r.AuditClean {
+		return fmt.Errorf("%s: post-storm invariant audit was dirty", path)
+	}
+	if len(r.SingleStream) == 0 {
+		return fmt.Errorf("%s: no injector-disabled anchor rows", path)
+	}
+	for _, s := range r.SingleStream {
+		if s.ExecMS <= 0 {
+			return fmt.Errorf("%s: anchor Q%d has non-positive exec_ms", path, s.Query)
+		}
+	}
+	return nil
+}
+
+// IsFaultsReport sniffs whether the JSON file at path looks like a
+// FaultsReport (used by bench -validate to dispatch).
+func IsFaultsReport(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return false
+	}
+	_, ok := probe["faulted"]
+	_, ok2 := probe["faults_fired"]
+	return ok && ok2
+}

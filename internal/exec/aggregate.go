@@ -674,10 +674,12 @@ func mergeAggTables(parts []*hashtab.AggTable, dop int) *hashtab.AggTable {
 	nsh := dop
 	shards := make([]*hashtab.AggTable, nsh)
 	var wg sync.WaitGroup
+	var trap panicTrap
 	for sh := 0; sh < nsh; sh++ {
 		wg.Add(1)
 		go func(sh int) {
 			defer wg.Done()
+			defer trap.catch()
 			out := hashtab.NewAgg(total/nsh + 1)
 			for _, t := range parts { // ascending worker order per key
 				t.Each(func(k, c int64, sum float64) {
@@ -690,6 +692,7 @@ func mergeAggTables(parts []*hashtab.AggTable, dop int) *hashtab.AggTable {
 		}(sh)
 	}
 	wg.Wait()
+	trap.rethrow()
 	out := hashtab.NewAgg(total)
 	for _, t := range shards { // shards hold disjoint keys
 		t.Each(out.Add)
@@ -732,6 +735,7 @@ func mergeGroupsPar[T int | float64](parts []map[string]T, dop int) map[string]T
 	nsh := dop
 	sub := make([][]map[string]T, len(parts)) // [worker][shard]
 	var wg sync.WaitGroup
+	var trap panicTrap
 	for w, m := range parts {
 		sub[w] = make([]map[string]T, nsh)
 		if len(m) == 0 {
@@ -740,6 +744,7 @@ func mergeGroupsPar[T int | float64](parts []map[string]T, dop int) map[string]T
 		wg.Add(1)
 		go func(sh []map[string]T, m map[string]T) {
 			defer wg.Done()
+			defer trap.catch()
 			for k, v := range m {
 				i := hashShard(k, nsh)
 				if sh[i] == nil {
@@ -750,11 +755,13 @@ func mergeGroupsPar[T int | float64](parts []map[string]T, dop int) map[string]T
 		}(sub[w], m)
 	}
 	wg.Wait()
+	trap.rethrow()
 	shards := make([]map[string]T, nsh)
 	for i := 0; i < nsh; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			defer trap.catch()
 			out := make(map[string]T)
 			for w := range sub {
 				for k, v := range sub[w][i] {
@@ -765,6 +772,7 @@ func mergeGroupsPar[T int | float64](parts []map[string]T, dop int) map[string]T
 		}(i)
 	}
 	wg.Wait()
+	trap.rethrow()
 	out := make(map[string]T, total)
 	for _, m := range shards {
 		for k, v := range m {

@@ -459,6 +459,20 @@ func RunContext(ctx context.Context, db *storage.Database, block *query.Block, p
 	if opts.Fingerprint != 0 {
 		ex.fpHex = plan.FingerprintHex(opts.Fingerprint)
 	}
+	// Top-level panic containment: anything that panics on this goroutine
+	// — the legacy interpreter, rowset wiring guards, fork-join helpers
+	// rethrowing a trapped worker panic — becomes this query's typed
+	// *PanicError instead of a process abort. Registered before the
+	// resource defers below, so in unwind order the spill dir, memory
+	// account, and ticket are all released first, then the panic converts,
+	// then the metrics defer observes the error like any other failure.
+	defer func() {
+		if v := recover(); v != nil {
+			err = ex.panicErr(v, "query execution")
+			ex.fail(err) // stop any straggling helper between batches
+			res = nil
+		}
+	}()
 	// The query account and any spill files are torn down no matter how the
 	// run ends — success, error, or cancellation — so a budgeted run can
 	// never leak reserved bytes or temp files.
@@ -656,6 +670,7 @@ func (ex *executor) scan(s *plan.Scan) (*RowSet, error) {
 	passed := make([]int64, len(bfs))
 	var wg sync.WaitGroup
 	var tmu sync.Mutex
+	var trap panicTrap
 	for c := 0; c < chunks; c++ {
 		lo := c * n / chunks
 		hi := (c + 1) * n / chunks
@@ -664,6 +679,7 @@ func (ex *executor) scan(s *plan.Scan) (*RowSet, error) {
 		wg.Add(1)
 		go func(lo, hi int, part *RowSet) {
 			defer wg.Done()
+			defer trap.catch()
 			col := part.cols[0]
 			localTested := make([]int64, len(bfs))
 			localPassed := make([]int64, len(bfs))
@@ -697,6 +713,7 @@ func (ex *executor) scan(s *plan.Scan) (*RowSet, error) {
 		}(lo, hi, part)
 	}
 	wg.Wait()
+	trap.rethrow()
 	for k := range bfs {
 		if bfs[k].st != nil {
 			bfs[k].st.Tested += tested[k]
@@ -833,6 +850,7 @@ func (ex *executor) buildBloomsShared(j *plan.Join, inner *RowSet, ht *hashTable
 				return err
 			}
 			var wg sync.WaitGroup
+			var trap panicTrap
 			// The shuffle carries hashes, not keys: the hash selects the
 			// partition and sets the partition filter's bits, so each key
 			// is mixed exactly once even through the exchange.
@@ -845,6 +863,7 @@ func (ex *executor) buildBloomsShared(j *plan.Join, inner *RowSet, ht *hashTable
 				wg.Add(1)
 				go func(c, lo, hi int) {
 					defer wg.Done()
+					defer trap.catch()
 					for i := lo; i < hi; i++ {
 						h := bloom.KeyHash(keyOf(ids[i]))
 						if hashes != nil {
@@ -856,11 +875,13 @@ func (ex *executor) buildBloomsShared(j *plan.Join, inner *RowSet, ht *hashTable
 				}(c, lo, hi)
 			}
 			wg.Wait()
+			trap.rethrow()
 			// Each partition owner inserts its shuffled key hashes.
 			for part := 0; part < ex.dop; part++ {
 				wg.Add(1)
 				go func(part int) {
 					defer wg.Done()
+					defer trap.catch()
 					f := pf.Part(part)
 					for c := 0; c < ex.dop; c++ {
 						for _, h := range chunks[c][part] {
@@ -870,6 +891,7 @@ func (ex *executor) buildBloomsShared(j *plan.Join, inner *RowSet, ht *hashTable
 				}(part)
 			}
 			wg.Wait()
+			trap.rethrow()
 			handle, st.Strategy, st.Inserted, st.Saturation = pf, "partitioned", pf.Inserted(), pf.Saturation()
 		}
 		// Future-work extension (§5): monitor bit-vector saturation and
@@ -913,16 +935,19 @@ func bloomFromIDs(ids []int32, keyOf func(int32) int64, hashes []uint64, ndv uin
 	}
 	partials := make([]*bloom.Filter, dop)
 	var wg sync.WaitGroup
+	var trap panicTrap
 	for c := 0; c < dop; c++ {
 		partials[c] = bloom.NewForNDV(ndv)
 		lo, hi := c*n/dop, (c+1)*n/dop
 		wg.Add(1)
 		go func(f *bloom.Filter, lo, hi int) {
 			defer wg.Done()
+			defer trap.catch()
 			insertRange(f, lo, hi)
 		}(partials[c], lo, hi)
 	}
 	wg.Wait()
+	trap.rethrow()
 	merged := partials[0]
 	for _, f := range partials[1:] {
 		if err := merged.Union(f); err != nil {

@@ -68,16 +68,19 @@ func (ex *executor) hashJoin(j *plan.Join, outer, inner *RowSet) (*RowSet, error
 		parts := make([]*RowSet, dop)
 		errs := make([]error, dop)
 		var wg sync.WaitGroup
+		var trap panicTrap
 		for p := 0; p < dop; p++ {
 			wg.Add(1)
 			go func(p int) {
 				defer wg.Done()
+				defer trap.catch()
 				parts[p], errs[p] = joinPartition(j.JoinType, out, outer, inner,
 					outerKeys, innerKeys, outerHashes, innerHashes,
 					oIds[oOffs[p]:oOffs[p+1]], iIds[iOffs[p]:iOffs[p+1]], match)
 			}(p)
 		}
 		wg.Wait()
+		trap.rethrow()
 		for _, err := range errs {
 			if err != nil {
 				return nil, err

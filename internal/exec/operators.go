@@ -495,6 +495,7 @@ func hashVecPar(keys []int64, dop int) []uint64 {
 	}
 	out := make([]uint64, n)
 	var wg sync.WaitGroup
+	var trap panicTrap
 	for c := 0; c < dop; c++ {
 		lo, hi := c*n/dop, (c+1)*n/dop
 		if lo == hi {
@@ -503,12 +504,14 @@ func hashVecPar(keys []int64, dop int) []uint64 {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer trap.catch()
 			for i := lo; i < hi; i++ {
 				out[i] = hashtab.Hash(keys[i])
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
+	trap.rethrow()
 	return out
 }
 
@@ -582,11 +585,13 @@ func buildHashTableFrom(ex *executor, ht *hashTable) (*hashTable, error) {
 	// row order because producers cover ascending ranges in order.
 	counts := make([]int32, nparts*nparts) // [producer][partition]
 	var wg sync.WaitGroup
+	var trap panicTrap
 	for c := 0; c < nparts; c++ {
 		lo, hi := c*n/nparts, (c+1)*n/nparts
 		wg.Add(1)
 		go func(c, lo, hi int) {
 			defer wg.Done()
+			defer trap.catch()
 			row := counts[c*nparts : (c+1)*nparts]
 			for ii := lo; ii < hi; ii++ {
 				row[ht.innerHashes[ii]%uint64(nparts)]++
@@ -594,6 +599,7 @@ func buildHashTableFrom(ex *executor, ht *hashTable) (*hashTable, error) {
 		}(c, lo, hi)
 	}
 	wg.Wait()
+	trap.rethrow()
 	offs := make([]int32, nparts+1) // partition segment bounds in ids
 	cur := make([]int32, nparts*nparts)
 	var pos int32
@@ -611,6 +617,7 @@ func buildHashTableFrom(ex *executor, ht *hashTable) (*hashTable, error) {
 		wg.Add(1)
 		go func(c, lo, hi int) {
 			defer wg.Done()
+			defer trap.catch()
 			row := cur[c*nparts : (c+1)*nparts]
 			for ii := lo; ii < hi; ii++ {
 				p := ht.innerHashes[ii] % uint64(nparts)
@@ -620,16 +627,19 @@ func buildHashTableFrom(ex *executor, ht *hashTable) (*hashTable, error) {
 		}(c, lo, hi)
 	}
 	wg.Wait()
+	trap.rethrow()
 	ht.tabs = make([]*hashtab.JoinTable, nparts)
 	errs := make([]error, nparts)
 	for p := 0; p < nparts; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
+			defer trap.catch()
 			ht.tabs[p], errs[p] = hashtab.Build(ht.innerKeys, ht.innerHashes, ids[offs[p]:offs[p+1]])
 		}(p)
 	}
 	wg.Wait()
+	trap.rethrow()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -661,12 +671,14 @@ func buildMapTable(ht *hashTable, n, nparts int) (*hashTable, error) {
 	}
 	chunks := make([][][]int32, nparts) // producer -> partition -> row ids
 	var wg sync.WaitGroup
+	var trap panicTrap
 	for c := 0; c < nparts; c++ {
 		lo, hi := c*n/nparts, (c+1)*n/nparts
 		chunks[c] = make([][]int32, nparts)
 		wg.Add(1)
 		go func(c, lo, hi int) {
 			defer wg.Done()
+			defer trap.catch()
 			for ii := lo; ii < hi; ii++ {
 				p := int(ht.innerHashes[ii] % uint64(nparts))
 				chunks[c][p] = append(chunks[c][p], int32(ii))
@@ -674,10 +686,12 @@ func buildMapTable(ht *hashTable, n, nparts int) (*hashTable, error) {
 		}(c, lo, hi)
 	}
 	wg.Wait()
+	trap.rethrow()
 	for p := 0; p < nparts; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
+			defer trap.catch()
 			total := 0
 			for c := 0; c < nparts; c++ {
 				total += len(chunks[c][p])
@@ -693,6 +707,7 @@ func buildMapTable(ht *hashTable, n, nparts int) (*hashTable, error) {
 		}(p)
 	}
 	wg.Wait()
+	trap.rethrow()
 	return ht, nil
 }
 

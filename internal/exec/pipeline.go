@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"bfcbo/internal/faults"
 	"bfcbo/internal/mem"
 	"bfcbo/internal/obs"
 	"bfcbo/internal/plan"
@@ -615,7 +616,18 @@ func (ex *executor) runDAG(pipes []*plan.Pipeline) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			err := ex.runPipeline(pipes[id])
+			// Recover shim for the pipeline goroutine: a panic in setup or
+			// the breaker finish phase (merge, sort, build, bloom) converts
+			// to this query's typed error and cancels its siblings, instead
+			// of taking down the process.
+			err := func() (err error) {
+				defer func() {
+					if v := recover(); v != nil {
+						err = ex.panicErr(v, fmt.Sprintf("pipeline P%d", id))
+					}
+				}()
+				return ex.runPipeline(pipes[id])
+			}()
 			if err != nil && err != errCanceled {
 				// Setup/finish errors bypass the worker loop's fail();
 				// record them here so the run cancels and surfaces them.
@@ -802,6 +814,19 @@ func (ex *executor) runPipeline(pl *plan.Pipeline) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Per-worker recover shim: one poisoned worker (an operator
+			// invariant panic, an injected exec.panic fault) fails only its
+			// query — the error lands in errs[w], ex.fail stops sibling
+			// workers at the next morsel, and the workerLoop's own defers
+			// have already released the slot and closed the operator chain
+			// during unwind.
+			defer func() {
+				if v := recover(); v != nil {
+					perr := ex.panicErr(v, fmt.Sprintf("pipeline P%d worker %d", pl.ID, w))
+					errs[w] = perr
+					ex.fail(perr)
+				}
+			}()
 			pprof.Do(lctx, labels, func(context.Context) { ex.workerLoop(pl, w, newSource, factories, snk, lp, srcStats, errs) })
 		}(w)
 	}
@@ -936,6 +961,17 @@ func (ex *executor) workerLoop(pl *plan.Pipeline, w int,
 	// check it too, so a worker inside NextBatch stops claiming
 	// morsels instead of draining the source.
 	for !ex.stop.Load() {
+		// Morsel-boundary fault sites: exec.error fails this query with a
+		// typed transient error; exec.panic throws into the worker's
+		// recover shim, exercising the full containment path. Both fire
+		// between batches, never mid-operator, so no sink lock is held.
+		if ferr := faults.Hit(faults.ExecError); ferr != nil {
+			fail(fmt.Errorf("exec: injected worker error (query %s, pipeline P%d): %w", ex.queryTag, pl.ID, ferr))
+			return
+		}
+		if ferr := faults.Hit(faults.ExecPanic); ferr != nil {
+			panic(ferr)
+		}
 		b, err := op.NextBatch()
 		if err != nil {
 			if err == errSlotLost {

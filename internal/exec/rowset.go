@@ -211,18 +211,21 @@ func concatPar(rels query.RelSet, parts []*RowSet, dop int) *RowSet {
 	}
 	sem := make(chan struct{}, dop)
 	var wg sync.WaitGroup
+	var trap panicTrap
 	for pos := range out.cols {
 		for i, p := range live {
 			wg.Add(1)
 			sem <- struct{}{}
 			go func(dst []int32, src []int32) {
 				defer wg.Done()
+				defer trap.catch()
+				defer func() { <-sem }() // release even on panic: the spawner must not deadlock
 				copy(dst, src)
-				<-sem
 			}(out.cols[pos][offs[i]:], p.cols[pos])
 		}
 	}
 	wg.Wait()
+	trap.rethrow()
 	return out
 }
 
@@ -265,6 +268,7 @@ func keyColumnPar(rs *RowSet, tbl *storage.Table, rel int, col string, dop int) 
 	vals := tbl.MustColumn(col).Ints
 	out := make([]int64, n)
 	var wg sync.WaitGroup
+	var trap panicTrap
 	for c := 0; c < dop; c++ {
 		lo, hi := c*n/dop, (c+1)*n/dop
 		if lo == hi {
@@ -273,12 +277,14 @@ func keyColumnPar(rs *RowSet, tbl *storage.Table, rel int, col string, dop int) 
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer trap.catch()
 			for i := lo; i < hi; i++ {
 				out[i] = vals[ids[i]]
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
+	trap.rethrow()
 	return out
 }
 
@@ -339,14 +345,17 @@ func sortByKeyPar(keys []int64, bounds []int, dop int) []int {
 	}
 	runs := make([][]int, nruns)
 	var wg sync.WaitGroup
+	var trap panicTrap
 	for r := 0; r < nruns; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
+			defer trap.catch()
 			runs[r] = sortKeyRange(keys, bounds[r], bounds[r+1])
 		}(r)
 	}
 	wg.Wait()
+	trap.rethrow()
 	return mergeRuns(keys, runs, dop)
 }
 
@@ -424,6 +433,7 @@ func mergeRuns(keys []int64, runs [][]int, dop int) []int {
 	}
 
 	var wg sync.WaitGroup
+	var trap panicTrap
 	for s := 0; s < nseg; s++ {
 		if segOff[s] == segOff[s+1] {
 			continue
@@ -431,6 +441,7 @@ func mergeRuns(keys []int64, runs [][]int, dop int) []int {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
+			defer trap.catch()
 			lo := make([]int, len(runs))
 			hi := make([]int, len(runs))
 			for r := range runs {
@@ -440,6 +451,7 @@ func mergeRuns(keys []int64, runs [][]int, dop int) []int {
 		}(s)
 	}
 	wg.Wait()
+	trap.rethrow()
 	return out
 }
 

@@ -15,6 +15,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"bfcbo/internal/faults"
 )
 
 // SpillFunc is a spill callback invoked when a grant is denied: it should
@@ -186,7 +188,13 @@ func (r *Reservation) Grow(n int64, onDeny SpillFunc) bool {
 		// already holds the account past its budget.
 		return true
 	}
-	if r.q.br.grant(n, false) {
+	// The mem.deny fault spuriously denies this first attempt, pushing
+	// the operator onto its spill/repartition path exactly as real
+	// memory pressure would; the retry after onDeny grants normally, so
+	// an injected denial perturbs the execution strategy, never the
+	// result. Results are bit-identical across spill strategies, which
+	// is what lets the chaos soak assert equality under this site.
+	if faults.Hit(faults.MemDeny) == nil && r.q.br.grant(n, false) {
 		r.held.Add(n)
 		return true
 	}

@@ -1,11 +1,14 @@
 package obs
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	httppprof "net/http/pprof"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Handler serves the observability surface over HTTP:
@@ -18,16 +21,24 @@ import (
 //	/debug/workload             — per-fingerprint workload history, JSON
 //	/debug/pprof/*              — Go runtime profiles; CPU samples carry
 //	                              query/fingerprint/pipeline labels
+//	/query?sql=<stmt>           — execute a query via RunSQL (when wired)
 //
-// Registry, Recorder, Inspector and Workload may each be nil; the
-// matching endpoints then answer 404. Every response sets an explicit
-// Content-Type, and every error — unknown path, bad id, missing
-// subsystem — carries a JSON body, so scrapers never see an empty 200.
+// Registry, Recorder, Inspector, Workload and RunSQL may each be nil;
+// the matching endpoints then answer 404. Every response sets an
+// explicit Content-Type, and every error — unknown path, bad id,
+// missing subsystem, shed or failed query — carries a JSON body, so
+// scrapers never see an empty 200. Failed /query runs go through
+// WriteQueryError, which maps overload sheds to 429 with a Retry-After
+// header.
 type Handler struct {
 	Registry  *Registry
 	Recorder  *FlightRecorder
 	Inspector *Inspector
 	Workload  *WorkloadStore
+	// RunSQL, when non-nil, enables the /query endpoint. The callback
+	// owns parsing, mode selection, and execution; it returns the result
+	// row count. Errors are mapped by WriteQueryError.
+	RunSQL func(ctx context.Context, sql string) (rows int, err error)
 }
 
 // jsonError writes a JSON error body with the given status.
@@ -35,6 +46,29 @@ func jsonError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(code)
 	fmt.Fprintf(w, "{\"error\":%q}\n", fmt.Sprintf(format, args...))
+}
+
+// WriteQueryError maps a query-execution failure to a structured JSON
+// HTTP response. Overload sheds — any error in the chain carrying a
+// RetryAfter() hint, like sched.OverloadError — answer 429 Too Many
+// Requests with a Retry-After header (whole seconds, rounded up) and
+// the hint in milliseconds in the body; every other failure answers
+// 500. Exported so non-obs HTTP frontends can reuse the mapping.
+func WriteQueryError(w http.ResponseWriter, err error) {
+	var ra interface{ RetryAfter() time.Duration }
+	if errors.As(err, &ra) {
+		after := ra.RetryAfter()
+		secs := int64((after + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprintf(w, "{\"error\":%q,\"retry_after_ms\":%d}\n", err.Error(), after.Milliseconds())
+		return
+	}
+	jsonError(w, http.StatusInternalServerError, "%s", err)
 }
 
 // ServeHTTP implements http.Handler.
@@ -78,6 +112,23 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		fmt.Fprintf(w, "{\"killed\":%d}\n", id)
+	case r.URL.Path == "/query":
+		if h.RunSQL == nil {
+			jsonError(w, http.StatusNotFound, "query endpoint not enabled")
+			return
+		}
+		sql := r.URL.Query().Get("sql")
+		if sql == "" {
+			jsonError(w, http.StatusBadRequest, "missing sql parameter")
+			return
+		}
+		rows, err := h.RunSQL(r.Context(), sql)
+		if err != nil {
+			WriteQueryError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\"rows\":%d}\n", rows)
 	case r.URL.Path == "/debug/workload":
 		if h.Workload == nil {
 			jsonError(w, http.StatusNotFound, "workload history not enabled")
@@ -129,6 +180,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "  /debug/trace/<id>            Chrome trace-event JSON for one query")
 		fmt.Fprintln(w, "  /debug/workload              per-fingerprint workload history")
 		fmt.Fprintln(w, "  /debug/pprof/                runtime profiles (query-labeled CPU samples)")
+		fmt.Fprintln(w, "  /query?sql=<stmt>            execute a query (404 unless wired; 429 + Retry-After when shed)")
 	default:
 		jsonError(w, http.StatusNotFound, "unknown path %q", r.URL.Path)
 	}

@@ -1,7 +1,10 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -66,6 +69,71 @@ func TestHandlerLiveWorkloadKill(t *testing.T) {
 	}
 	if !strings.Contains(w.Body.String(), `"killed":5`) {
 		t.Fatalf("kill body: %s", w.Body.String())
+	}
+}
+
+// sheddedErr mimics sched.OverloadError without importing sched (obs
+// sits below sched in the layering): a wrapped error chain whose middle
+// link carries the RetryAfter hint.
+type sheddedErr struct{ after time.Duration }
+
+func (e *sheddedErr) Error() string             { return fmt.Sprintf("overloaded; retry after %s", e.after) }
+func (e *sheddedErr) RetryAfter() time.Duration { return e.after }
+
+// TestHandlerQueryEndpoint covers the /query wiring and the PR 10 error
+// mapping: success JSON, missing-sql 400, shed queries 429 with a
+// Retry-After header and the hint in the body, other failures 500 —
+// all with JSON bodies.
+func TestHandlerQueryEndpoint(t *testing.T) {
+	var nextErr error
+	h := &Handler{RunSQL: func(_ context.Context, sql string) (int, error) {
+		if nextErr != nil {
+			return 0, nextErr
+		}
+		return len(sql), nil
+	}}
+	get := func(path string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+		return w
+	}
+
+	w := get("/query?sql=SELECT")
+	if w.Code != 200 || !strings.Contains(w.Body.String(), `"rows":6`) {
+		t.Fatalf("/query -> %d %s", w.Code, w.Body.String())
+	}
+	if w = get("/query"); w.Code != 400 {
+		t.Fatalf("/query without sql -> %d, want 400", w.Code)
+	}
+
+	nextErr = fmt.Errorf("admit: %w", &sheddedErr{after: 1500 * time.Millisecond})
+	w = get("/query?sql=SELECT")
+	if w.Code != 429 {
+		t.Fatalf("shed query -> %d, want 429", w.Code)
+	}
+	if ra := w.Header().Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want %q (1.5s rounded up)", ra, "2")
+	}
+	var body struct {
+		Error        string `json:"error"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil ||
+		body.Error == "" || body.RetryAfterMS != 1500 {
+		t.Fatalf("shed body: %v %s", err, w.Body.String())
+	}
+
+	nextErr = errors.New("exec: something deterministic")
+	if w = get("/query?sql=SELECT"); w.Code != 500 {
+		t.Fatalf("failed query -> %d, want 500", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "deterministic") {
+		t.Fatalf("failure body: %s", w.Body.String())
+	}
+
+	h.RunSQL = nil
+	if w = get("/query?sql=SELECT"); w.Code != 404 {
+		t.Fatalf("/query unwired -> %d, want 404", w.Code)
 	}
 }
 

@@ -42,6 +42,13 @@ type Metrics struct {
 	SpillBytes     *Counter // encoded bytes written to spill files
 	SpillReadBytes *Counter // encoded bytes read back from spill files
 	SpillParts     *Counter // spill files created
+
+	// Robustness: fault injection and recovery events. FaultsInjected is
+	// also exported live via a counter func against the injector (this
+	// one counts engine-observed typed failures folded per query).
+	PanicsRecovered *Counter // worker/pipeline panics contained to a query error
+	QueriesShed     *Counter // queries turned away by overload shedding
+	Retries         *Counter // transient-error retries by the engine's policy
 }
 
 // NewMetrics registers the engine metric set on reg (idempotent — a second
@@ -71,6 +78,10 @@ func NewMetrics(reg *Registry) *Metrics {
 		SpillBytes:     reg.NewCounter("bfcbo_spill_bytes_total", "Encoded bytes written to spill files."),
 		SpillReadBytes: reg.NewCounter("bfcbo_spill_read_bytes_total", "Encoded bytes read back from spill files."),
 		SpillParts:     reg.NewCounter("bfcbo_spill_partitions_total", "Spill files created."),
+
+		PanicsRecovered: reg.NewCounter("bfcbo_panics_recovered_total", "Worker panics contained to a typed per-query error."),
+		QueriesShed:     reg.NewCounter("bfcbo_queries_shed_total", "Queries turned away by overload shedding."),
+		Retries:         reg.NewCounter("bfcbo_query_retries_total", "Transient-error retries issued by the engine retry policy."),
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bfcbo/internal/faults"
 	"bfcbo/internal/mem"
 )
 
@@ -41,7 +42,96 @@ var (
 	// ErrRejected is returned by Admit under Config.Reject when the query
 	// cannot be admitted immediately.
 	ErrRejected = errors.New("sched: admission rejected (scheduler at capacity)")
+	// ErrOverloaded is the load-shedding sentinel: the overload controller
+	// (or the sched.admit fault site) turned the query away before it
+	// queued. The concrete error is an *OverloadError carrying a computed
+	// retry-after; shed queries are safe to retry.
+	ErrOverloaded = errors.New("sched: overloaded, query shed")
 )
+
+// OverloadError is the typed load-shedding error: it unwraps to
+// ErrOverloaded and tells the caller when trying again is worthwhile.
+type OverloadError struct {
+	// After is the computed retry-after: roughly how long until the
+	// pressure signal that tripped the controller could have decayed.
+	After time.Duration
+	// Reason describes the tripped signal for diagnostics.
+	Reason string
+	cause  error // non-nil when the sched.admit fault site shed the query
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("%v (%s; retry after %s)", ErrOverloaded, e.Reason, e.After)
+}
+
+// Unwrap exposes ErrOverloaded (and, for injected sheds, the fault) to
+// errors.Is/As.
+func (e *OverloadError) Unwrap() []error {
+	if e.cause != nil {
+		return []error{ErrOverloaded, e.cause}
+	}
+	return []error{ErrOverloaded}
+}
+
+// RetryAfter returns the computed backoff floor; the engine's retry
+// policy and the HTTP Retry-After header both read it.
+func (e *OverloadError) RetryAfter() time.Duration { return e.After }
+
+// Transient marks shed queries as retry-eligible.
+func (e *OverloadError) Transient() bool { return true }
+
+// OverloadConfig parameterises the load-shedding controller; the zero
+// value disables shedding entirely.
+type OverloadConfig struct {
+	// MaxQueueWaitP95: shed when the p95 of recent admission queue waits
+	// exceeds this (0 disables the signal).
+	MaxQueueWaitP95 time.Duration
+	// MinFreeFraction: shed when the broker's free budget falls below
+	// this fraction of the total (0 disables; needs a finite broker).
+	MinFreeFraction float64
+}
+
+func (c OverloadConfig) enabled() bool {
+	return c.MaxQueueWaitP95 > 0 || c.MinFreeFraction > 0
+}
+
+// queueWaitRing is the overload controller's pressure sample: the last
+// ringSize admission queue waits (immediate admissions record ~0, so the
+// p95 decays as load lightens). Its own mutex keeps it off s.mu.
+const ringSize = 64
+
+type queueWaitRing struct {
+	mu   sync.Mutex
+	buf  [ringSize]time.Duration
+	n    int // samples recorded, capped at ringSize
+	idx  int
+	sort [ringSize]time.Duration // scratch for p95
+}
+
+func (r *queueWaitRing) record(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.idx] = d
+	r.idx = (r.idx + 1) % ringSize
+	if r.n < ringSize {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// p95 returns the 95th percentile of the recorded waits, or 0 while
+// fewer than 8 samples exist (a cold controller never sheds off one
+// outlier).
+func (r *queueWaitRing) p95() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n < 8 {
+		return 0
+	}
+	s := r.sort[:r.n]
+	copy(s, r.buf[:r.n])
+	slices.Sort(s)
+	return s[(r.n-1)*95/100]
+}
 
 // Config parameterises a scheduler.
 type Config struct {
@@ -61,6 +151,10 @@ type Config struct {
 	// memory broker: a query is only admitted while its QueryDesc.MinMemory
 	// fits what the budget can still grant.
 	Broker *mem.Broker
+	// Overload configures the load-shedding controller (zero disables):
+	// when a pressure signal trips, non-priority admissions fail fast
+	// with a typed *OverloadError instead of queueing into a timeout.
+	Overload OverloadConfig
 }
 
 // QueryDesc registers one query with the scheduler at admission time.
@@ -104,6 +198,9 @@ type Totals struct {
 	// Timeouts counts admissions abandoned on queue timeout, Rejections
 	// those turned away immediately under Config.Reject.
 	Timeouts, Rejections int64
+	// Shed counts queries turned away by the overload controller (or the
+	// sched.admit fault site) with ErrOverloaded.
+	Shed int64
 }
 
 // Scheduler owns the admission queue and the worker-slot pool.
@@ -116,6 +213,8 @@ type Scheduler struct {
 	totFinished   atomic.Int64
 	totTimeouts   atomic.Int64
 	totRejections atomic.Int64
+	totShed       atomic.Int64
+	waits         queueWaitRing
 	// nwait mirrors len(slotQ) so MaybeYield's per-batch fast path can
 	// skip the mutex while the pool is uncontended.
 	nwait atomic.Int32
@@ -171,7 +270,54 @@ func (s *Scheduler) Totals() Totals {
 		Finished:   s.totFinished.Load(),
 		Timeouts:   s.totTimeouts.Load(),
 		Rejections: s.totRejections.Load(),
+		Shed:       s.totShed.Load(),
 	}
+}
+
+// QueueWaitP95 exposes the overload controller's pressure signal (0
+// while the sample is cold) for metrics and diagnostics.
+func (s *Scheduler) QueueWaitP95() time.Duration { return s.waits.p95() }
+
+// retry-after bounds: never tell a caller to hammer back instantly,
+// never park it for more than 5s on one shed.
+const (
+	minRetryAfter = 25 * time.Millisecond
+	maxRetryAfter = 5 * time.Second
+)
+
+func clampRetry(d time.Duration) time.Duration {
+	return min(max(d, minRetryAfter), maxRetryAfter)
+}
+
+// shedLocked-free overload check: returns a non-nil *OverloadError when
+// a pressure signal (or the sched.admit fault site) says this admission
+// should be shed. Priority queries are exempt — the priority lane is
+// for work that must run even under pressure.
+func (s *Scheduler) shedCheck(d QueryDesc) *OverloadError {
+	if d.Priority {
+		return nil
+	}
+	if fault := faults.Hit(faults.SchedAdmit); fault != nil {
+		return &OverloadError{After: clampRetry(0), Reason: "injected admission perturbation", cause: fault}
+	}
+	oc := s.cfg.Overload
+	if !oc.enabled() {
+		return nil
+	}
+	if oc.MaxQueueWaitP95 > 0 {
+		if p := s.waits.p95(); p > oc.MaxQueueWaitP95 {
+			// Retrying before roughly a p95 wait has passed would just
+			// rejoin the same congested queue.
+			return &OverloadError{After: clampRetry(p), Reason: fmt.Sprintf("queue-wait p95 %s > %s", p, oc.MaxQueueWaitP95)}
+		}
+	}
+	if oc.MinFreeFraction > 0 && s.cfg.Broker != nil && !s.cfg.Broker.Unlimited() {
+		frac := float64(s.cfg.Broker.Free()) / float64(s.cfg.Broker.Budget())
+		if frac < oc.MinFreeFraction {
+			return &OverloadError{After: clampRetry(100 * time.Millisecond), Reason: fmt.Sprintf("broker free fraction %.2f < %.2f", frac, oc.MinFreeFraction)}
+		}
+	}
+	return nil
 }
 
 type slotWaiter struct {
@@ -251,11 +397,18 @@ func (s *Scheduler) Admit(ctx context.Context, d QueryDesc) (*Query, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err // already canceled/expired: never admit
 	}
+	if shed := s.shedCheck(d); shed != nil {
+		s.totShed.Add(1)
+		return nil, shed
+	}
 	start := time.Now()
 	s.mu.Lock()
 	if len(s.admitQ) == 0 && s.admissibleLocked(d) {
 		q := s.admitLocked(d)
 		s.mu.Unlock()
+		// An immediate admission is a ~zero queue wait: recording it is
+		// what lets the p95 decay once pressure lifts.
+		s.waits.record(time.Since(start))
 		return q, nil
 	}
 	if s.cfg.Reject {
@@ -300,11 +453,14 @@ func (s *Scheduler) Admit(ctx context.Context, d QueryDesc) (*Query, error) {
 		select {
 		case q := <-w.ready:
 			q.queueWait = time.Since(start)
+			s.waits.record(q.queueWait)
 			return q, nil
 		case <-ctx.Done():
 			return nil, s.abandonAdmit(w, ctx.Err())
 		case <-timeout:
 			s.totTimeouts.Add(1)
+			// A timed-out wait is the strongest congestion sample there is.
+			s.waits.record(s.cfg.QueueTimeout)
 			return nil, s.abandonAdmit(w, fmt.Errorf("%w after %s", ErrQueueTimeout, s.cfg.QueueTimeout))
 		case <-repumpC:
 			s.mu.Lock()
@@ -433,6 +589,14 @@ func (s *Scheduler) releaseSlotLocked(q *Query) {
 // It returns false — holding no slot — when stop closes first.
 func (q *Query) Acquire(stop <-chan struct{}) bool {
 	s := q.s
+	// The sched.slot fault site stalls this acquisition, perturbing
+	// morsel interleavings without changing any scheduling decision.
+	if d := faults.SlotDelay(); d > 0 {
+		select {
+		case <-time.After(d):
+		case <-stop:
+		}
+	}
 	s.mu.Lock()
 	if q.finished {
 		// A finished query can never lease (its reclaim already ran; a

@@ -19,13 +19,41 @@ package spill
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"syscall"
+
+	"bfcbo/internal/faults"
 )
+
+// Typed spill failures. Every I/O error leaving this package wraps one
+// of these sentinels (plus the run-file path and the underlying cause),
+// so the executor can fail exactly the owning query with a
+// distinguishable error instead of whatever os happened to report.
+var (
+	// ErrIO marks a spill read/write/flush/remove failure.
+	ErrIO = errors.New("spill: I/O error")
+	// ErrDiskFull marks an out-of-space failure (real ENOSPC or the
+	// injector's byte-budget site).
+	ErrDiskFull = errors.New("spill: disk full")
+)
+
+// sentinelFor classifies a raw cause as disk-full or generic I/O.
+func sentinelFor(cause error) error {
+	if errors.Is(cause, syscall.ENOSPC) {
+		return ErrDiskFull
+	}
+	var f *faults.Fault
+	if errors.As(cause, &f) && f.Site == faults.SpillDiskFull {
+		return ErrDiskFull
+	}
+	return ErrIO
+}
 
 // Dir owns one run's temp directory. It is created lazily on the first
 // spill and removed — with everything in it — by Cleanup, which the
@@ -130,6 +158,28 @@ type Writer struct {
 	chunks  int64
 	scratch []byte
 	closed  bool
+	werr    error // first write/flush error; poisons the writer
+}
+
+// fail poisons the writer after a write-path error. A partial run file
+// is unreadable, so the unwind closes the handle and removes the file
+// immediately rather than leaving it for Dir.Cleanup; any close/remove
+// failure is folded into the returned error after the first cause,
+// which is wrapped with the run-file path and a typed sentinel.
+// Callers must hold w.mu.
+func (w *Writer) fail(op string, cause error) error {
+	err := fmt.Errorf("spill: %s %s: %w: %w", op, w.path, sentinelFor(cause), cause)
+	if !w.closed {
+		w.closed = true
+		if cerr := w.f.Close(); cerr != nil {
+			err = fmt.Errorf("%w; close: %v", err, cerr)
+		}
+	}
+	if rerr := os.Remove(w.path); rerr != nil && !os.IsNotExist(rerr) {
+		err = fmt.Errorf("%w; remove partial run file: %v", err, rerr)
+	}
+	w.werr = err
+	return err
 }
 
 // Cols returns the fixed column count of the file.
@@ -169,8 +219,17 @@ func (w *Writer) AppendChunk(cols [][]int32) error {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.werr != nil {
+		return w.werr
+	}
 	if w.closed {
 		return fmt.Errorf("spill: append to closed writer %s", w.path)
+	}
+	if fault := faults.Hit(faults.SpillWrite); fault != nil {
+		return w.fail("write", fault)
+	}
+	if fault := faults.ChargeSpillBytes(int64(4 + 4*n*w.cols)); fault != nil {
+		return w.fail("write", fault)
 	}
 	if cap(w.scratch) < 4*n {
 		w.scratch = make([]byte, 4*n)
@@ -178,7 +237,7 @@ func (w *Writer) AppendChunk(cols [][]int32) error {
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(n))
 	if _, err := w.bw.Write(hdr[:]); err != nil {
-		return fmt.Errorf("spill: write %s: %w", w.path, err)
+		return w.fail("write", err)
 	}
 	for _, c := range cols {
 		buf := w.scratch[:4*n]
@@ -186,7 +245,7 @@ func (w *Writer) AppendChunk(cols [][]int32) error {
 			binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
 		}
 		if _, err := w.bw.Write(buf); err != nil {
-			return fmt.Errorf("spill: write %s: %w", w.path, err)
+			return w.fail("write", err)
 		}
 	}
 	w.rows += int64(n)
@@ -196,30 +255,46 @@ func (w *Writer) AppendChunk(cols [][]int32) error {
 }
 
 // Finish flushes and closes the write handle. The file stays on disk for
-// readers until the owning Dir is cleaned up (or Remove is called).
+// readers until the owning Dir is cleaned up (or Remove is called). A
+// flush/close failure unwinds the partial file like a write error.
 func (w *Writer) Finish() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.werr != nil {
+		return w.werr
+	}
 	if w.closed {
 		return nil
 	}
-	w.closed = true
-	if err := w.bw.Flush(); err != nil {
-		w.f.Close()
-		return fmt.Errorf("spill: flush %s: %w", w.path, err)
+	if fault := faults.Hit(faults.SpillSync); fault != nil {
+		return w.fail("sync", fault)
 	}
+	if err := w.bw.Flush(); err != nil {
+		return w.fail("flush", err) // fail closes the handle
+	}
+	w.closed = true
 	if err := w.f.Close(); err != nil {
-		return fmt.Errorf("spill: close %s: %w", w.path, err)
+		return w.fail("close", err) // already closed; fail just removes
 	}
 	return nil
 }
 
 // Remove deletes the file (after Finish). Used to reclaim disk space as
 // soon as a partition or run has been consumed; Cleanup would get it
-// eventually anyway.
+// eventually anyway. A Finish failure already unwound the file and is
+// propagated; a removal failure is reported typed, and Dir.Cleanup
+// remains the backstop for the still-present file.
 func (w *Writer) Remove() error {
-	w.Finish()
-	return os.Remove(w.path)
+	if err := w.Finish(); err != nil {
+		return err
+	}
+	if fault := faults.Hit(faults.SpillRemove); fault != nil {
+		return fmt.Errorf("spill: remove %s: %w: %w", w.path, ErrIO, fault)
+	}
+	if err := os.Remove(w.path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("spill: remove %s: %w: %w", w.path, sentinelFor(err), err)
+	}
+	return nil
 }
 
 // abandon closes the file handle without flushing — the file is about to
@@ -256,7 +331,7 @@ func (w *Writer) Reader() (*Reader, error) {
 func OpenReader(path string, cols int) (*Reader, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("spill: open %s: %w", path, err)
+		return nil, fmt.Errorf("spill: open %s: %w: %w", path, ErrIO, err)
 	}
 	return &Reader{f: f, br: bufio.NewReaderSize(f, 1<<16), cols: cols, path: path}, nil
 }
@@ -265,12 +340,15 @@ func OpenReader(path string, cols int) (*Reader, error) {
 // file. The returned slices are reused by the following Next call; callers
 // that retain rows must copy them out (appending into a RowSet copies).
 func (r *Reader) Next() ([][]int32, error) {
+	if fault := faults.Hit(faults.SpillRead); fault != nil {
+		return nil, fmt.Errorf("spill: read %s: %w: %w", r.path, ErrIO, fault)
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
 		if err == io.EOF {
 			return nil, nil
 		}
-		return nil, fmt.Errorf("spill: read %s: %w", r.path, err)
+		return nil, fmt.Errorf("spill: read %s: %w: %w", r.path, ErrIO, err)
 	}
 	n := int(binary.LittleEndian.Uint32(hdr[:]))
 	if cap(r.scratch) < 4*n {
@@ -286,7 +364,7 @@ func (r *Reader) Next() ([][]int32, error) {
 		r.bufs[c] = r.bufs[c][:n]
 		buf := r.scratch[:4*n]
 		if _, err := io.ReadFull(r.br, buf); err != nil {
-			return nil, fmt.Errorf("spill: read %s (truncated chunk): %w", r.path, err)
+			return nil, fmt.Errorf("spill: read %s (truncated chunk): %w: %w", r.path, ErrIO, err)
 		}
 		for i := range r.bufs[c] {
 			r.bufs[c][i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
